@@ -1,0 +1,80 @@
+//! Online bidirectional BFS baseline.
+//!
+//! No index at all: every query is answered by the frontier-volume
+//! optimized bidirectional BFS (the paper's BiBFS baseline, credited to
+//! [21]'s optimized expansion strategy). Updates are therefore free —
+//! the trade-off Figure 6 explores.
+
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::bfs::BiBfs;
+use batchhl_graph::{Batch, DynamicGraph};
+
+/// Index-free distance oracle.
+pub struct OnlineBiBfs {
+    graph: DynamicGraph,
+    ws: BiBfs,
+}
+
+impl OnlineBiBfs {
+    pub fn new(graph: DynamicGraph) -> Self {
+        let n = graph.num_vertices();
+        OnlineBiBfs {
+            graph,
+            ws: BiBfs::new(n),
+        }
+    }
+
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Updates only touch the graph.
+    pub fn apply_batch(&mut self, batch: &Batch) -> usize {
+        let norm = batch.normalize(&self.graph);
+        self.graph.apply_batch(&norm)
+    }
+
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        self.ws.run(&self.graph, s, t, INF, |_| true)
+    }
+
+    pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
+        self.query(s, t).unwrap_or(INF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::erdos_renyi_gnm;
+    use batchhl_hcl::oracle::all_pairs_bfs;
+
+    #[test]
+    fn matches_bfs_and_tracks_updates() {
+        let g = erdos_renyi_gnm(60, 120, 5);
+        let mut idx = OnlineBiBfs::new(g);
+        let truth = all_pairs_bfs(idx.graph());
+        for s in (0..60u32).step_by(3) {
+            for t in (0..60u32).step_by(4) {
+                assert_eq!(idx.query_dist(s, t), truth[s as usize][t as usize]);
+            }
+        }
+        let mut b = Batch::new();
+        b.insert(0, 59);
+        b.delete(
+            idx.graph().edges().next().unwrap().0,
+            idx.graph().edges().next().unwrap().1,
+        );
+        idx.apply_batch(&b);
+        let truth = all_pairs_bfs(idx.graph());
+        for s in (0..60u32).step_by(5) {
+            for t in (0..60u32).step_by(6) {
+                assert_eq!(idx.query_dist(s, t), truth[s as usize][t as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Bit-parallel shortest-path-tree payload for FulFD.
+//!
+//! Hayashi et al.'s FulFD keeps, per root `r`, besides the exact
+//! distances `d(r, v)`, two 64-bit masks per vertex over a set of up to
+//! 64 *selected neighbours* `n_0 … n_63` of `r`:
+//!
+//! * `S⁻¹(v) = { i : d(n_i, v) = d(r, v) − 1 }`,
+//! * `S⁰(v) = { i : d(n_i, v) = d(r, v) }`.
+//!
+//! (Adjacency to `r` pins `d(n_i, v)` to `d(r,v) ± 1` or `d(r,v)`.)
+//! They tighten the query bound `d(r,s) + d(r,t)` by up to 2 hops:
+//! a shared bit in `S⁻¹(s) ∩ S⁻¹(t)` certifies a path through that
+//! neighbour of combined length `d − 2`, a mixed intersection `d − 1`.
+//!
+//! The masks obey level-local recurrences over the root's BFS levels
+//! (`ℓ(v) = d(r, v)`), which both the construction and the dynamic
+//! repair exploit:
+//!
+//! ```text
+//! S⁻¹(v) = ∪ { S⁻¹(u) : u ∈ N(v), ℓ(u) = ℓ(v) − 1 }  ∪ {i : v = n_i}
+//! S⁰(v)  = ∪ { S⁰(u) : u ∈ N(v), ℓ(u) = ℓ(v) − 1 }
+//!        ∪ ∪ { S⁻¹(u) : u ∈ N(v), ℓ(u) = ℓ(v) }
+//! ```
+//!
+//! Maintaining the masks is the expensive part of FulFD's updates —
+//! shortest-path *multiplicity* changes ripple much further than
+//! distance changes — which is exactly the cost structure the BatchHL
+//! paper's Table 3 comparison exercises.
+
+use batchhl_common::{DialQueue, Dist, SparseBitSet, Vertex, INF};
+use batchhl_graph::DynamicGraph;
+
+/// Per-root bit-parallel payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitParallelTree {
+    /// Selected neighbours of the root (bit `i` ↔ `sources[i]`).
+    pub sources: Vec<Vertex>,
+    /// `S⁻¹` masks, one per vertex.
+    pub sm1: Vec<u64>,
+    /// `S⁰` masks, one per vertex.
+    pub s0: Vec<u64>,
+}
+
+impl BitParallelTree {
+    /// Select up to 64 highest-degree neighbours of `root` and compute
+    /// the masks for the given (exact) distance array.
+    pub fn build(g: &DynamicGraph, root: Vertex, dist: &[Dist]) -> Self {
+        let mut nbrs: Vec<Vertex> = g.neighbors(root).to_vec();
+        nbrs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        nbrs.truncate(64);
+        let mut bp = BitParallelTree {
+            sources: nbrs,
+            sm1: vec![0; g.num_vertices()],
+            s0: vec![0; g.num_vertices()],
+        };
+        bp.recompute_all(g, dist);
+        bp
+    }
+
+    /// Bit of a source vertex, if it is one.
+    fn source_bit(&self, v: Vertex) -> u64 {
+        self.sources
+            .iter()
+            .position(|&s| s == v)
+            .map(|i| 1u64 << i)
+            .unwrap_or(0)
+    }
+
+    /// Evaluate the recurrence for one vertex from its neighbours.
+    #[inline]
+    fn eval(&self, g: &DynamicGraph, dist: &[Dist], v: Vertex) -> (u64, u64) {
+        let lv = dist[v as usize];
+        if lv == INF || lv == 0 {
+            return (0, 0);
+        }
+        let mut sm1 = if lv == 1 { self.source_bit(v) } else { 0 };
+        let mut s0 = 0u64;
+        for &u in g.neighbors(v) {
+            let lu = dist[u as usize];
+            if lu.saturating_add(1) == lv {
+                sm1 |= self.sm1[u as usize];
+                s0 |= self.s0[u as usize];
+            } else if lu == lv {
+                s0 |= self.sm1[u as usize];
+            }
+        }
+        // The union only pins d(n_i, v) to {ℓ−1, ℓ}; bits that belong
+        // to S⁻¹ must not leak into S⁰.
+        (sm1, s0 & !sm1)
+    }
+
+    /// Full recomputation in level order (construction / rebuild).
+    pub fn recompute_all(&mut self, g: &DynamicGraph, dist: &[Dist]) {
+        let n = g.num_vertices();
+        self.sm1 = vec![0; n];
+        self.s0 = vec![0; n];
+        let mut order: Vec<Vertex> = (0..n as Vertex)
+            .filter(|&v| dist[v as usize] != INF)
+            .collect();
+        order.sort_by_key(|&v| dist[v as usize]);
+        // Two passes per level: S⁻¹ first (depends on the previous
+        // level only), then S⁰ (same-level S⁻¹ must be final).
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i;
+            while j < order.len() && dist[order[j] as usize] == dist[order[i] as usize] {
+                j += 1;
+            }
+            for &v in &order[i..j] {
+                self.sm1[v as usize] = self.eval(g, dist, v).0;
+            }
+            for &v in &order[i..j] {
+                self.s0[v as usize] = self.eval(g, dist, v).1;
+            }
+            i = j;
+        }
+    }
+
+    /// Repair the masks after an update. `seeds` must contain every
+    /// vertex whose recurrence *inputs* may have changed: the update's
+    /// endpoints plus all vertices whose distance changed. Changes then
+    /// propagate level-monotonically (chaotic iteration over the
+    /// recurrence, driven by a Dial queue keyed by level).
+    pub fn repair(
+        &mut self,
+        g: &DynamicGraph,
+        dist: &[Dist],
+        seeds: &[Vertex],
+        queue: &mut DialQueue,
+        queued: &mut SparseBitSet,
+    ) {
+        queue.clear();
+        queued.clear();
+        queued.grow(g.num_vertices());
+        self.grow(g.num_vertices());
+        for &v in seeds {
+            let d = dist[v as usize];
+            if d == INF {
+                // Disconnected vertices zero out immediately.
+                self.sm1[v as usize] = 0;
+                self.s0[v as usize] = 0;
+            } else if queued.insert(v) {
+                queue.push(d, v);
+            }
+            // A level change at `v` can strip contributions from
+            // *lower-level* former readers, which propagation (which
+            // only walks level-upward) would miss — so every finite
+            // neighbour of a seed is re-evaluated too.
+            for &w in g.neighbors(v) {
+                let dw = dist[w as usize];
+                if dw != INF && queued.insert(w) {
+                    queue.push(dw, w);
+                }
+            }
+        }
+        while let Some((_, v)) = queue.pop() {
+            queued.remove(v);
+            let (sm1, s0) = self.eval(g, dist, v);
+            if sm1 == self.sm1[v as usize] && s0 == self.s0[v as usize] {
+                continue;
+            }
+            self.sm1[v as usize] = sm1;
+            self.s0[v as usize] = s0;
+            // Readers of v's masks: same-level and next-level
+            // neighbours (the recurrence never reads downward).
+            let lv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                let lw = dist[w as usize];
+                if lw != INF && lw >= lv && queued.insert(w) {
+                    queue.push(lw, w);
+                }
+            }
+        }
+    }
+
+    /// Drop a source (bit `i`) — used when the root loses the edge to
+    /// it, invalidating the `±1` level pinning. O(|V|).
+    pub fn drop_source(&mut self, v: Vertex) {
+        if let Some(i) = self.sources.iter().position(|&s| s == v) {
+            let keep = !(1u64 << i);
+            for m in &mut self.sm1 {
+                *m &= keep;
+            }
+            for m in &mut self.s0 {
+                *m &= keep;
+            }
+            // Keep bit positions stable: replace with a tombstone that
+            // can never match a vertex.
+            self.sources[i] = Vertex::MAX;
+        }
+    }
+
+    /// Refine the two-hop bound `d(r,s) + d(r,t)` with the masks.
+    #[inline]
+    pub fn refine(&self, s: Vertex, t: Vertex, d: Dist) -> Dist {
+        if d == INF || d < 2 {
+            return d;
+        }
+        let (as1, a0) = (self.sm1[s as usize], self.s0[s as usize]);
+        let (bs1, b0) = (self.sm1[t as usize], self.s0[t as usize]);
+        if as1 & bs1 != 0 {
+            d - 2
+        } else if (as1 & b0) | (a0 & bs1) != 0 {
+            d - 1
+        } else {
+            d
+        }
+    }
+
+    pub fn grow(&mut self, n: usize) {
+        if n > self.sm1.len() {
+            self.sm1.resize(n, 0);
+            self.s0.resize(n, 0);
+        }
+    }
+
+    /// Bytes used by the masks (the `N = 64` factor of FulFD's space).
+    pub fn size_bytes(&self) -> usize {
+        self.sm1.len() * 16
+    }
+}
+
+/// Reference implementation straight from the definition: one BFS per
+/// source. Used by tests to validate construction and repair.
+pub fn masks_from_definition(
+    g: &DynamicGraph,
+    dist: &[Dist],
+    sources: &[Vertex],
+) -> (Vec<u64>, Vec<u64>) {
+    let n = g.num_vertices();
+    let (mut sm1, mut s0) = (vec![0u64; n], vec![0u64; n]);
+    for (i, &src) in sources.iter().enumerate() {
+        if src == Vertex::MAX {
+            continue; // tombstoned source
+        }
+        let ds = batchhl_graph::bfs::bfs_distances(g, src);
+        for v in 0..n {
+            if dist[v] == INF || dist[v] == 0 {
+                continue;
+            }
+            if ds[v] != INF {
+                if ds[v].saturating_add(1) == dist[v] {
+                    sm1[v] |= 1 << i;
+                } else if ds[v] == dist[v] {
+                    s0[v] |= 1 << i;
+                }
+            }
+        }
+    }
+    (sm1, s0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::bfs::bfs_distances;
+    use batchhl_graph::generators::{barabasi_albert, erdos_renyi_gnm, path, star};
+
+    fn check_against_definition(g: &DynamicGraph, root: Vertex) {
+        let dist = bfs_distances(g, root);
+        let bp = BitParallelTree::build(g, root, &dist);
+        let (sm1, s0) = masks_from_definition(g, &dist, &bp.sources);
+        assert_eq!(bp.sm1, sm1, "S-1 masks for root {root}");
+        assert_eq!(bp.s0, s0, "S0 masks for root {root}");
+    }
+
+    #[test]
+    fn construction_matches_definition() {
+        check_against_definition(&path(8), 0);
+        check_against_definition(&star(10), 0);
+        check_against_definition(&star(10), 3);
+        for seed in 0..6 {
+            let g = erdos_renyi_gnm(50, 120, seed);
+            check_against_definition(&g, 0);
+            check_against_definition(&g, 17);
+        }
+        let g = barabasi_albert(100, 3, 9);
+        check_against_definition(&g, g.vertices_by_degree()[0]);
+    }
+
+    #[test]
+    fn source_capping_at_64() {
+        let g = star(100);
+        let dist = bfs_distances(&g, 0);
+        let bp = BitParallelTree::build(&g, 0, &dist);
+        assert_eq!(bp.sources.len(), 64);
+    }
+
+    #[test]
+    fn refine_bounds() {
+        // Triangle fan: root 0 with sources 1, 2; vertices 3 (adjacent
+        // to 1) and 4 (adjacent to 2 and 1).
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4), (1, 4)]);
+        let dist = bfs_distances(&g, 0);
+        let bp = BitParallelTree::build(&g, 0, &dist);
+        // d(3) = d(4) = 2; both have source 1 at distance 1 ⇒ shared
+        // S⁻¹ bit ⇒ bound 4 refines to 2.
+        assert_eq!(bp.refine(3, 4, 4), 2);
+        assert!(bp.refine(3, 4, 1) == 1, "small bounds pass through");
+    }
+
+    #[test]
+    fn repair_tracks_random_updates() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut g = erdos_renyi_gnm(40, 90, seed);
+            let root = 0;
+            let mut dist = bfs_distances(&g, root);
+            let mut bp = BitParallelTree::build(&g, root, &dist);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB17);
+            let mut queue = DialQueue::new();
+            let mut queued = SparseBitSet::new(40);
+            for _ in 0..25 {
+                let a = rng.gen_range(0..40u32);
+                let b = rng.gen_range(0..40u32);
+                if a == b {
+                    continue;
+                }
+                let existed = g.has_edge(a, b);
+                if existed {
+                    g.remove_edge(a, b);
+                    if a == root || b == root {
+                        bp.drop_source(if a == root { b } else { a });
+                    }
+                } else {
+                    g.insert_edge(a, b);
+                }
+                let new_dist = bfs_distances(&g, root);
+                let mut seeds: Vec<Vertex> = vec![a, b];
+                for v in 0..40u32 {
+                    if dist[v as usize] != new_dist[v as usize] {
+                        seeds.push(v);
+                    }
+                }
+                dist = new_dist;
+                bp.repair(&g, &dist, &seeds, &mut queue, &mut queued);
+                let (sm1, s0) = masks_from_definition(&g, &dist, &bp.sources);
+                assert_eq!(bp.sm1, sm1, "seed {seed}: S-1 after update");
+                assert_eq!(bp.s0, s0, "seed {seed}: S0 after update");
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Decremental PLL in the style of D'Angelo, D'Emidio & Frigioni (JEA
+//! 2019): detect affected hub–vertex pairs, remove their entries, and
+//! rebuild by boundary-seeded partial searches in rank order.
+//!
+//! Deleting `(a, b)` can only change `d(h, v)` (or the set of shortest
+//! `h`–`v` paths, which governs covers) for hubs `h` with
+//! `|d(h, a) − d(h, b)| = 1` — a shortest path through the edge must
+//! enter it at consecutive levels. The three phases:
+//!
+//! 1. **Detect** (on pristine pre-deletion labels): for every candidate
+//!    hub, an anchor search over the post-deletion graph collects the
+//!    vertices whose shortest-path set w.r.t. that hub changed (the same
+//!    unified pattern as BatchHL's basic search), and snapshots each
+//!    affected vertex's *boundary bound* — best unaffected-neighbour
+//!    distance + 1 — before any label is touched.
+//! 2. **Remove** the `(hub, vertex)` entries of every affected pair.
+//! 3. **Rebuild** hubs in rank order: a Dial-queue sweep from the
+//!    boundary bounds recomputes exact new distances inside each
+//!    affected region; an entry is re-added unless hubs of strictly
+//!    higher rank already cover the pair (their entries are exact at
+//!    this point — rebuilt earlier or untouched).
+//!
+//! The candidate-hub scan costs `O(|V|)` *queries* per deletion — this
+//! baseline is expensive by design; the paper reports minutes-per-
+//! deletion for its original implementation and DNFs on 8 of 12
+//! datasets, which the harness mirrors with a time budget.
+
+use crate::pll::TwoHopLabels;
+use batchhl_common::{DialQueue, Dist, SparseBitSet, Vertex, INF};
+use batchhl_graph::DynamicGraph;
+
+/// Affected region of one hub: the vertices plus their boundary seeds.
+struct HubRegion {
+    hub_rank: u32,
+    /// `(vertex, boundary bound)`; bound `INF` when fully interior.
+    vertices: Vec<(Vertex, Dist)>,
+}
+
+/// Restore the 2-hop cover after deleting edge `(a, b)`.
+/// `g` must already have the edge removed.
+pub fn delete_edge(labels: &mut TwoHopLabels, g: &DynamicGraph, a: Vertex, b: Vertex) {
+    debug_assert!(!g.has_edge(a, b));
+    labels.ensure_vertices(g.num_vertices());
+    let n = g.num_vertices();
+    let mut aff = SparseBitSet::new(n);
+    let mut queue = DialQueue::new();
+    let mut regions: Vec<HubRegion> = Vec::new();
+
+    // Phase 1: detection on pristine labels.
+    for k in 0..n as u32 {
+        let hub = labels.order[k as usize];
+        let (dha, dhb) = (labels.query(hub, a), labels.query(hub, b));
+        // The edge lies on a shortest path from `hub` only if the hub
+        // reaches its endpoints at consecutive finite levels.
+        let (far, dnear) = if dha != INF && dha + 1 == dhb {
+            (b, dha)
+        } else if dhb != INF && dhb + 1 == dha {
+            (a, dhb)
+        } else {
+            continue;
+        };
+        // Anchor search on G′ (post-deletion) with old-distance pruning.
+        aff.clear();
+        queue.clear();
+        queue.push(dnear + 1, far);
+        while let Some((d, v)) = queue.pop() {
+            if !aff.insert(v) {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if d < labels.query(hub, w) {
+                    queue.push(d + 1, w);
+                }
+            }
+        }
+        if aff.inserted().is_empty() {
+            continue;
+        }
+        // Snapshot boundary bounds before any labels change.
+        let mut vertices = Vec::with_capacity(aff.inserted().len());
+        for &v in aff.inserted() {
+            let mut bound = INF;
+            for &w in g.neighbors(v) {
+                if !aff.contains(w) {
+                    bound = bound.min(labels.query(hub, w).saturating_add(1));
+                }
+            }
+            vertices.push((v, bound));
+        }
+        regions.push(HubRegion {
+            hub_rank: k,
+            vertices,
+        });
+    }
+
+    // Phase 2: remove entries of every affected pair.
+    for region in &regions {
+        for &(v, _) in &region.vertices {
+            labels.remove(v, region.hub_rank);
+        }
+    }
+
+    // Phase 3: rebuild in rank order (regions are already rank-sorted).
+    let mut new_dist = vec![INF; n];
+    for region in &regions {
+        let hub = labels.order[region.hub_rank as usize];
+        aff.clear();
+        queue.clear();
+        for &(v, bound) in &region.vertices {
+            aff.insert(v);
+            new_dist[v as usize] = bound;
+            if bound != INF {
+                queue.push(bound, v);
+            }
+        }
+        // Dial sweep: the minimum bound is exact (cf. Lemma 5.20).
+        while let Some((d, v)) = queue.pop() {
+            if !aff.contains(v) || new_dist[v as usize] != d {
+                continue;
+            }
+            aff.remove(v);
+            for &w in g.neighbors(v) {
+                if aff.contains(w) && d + 1 < new_dist[w as usize] {
+                    new_dist[w as usize] = d + 1;
+                    queue.push(d + 1, w);
+                }
+            }
+        }
+        for &(v, _) in &region.vertices {
+            let d = new_dist[v as usize];
+            new_dist[v as usize] = INF; // reset scratch
+            if d == INF || v == hub {
+                continue;
+            }
+            // Canonical re-add: skip iff strictly higher-ranked hubs
+            // already cover the pair at the new distance.
+            if labels.query_rank_bounded(hub, v, region.hub_rank) <= d {
+                continue;
+            }
+            labels.upsert(v, region.hub_rank, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pll::PllIndex;
+    use batchhl_graph::generators::{cycle, erdos_renyi_gnm, path};
+    use batchhl_hcl::oracle::all_pairs_bfs;
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    fn assert_exact(labels: &TwoHopLabels, g: &DynamicGraph) {
+        let truth = all_pairs_bfs(g);
+        for s in 0..g.num_vertices() as Vertex {
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    labels.query(s, t),
+                    truth[s as usize][t as usize],
+                    "query({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_on_cycle_stays_exact() {
+        let mut g = cycle(8);
+        let mut idx = PllIndex::build(&g);
+        g.remove_edge(0, 7);
+        delete_edge(&mut idx.labels, &g, 0, 7);
+        assert_exact(&idx.labels, &g);
+    }
+
+    #[test]
+    fn disconnecting_deletion_stays_exact() {
+        let mut g = path(6);
+        let mut idx = PllIndex::build(&g);
+        g.remove_edge(2, 3);
+        delete_edge(&mut idx.labels, &g, 2, 3);
+        assert_exact(&idx.labels, &g);
+        assert_eq!(idx.labels.query(0, 5), INF);
+    }
+
+    #[test]
+    fn random_deletion_sequences_stay_exact() {
+        for seed in 0..5u64 {
+            let mut g = erdos_renyi_gnm(35, 70, seed);
+            let mut idx = PllIndex::build(&g);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+            let mut edges: Vec<_> = g.edges().collect();
+            edges.shuffle(&mut rng);
+            for &(x, y) in edges.iter().take(12) {
+                g.remove_edge(x, y);
+                delete_edge(&mut idx.labels, &g, x, y);
+            }
+            assert_exact(&idx.labels, &g);
+        }
+    }
+
+    #[test]
+    fn cover_restoration_across_hubs() {
+        // The example from the module analysis: h-x, x-v, h-y, y-v with
+        // rank(x) highest; deleting (x, v) must restore the (h, v)
+        // entry even though d(h, v) is unchanged.
+        let mut g = DynamicGraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        // Degrees are all 2: ranking is by id — 0, 1, 2, 3.
+        let mut idx = PllIndex::build(&g);
+        g.remove_edge(1, 3);
+        delete_edge(&mut idx.labels, &g, 1, 3);
+        assert_exact(&idx.labels, &g);
+    }
+}

@@ -1,0 +1,159 @@
+//! FulPLL: the fully dynamic 2-hop cover baseline.
+//!
+//! The paper's FulPLL "is composed of two separate dynamic algorithms"
+//! — the incremental one of Akiba et al. 2014 and the decremental one
+//! of D'Angelo et al. 2019 — applied **one update at a time** (the
+//! single-update setting; FulPLL cannot batch). This wrapper owns the
+//! graph and the labelling and dispatches each update accordingly.
+
+use crate::dec_pll;
+use crate::inc_pll;
+use crate::pll::{PllIndex, TwoHopLabels};
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::{Batch, DynamicGraph, Update};
+
+/// Fully dynamic PLL index.
+pub struct FulPll {
+    graph: DynamicGraph,
+    pub labels: TwoHopLabels,
+}
+
+impl FulPll {
+    /// Static PLL construction (the expensive part — Table 4 CT).
+    pub fn build(graph: DynamicGraph) -> Self {
+        let labels = PllIndex::build(&graph).labels;
+        FulPll { graph, labels }
+    }
+
+    /// Budgeted construction; `None` mirrors the paper's DNF entries.
+    pub fn build_with_deadline(
+        graph: DynamicGraph,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<Self> {
+        let labels = PllIndex::build_with_deadline(&graph, deadline)?.labels;
+        Some(FulPll { graph, labels })
+    }
+
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    pub fn query(&self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let d = self.query_dist(s, t);
+        (d != INF).then_some(d)
+    }
+
+    pub fn query_dist(&self, s: Vertex, t: Vertex) -> Dist {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return INF;
+        }
+        self.labels.query(s, t)
+    }
+
+    /// Apply one valid update (single-update setting).
+    pub fn apply_update(&mut self, u: Update) -> bool {
+        let (a, b) = u.endpoints();
+        match u {
+            Update::Insert(..) => {
+                self.graph
+                    .ensure_vertices(a.max(b) as usize + 1);
+                if !self.graph.insert_edge(a, b) {
+                    return false;
+                }
+                inc_pll::insert_edge(&mut self.labels, &self.graph, a, b);
+                true
+            }
+            Update::Delete(..) => {
+                if (a.max(b) as usize) >= self.graph.num_vertices()
+                    || !self.graph.remove_edge(a, b)
+                {
+                    return false;
+                }
+                dec_pll::delete_edge(&mut self.labels, &self.graph, a, b);
+                true
+            }
+        }
+    }
+
+    /// Apply a batch by looping over its updates one at a time.
+    /// Returns the number of applied (valid) updates.
+    pub fn apply_batch(&mut self, batch: &Batch) -> usize {
+        batch
+            .updates()
+            .iter()
+            .filter(|&&u| self.apply_update(u))
+            .count()
+    }
+
+    pub fn size_entries(&self) -> usize {
+        self.labels.size_entries()
+    }
+
+    pub fn size_bytes(&self) -> usize {
+        self.labels.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::erdos_renyi_gnm;
+    use batchhl_hcl::oracle::all_pairs_bfs;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_exact(idx: &FulPll) {
+        let truth = all_pairs_bfs(idx.graph());
+        let n = idx.graph().num_vertices() as Vertex;
+        for s in 0..n {
+            for t in 0..n {
+                assert_eq!(idx.query_dist(s, t), truth[s as usize][t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_single_updates_stay_exact() {
+        for seed in 0..4u64 {
+            let g = erdos_renyi_gnm(35, 70, seed);
+            let mut idx = FulPll::build(g);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
+            for _ in 0..20 {
+                let a = rng.gen_range(0..35u32);
+                let b = rng.gen_range(0..35u32);
+                if a == b {
+                    continue;
+                }
+                let u = if idx.graph().has_edge(a, b) {
+                    Update::Delete(a, b)
+                } else {
+                    Update::Insert(a, b)
+                };
+                assert!(idx.apply_update(u));
+            }
+            assert_exact(&idx);
+        }
+    }
+
+    #[test]
+    fn invalid_updates_are_rejected() {
+        let g = erdos_renyi_gnm(10, 15, 1);
+        let mut idx = FulPll::build(g);
+        let existing = idx.graph().edges().next().unwrap();
+        assert!(!idx.apply_update(Update::Insert(existing.0, existing.1)));
+        assert!(!idx.apply_update(Update::Delete(9, 9)));
+    }
+
+    #[test]
+    fn batch_application_counts() {
+        let g = erdos_renyi_gnm(20, 30, 2);
+        let mut idx = FulPll::build(g);
+        let mut b = Batch::new();
+        let e = idx.graph().edges().next().unwrap();
+        b.delete(e.0, e.1);
+        b.delete(e.0, e.1); // second time invalid
+        assert_eq!(idx.apply_batch(&b), 1);
+        assert_exact(&idx);
+    }
+}

@@ -1,0 +1,282 @@
+//! Pruned landmark labelling (Akiba, Iwata & Yoshida, SIGMOD 2013).
+//!
+//! The full 2-hop-cover labelling: vertices are ranked by degree, and a
+//! *pruned BFS* runs from each vertex in rank order — a visit to `u` at
+//! distance `d` is pruned when the labels built so far already certify
+//! `d(root, u) ≤ d`. Every vertex is a potential hub, so labels answer
+//! *any* pair exactly by meeting at a common hub; the price is labelling
+//! size and construction time that grow far beyond the highway cover
+//! labelling's (Table 4's comparison).
+//!
+//! [`TwoHopLabels`] is shared by the static builder, the PSL-style
+//! parallel builder and the dynamic maintenance baselines.
+
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::DynamicGraph;
+use std::collections::VecDeque;
+
+/// A 2-hop-cover labelling. Hubs are identified by *rank* (position in
+/// the degree-descending order), so label lists sorted by rank support
+/// merge-join queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoHopLabels {
+    /// `order[k]` = vertex of rank `k`.
+    pub order: Vec<Vertex>,
+    /// `rank[v]` = rank of vertex `v`.
+    pub rank: Vec<u32>,
+    /// Per vertex: `(hub rank, dist)`, strictly increasing by rank.
+    pub labels: Vec<Vec<(u32, Dist)>>,
+}
+
+impl TwoHopLabels {
+    /// Empty labelling over the degree ranking of `g`.
+    pub fn empty(g: &DynamicGraph) -> Self {
+        let order = g.vertices_by_degree();
+        let mut rank = vec![0u32; g.num_vertices()];
+        for (k, &v) in order.iter().enumerate() {
+            rank[v as usize] = k as u32;
+        }
+        TwoHopLabels {
+            order,
+            rank,
+            labels: vec![Vec::new(); g.num_vertices()],
+        }
+    }
+
+    /// Exact distance via the 2-hop cover property (Definition 3.1).
+    pub fn query(&self, s: Vertex, t: Vertex) -> Dist {
+        if s == t {
+            return 0;
+        }
+        self.query_rank_bounded(s, t, u32::MAX)
+    }
+
+    /// Distance using only hubs of rank `< max_rank` — the pruning
+    /// query of PLL construction and of the decremental rebuild.
+    pub fn query_rank_bounded(&self, s: Vertex, t: Vertex, max_rank: u32) -> Dist {
+        let (la, lb) = (&self.labels[s as usize], &self.labels[t as usize]);
+        let mut best = u64::from(INF);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < la.len() && j < lb.len() {
+            let (ha, da) = la[i];
+            let (hb, db) = lb[j];
+            if ha >= max_rank || hb >= max_rank {
+                break;
+            }
+            match ha.cmp(&hb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(da as u64 + db as u64);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best.min(u64::from(INF)) as Dist
+    }
+
+    /// Insert or overwrite the entry `(hub_rank, d)` in `L(v)`, keeping
+    /// the list sorted by rank.
+    pub fn upsert(&mut self, v: Vertex, hub_rank: u32, d: Dist) {
+        let list = &mut self.labels[v as usize];
+        match list.binary_search_by_key(&hub_rank, |&(h, _)| h) {
+            Ok(i) => list[i].1 = d,
+            Err(i) => list.insert(i, (hub_rank, d)),
+        }
+    }
+
+    /// Remove the entry for `hub_rank` from `L(v)` if present.
+    pub fn remove(&mut self, v: Vertex, hub_rank: u32) -> bool {
+        let list = &mut self.labels[v as usize];
+        match list.binary_search_by_key(&hub_rank, |&(h, _)| h) {
+            Ok(i) => {
+                list.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Stored entry for `(hub_rank, v)` if any.
+    pub fn get(&self, v: Vertex, hub_rank: u32) -> Option<Dist> {
+        let list = &self.labels[v as usize];
+        list.binary_search_by_key(&hub_rank, |&(h, _)| h)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// Total number of label entries.
+    pub fn size_entries(&self) -> usize {
+        self.labels.iter().map(Vec::len).sum()
+    }
+
+    /// Logical size in bytes (`(u32 rank, u32 dist)` pairs).
+    pub fn size_bytes(&self) -> usize {
+        self.size_entries() * 8
+    }
+
+    pub fn avg_label_size(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.size_entries() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Grow to `n` vertices: new vertices rank *below* all existing ones
+    /// (appended to the order) and start with empty labels.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.labels.len() < n {
+            let v = self.labels.len() as Vertex;
+            self.rank.push(self.order.len() as u32);
+            self.order.push(v);
+            self.labels.push(Vec::new());
+        }
+    }
+}
+
+/// Static PLL index: the labelling plus the construction routine.
+pub struct PllIndex {
+    pub labels: TwoHopLabels,
+}
+
+impl PllIndex {
+    /// Pruned-BFS construction in rank order. `O(Σ label sizes · …)`;
+    /// practical up to mid-sized graphs, which is exactly the paper's
+    /// observation about (Ful)PLL scalability.
+    pub fn build(g: &DynamicGraph) -> Self {
+        Self::build_with_deadline(g, None).expect("no deadline given")
+    }
+
+    /// As [`PllIndex::build`] but giving up (returning `None`) once the
+    /// deadline passes — the harness uses this to mirror the paper's
+    /// DNF entries for PLL-family methods on larger datasets.
+    pub fn build_with_deadline(
+        g: &DynamicGraph,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<Self> {
+        let mut labels = TwoHopLabels::empty(g);
+        let n = g.num_vertices();
+        let mut dist = vec![INF; n];
+        let mut queue: VecDeque<Vertex> = VecDeque::new();
+        let mut touched: Vec<Vertex> = Vec::new();
+        for k in 0..n as u32 {
+            if k % 64 == 0 {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() > d {
+                        return None;
+                    }
+                }
+            }
+            let root = labels.order[k as usize];
+            // Pruned BFS from `root`.
+            dist[root as usize] = 0;
+            queue.push_back(root);
+            touched.push(root);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                // Prune: already covered by higher-ranked hubs.
+                if labels.query_rank_bounded(root, u, k) <= du {
+                    continue;
+                }
+                labels.upsert(u, k, du);
+                for &w in g.neighbors(u) {
+                    if dist[w as usize] == INF {
+                        dist[w as usize] = du + 1;
+                        queue.push_back(w);
+                        touched.push(w);
+                    }
+                }
+            }
+            for &v in &touched {
+                dist[v as usize] = INF;
+            }
+            touched.clear();
+        }
+        Some(PllIndex { labels })
+    }
+
+    pub fn query(&self, s: Vertex, t: Vertex) -> Dist {
+        self.labels.query(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::{barabasi_albert, erdos_renyi_gnm, path, star};
+    use batchhl_hcl::oracle::all_pairs_bfs;
+
+    fn assert_exact(g: &DynamicGraph) {
+        let idx = PllIndex::build(g);
+        let truth = all_pairs_bfs(g);
+        for s in 0..g.num_vertices() as Vertex {
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(idx.query(s, t), truth[s as usize][t as usize], "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_classics_and_random() {
+        assert_exact(&path(10));
+        assert_exact(&star(10));
+        for seed in 0..4 {
+            assert_exact(&erdos_renyi_gnm(50, 100, seed));
+        }
+        assert_exact(&barabasi_albert(70, 2, 1));
+    }
+
+    #[test]
+    fn self_label_present_highest_rank_hub() {
+        let g = star(5);
+        let idx = PllIndex::build(&g);
+        // The centre has rank 0 and the single label (0, 0).
+        let centre_labels = &idx.labels.labels[0];
+        assert_eq!(centre_labels.as_slice(), &[(0, 0)]);
+        // Leaves carry (0, 1) plus their own self entry.
+        for v in 1..5u32 {
+            assert!(idx.labels.labels[v as usize].contains(&(0, 1)));
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_inf() {
+        let g = DynamicGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let idx = PllIndex::build(&g);
+        assert_eq!(idx.query(0, 2), INF);
+        assert_eq!(idx.query(1, 4), INF);
+        assert_eq!(idx.query(0, 1), 1);
+    }
+
+    #[test]
+    fn upsert_remove_get_roundtrip() {
+        let g = path(4);
+        let mut l = TwoHopLabels::empty(&g);
+        l.upsert(2, 5, 7);
+        l.upsert(2, 3, 1);
+        l.upsert(2, 5, 6); // overwrite
+        assert_eq!(l.get(2, 5), Some(6));
+        assert_eq!(l.get(2, 3), Some(1));
+        assert_eq!(l.labels[2], vec![(3, 1), (5, 6)]);
+        assert!(l.remove(2, 3));
+        assert!(!l.remove(2, 3));
+        assert_eq!(l.get(2, 3), None);
+    }
+
+    #[test]
+    fn pll_is_larger_than_hcl() {
+        // The headline size comparison of Table 4 in miniature.
+        let g = barabasi_albert(300, 3, 4);
+        let pll = PllIndex::build(&g);
+        let lms = batchhl_hcl::LandmarkSelection::TopDegree(20).select(&g);
+        let hcl = batchhl_hcl::build_labelling(&g, lms);
+        assert!(
+            pll.labels.size_entries() > 2 * hcl.size_entries(),
+            "PLL {} vs HCL {}",
+            pll.labels.size_entries(),
+            hcl.size_entries()
+        );
+    }
+}

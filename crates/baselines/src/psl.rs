@@ -1,0 +1,183 @@
+//! PSL\*-style parallel PLL construction (Li et al., SIGMOD 2019).
+//!
+//! PLL's sequential pruned BFSs are hard to parallelize; PSL instead
+//! builds the labelling **level-synchronously**: round `d` proposes, for
+//! every vertex in parallel, the candidate hubs that reached a
+//! neighbour in round `d − 1`, prunes them against the round-`d−1`
+//! labelling snapshot, and commits all surviving `(hub, d)` entries at
+//! once. Rounds proceed until no entry is added (≤ diameter rounds on
+//! the small-world graphs the paper targets).
+//!
+//! Pruning against the frozen snapshot is slightly weaker than PLL's
+//! sequential pruning, so the labelling can contain a few extra (always
+//! exact) entries — queries remain exact, sizes remain PLL-scale, which
+//! is what Table 4 compares.
+
+use crate::pll::TwoHopLabels;
+use batchhl_common::{Dist, Vertex};
+use batchhl_graph::DynamicGraph;
+
+/// Build a 2-hop cover labelling with `threads` workers.
+pub fn build_psl(g: &DynamicGraph, threads: usize) -> TwoHopLabels {
+    build_psl_with_deadline(g, threads, None).expect("no deadline given")
+}
+
+/// As [`build_psl`] but aborting (`None`) once the deadline passes.
+pub fn build_psl_with_deadline(
+    g: &DynamicGraph,
+    threads: usize,
+    deadline: Option<std::time::Instant>,
+) -> Option<TwoHopLabels> {
+    let threads = threads.max(1);
+    let n = g.num_vertices();
+    let mut labels = TwoHopLabels::empty(g);
+    // Round 0: every vertex is its own hub at distance 0.
+    let mut added_prev: Vec<Vec<u32>> = (0..n)
+        .map(|v| vec![labels.rank[v]])
+        .collect();
+    for v in 0..n as Vertex {
+        let r = labels.rank[v as usize];
+        labels.upsert(v, r, 0);
+    }
+
+    let mut d: Dist = 1;
+    loop {
+        if let Some(dl) = deadline {
+            if std::time::Instant::now() > dl {
+                return None;
+            }
+        }
+        // Propose-and-prune phase against the frozen snapshot.
+        let snapshot = &labels;
+        let added_prev_ref = &added_prev;
+        let mut added_next: Vec<Vec<u32>> = Vec::with_capacity(n);
+        if threads == 1 || n < 256 {
+            added_next = (0..n as Vertex)
+                .map(|v| propose(g, snapshot, added_prev_ref, v, d))
+                .collect();
+        } else {
+            let chunk = n.div_ceil(threads);
+            let mut parts: Vec<Vec<Vec<u32>>> = Vec::new();
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    if lo >= hi {
+                        break;
+                    }
+                    handles.push(s.spawn(move || {
+                        (lo as Vertex..hi as Vertex)
+                            .map(|v| propose(g, snapshot, added_prev_ref, v, d))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    parts.push(h.join().expect("psl worker panicked"));
+                }
+            });
+            for part in parts {
+                added_next.extend(part);
+            }
+        }
+        // Commit phase.
+        let mut any = false;
+        for (v, hubs) in added_next.iter().enumerate() {
+            for &h in hubs {
+                labels.upsert(v as Vertex, h, d);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        added_prev = added_next;
+        d += 1;
+    }
+    Some(labels)
+}
+
+/// Candidates for `v` at round `d`: hubs newly settled on a neighbour at
+/// round `d − 1`, restricted to higher rank, pruned via the snapshot.
+fn propose(
+    g: &DynamicGraph,
+    snapshot: &TwoHopLabels,
+    added_prev: &[Vec<u32>],
+    v: Vertex,
+    d: Dist,
+) -> Vec<u32> {
+    let rv = snapshot.rank[v as usize];
+    let mut cands: Vec<u32> = Vec::new();
+    for &u in g.neighbors(v) {
+        for &h in &added_prev[u as usize] {
+            if h < rv {
+                cands.push(h);
+            }
+        }
+    }
+    if cands.is_empty() {
+        return cands;
+    }
+    cands.sort_unstable();
+    cands.dedup();
+    cands.retain(|&h| {
+        let hub = snapshot.order[h as usize];
+        snapshot.query(hub, v) > d
+    });
+    cands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid, path};
+    use batchhl_hcl::oracle::all_pairs_bfs;
+
+    fn assert_exact(g: &DynamicGraph, threads: usize) {
+        let labels = build_psl(g, threads);
+        let truth = all_pairs_bfs(g);
+        for s in 0..g.num_vertices() as Vertex {
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    labels.query(s, t),
+                    truth[s as usize][t as usize],
+                    "({s},{t}) threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_sequential_and_parallel() {
+        for g in [
+            path(12),
+            grid(4, 5),
+            erdos_renyi_gnm(60, 130, 2),
+            barabasi_albert(80, 3, 5),
+        ] {
+            assert_exact(&g, 1);
+            assert_exact(&g, 4);
+        }
+    }
+
+    #[test]
+    fn label_size_is_pll_scale() {
+        let g = barabasi_albert(150, 3, 7);
+        let psl = build_psl(&g, 2);
+        let pll = crate::pll::PllIndex::build(&g);
+        let (a, b) = (psl.size_entries(), pll.labels.size_entries());
+        // Snapshot pruning may add a few extra entries but must stay in
+        // the same ballpark.
+        assert!(a >= b, "PSL {a} cannot be smaller than canonical PLL {b}");
+        assert!(a <= b * 2, "PSL {a} vs PLL {b}: too many extras");
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (2, 3)]);
+        let labels = build_psl(&g, 2);
+        assert_eq!(labels.query(0, 1), 1);
+        assert_eq!(labels.query(0, 2), batchhl_common::INF);
+        assert_eq!(labels.query(4, 5), batchhl_common::INF);
+    }
+}

@@ -1,0 +1,65 @@
+//! Ablation: the Dial bucket queue (used by search and repair) against
+//! `std::collections::BinaryHeap` on the monotone push/pop pattern the
+//! algorithms generate (DESIGN.md "Key design decisions").
+
+use batchhl_bench::bench_config;
+use batchhl_common::{DialQueue, SplitMix64};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// A monotone workload shaped like batch search: a burst of seeds, then
+/// pops interleaved with `d+1` pushes.
+fn workload() -> Vec<(u32, u32)> {
+    let mut rng = SplitMix64::new(7);
+    (0..256)
+        .map(|i| ((rng.next_u64() % 8) as u32, i as u32))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let seeds = workload();
+    let mut group = c.benchmark_group("ablation_queue");
+    group.bench_function("DialQueue", |b| {
+        let mut q = DialQueue::new();
+        b.iter(|| {
+            q.clear();
+            for &(d, v) in &seeds {
+                q.push(d, v);
+            }
+            let mut expansions = 0u32;
+            while let Some((d, v)) = q.pop() {
+                black_box(v);
+                if expansions < 2048 && d < 30 {
+                    q.push(d + 1, v ^ 1);
+                    expansions += 1;
+                }
+            }
+        })
+    });
+    group.bench_function("BinaryHeap", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+            for &(d, v) in &seeds {
+                q.push(Reverse((d, v)));
+            }
+            let mut expansions = 0u32;
+            while let Some(Reverse((d, v))) = q.pop() {
+                black_box(v);
+                if expansions < 2048 && d < 30 {
+                    q.push(Reverse((d + 1, v ^ 1)));
+                    expansions += 1;
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

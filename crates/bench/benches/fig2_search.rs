@@ -1,0 +1,48 @@
+//! Figure 2 / Table 5 (criterion form): the search phase alone —
+//! basic (Algorithm 2) vs improved (Algorithm 3) batch search. The
+//! affected-set *sizes* are reported by `experiments -- fig2 table5`;
+//! this bench measures the time cost of the tighter pruning.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_batch, bench_graph_dense, BENCH_LANDMARKS};
+use batchhl_core::search::batch_search;
+use batchhl_core::search_improved::batch_search_improved;
+use batchhl_core::workspace::UpdateWorkspace;
+use batchhl_hcl::{build_labelling, LandmarkSelection};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let g0 = bench_graph_dense();
+    let lab = build_labelling(&g0, LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g0));
+    let batch = bench_batch(&g0, 100).normalize(&g0);
+    let mut g1 = g0.clone();
+    g1.apply_batch(&batch);
+    let mut ws = UpdateWorkspace::new(g1.num_vertices());
+    let r = lab.num_landmarks();
+
+    let mut group = c.benchmark_group("fig2_batch_search");
+    group.bench_function("Algorithm2_basic", |b| {
+        b.iter(|| {
+            for i in 0..r {
+                ws.reset();
+                batch_search(&lab, &g1, batch.updates(), i, false, &mut ws);
+            }
+        })
+    });
+    group.bench_function("Algorithm3_improved", |b| {
+        b.iter(|| {
+            for i in 0..r {
+                ws.reset();
+                batch_search_improved(&lab, &g1, batch.updates(), i, false, &mut ws);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

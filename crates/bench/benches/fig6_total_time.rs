@@ -1,0 +1,69 @@
+//! Figure 6 (criterion form): amortized update + query cost per batch
+//! size, BHL⁺ vs FulFD vs query-only BiBFS.
+
+use batchhl_baselines::{FulFd, OnlineBiBfs};
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_index, bench_queries, BENCH_LANDMARKS};
+use batchhl_core::index::Algorithm;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const QUERIES: usize = 200;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let pairs = bench_queries(&g, QUERIES);
+    let mut group = c.benchmark_group("fig6_update_plus_queries");
+    for size in [25usize, 100, 250] {
+        let batch = bench_batch(&g, size);
+        let bhl = bench_index(&g, Algorithm::BhlPlus, BENCH_LANDMARKS);
+        group.bench_with_input(BenchmarkId::new("BHL+ +QT", size), &size, |b, _| {
+            b.iter_batched(
+                || bhl.clone(),
+                |mut idx| {
+                    idx.apply_batch(&batch);
+                    for &(s, t) in &pairs {
+                        black_box(idx.query_dist(s, t));
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        let fd = FulFd::build(g.clone(), BENCH_LANDMARKS);
+        group.bench_with_input(BenchmarkId::new("FulFD+QT", size), &size, |b, _| {
+            b.iter_batched(
+                || fd.clone(),
+                |mut idx| {
+                    idx.apply_batch(&batch);
+                    for &(s, t) in &pairs {
+                        black_box(idx.query_dist(s, t));
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("BiBFS", size), &size, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut o = OnlineBiBfs::new(g.clone());
+                    o.apply_batch(&batch);
+                    o
+                },
+                |mut idx| {
+                    for &(s, t) in &pairs {
+                        black_box(idx.query_dist(s, t));
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

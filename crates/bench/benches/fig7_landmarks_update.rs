@@ -1,0 +1,31 @@
+//! Figure 7 (criterion form): BHL⁺ batch update time at 10–50
+//! landmarks.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_index};
+use batchhl_core::index::Algorithm;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let batch = bench_batch(&g, 50);
+    let mut group = c.benchmark_group("fig7_update_vs_landmarks");
+    for k in [10usize, 30, 50] {
+        let index = bench_index(&g, Algorithm::BhlPlus, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter_batched(
+                || index.clone(),
+                |mut idx| idx.apply_batch(&batch),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

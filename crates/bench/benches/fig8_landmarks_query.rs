@@ -1,0 +1,32 @@
+//! Figure 8 (criterion form): BHL⁺ query time at 10–50 landmarks.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, bench_index, bench_queries};
+use batchhl_core::index::Algorithm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let pairs = bench_queries(&g, 256);
+    let mut group = c.benchmark_group("fig8_query_vs_landmarks");
+    group.throughput(criterion::Throughput::Elements(pairs.len() as u64));
+    for k in [10usize, 30, 50] {
+        let mut index = bench_index(&g, Algorithm::BhlPlus, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    black_box(index.query_dist(s, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

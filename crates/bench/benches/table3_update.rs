@@ -1,0 +1,45 @@
+//! Table 3 (criterion form): batch update time of the BatchHL variants
+//! against FulFD on a fully-dynamic batch.
+
+use batchhl_baselines::FulFd;
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_index, BENCH_LANDMARKS};
+use batchhl_core::index::Algorithm;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let batch = bench_batch(&g, 50);
+    let mut group = c.benchmark_group("table3_fully_dynamic_update");
+    for (name, alg) in [
+        ("BHL+", Algorithm::BhlPlus),
+        ("BHL", Algorithm::Bhl),
+        ("BHLs", Algorithm::BhlS),
+        ("UHL+", Algorithm::UhlPlus),
+    ] {
+        let index = bench_index(&g, alg, BENCH_LANDMARKS);
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || index.clone(),
+                |mut idx| idx.apply_batch(&batch),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    let fd = FulFd::build(g.clone(), BENCH_LANDMARKS);
+    group.bench_function("FulFD", |b| {
+        b.iter_batched(
+            || fd.clone(),
+            |mut idx| idx.apply_batch(&batch),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

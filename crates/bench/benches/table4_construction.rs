@@ -1,0 +1,30 @@
+//! Table 4, CT column (criterion form): labelling construction —
+//! BHL⁺ (highway cover) vs FulFD (bit-parallel SPTs) vs PLL vs PSL.
+
+use batchhl_baselines::{build_psl, FulFd, PllIndex};
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, BENCH_LANDMARKS};
+use batchhl_hcl::{build_labelling, LandmarkSelection};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let landmarks = LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g);
+    let mut group = c.benchmark_group("table4_construction");
+    group.bench_function("BHL+ (highway cover)", |b| {
+        b.iter(|| build_labelling(&g, landmarks.clone()))
+    });
+    group.bench_function("FulFD (BP trees)", |b| {
+        b.iter(|| FulFd::build(g.clone(), BENCH_LANDMARKS))
+    });
+    group.bench_function("FulPLL (PLL)", |b| b.iter(|| PllIndex::build(&g)));
+    group.bench_function("PSL*", |b| b.iter(|| build_psl(&g, 1)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 4, QT column (criterion form): distance query time —
+//! BHL⁺ vs FulFD vs FulPLL vs BiBFS, 256 random pairs per iteration.
+
+use batchhl_baselines::{FulFd, OnlineBiBfs, PllIndex};
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, bench_index, bench_queries, BENCH_LANDMARKS};
+use batchhl_core::index::Algorithm;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let pairs = bench_queries(&g, 256);
+    let mut group = c.benchmark_group("table4_query");
+    group.throughput(criterion::Throughput::Elements(pairs.len() as u64));
+
+    let mut bhl = bench_index(&g, Algorithm::BhlPlus, BENCH_LANDMARKS);
+    group.bench_function("BHL+", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(bhl.query_dist(s, t));
+            }
+        })
+    });
+    let mut fd = FulFd::build(g.clone(), BENCH_LANDMARKS);
+    group.bench_function("FulFD", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(fd.query_dist(s, t));
+            }
+        })
+    });
+    let pll = PllIndex::build(&g);
+    group.bench_function("FulPLL", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(pll.query(s, t));
+            }
+        })
+    });
+    let mut bibfs = OnlineBiBfs::new(g.clone());
+    group.bench_function("BiBFS", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(bibfs.query_dist(s, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 6 (criterion form): directed update and query.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, bench_queries, BENCH_LANDMARKS, BENCH_SEED};
+use batchhl_core::directed::DirectedBatchIndex;
+use batchhl_core::index::{Algorithm, IndexConfig};
+use batchhl_graph::generators::orient_randomly;
+use batchhl_graph::Batch;
+use batchhl_hcl::LandmarkSelection;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let und = bench_graph();
+    let g = orient_randomly(&und, 0.3, BENCH_SEED);
+    // A fully-dynamic directed batch: delete existing arcs + add new.
+    let mut batch = Batch::new();
+    let arcs: Vec<_> = g.edges().take(25).collect();
+    for (a, b) in arcs {
+        batch.delete(a, b);
+    }
+    for i in 0..25u32 {
+        let a = (i * 37) % und.num_vertices() as u32;
+        let b = (i * 91 + 11) % und.num_vertices() as u32;
+        if a != b && !g.has_edge(a, b) {
+            batch.insert(a, b);
+        }
+    }
+    let cfg = |alg| IndexConfig {
+        selection: LandmarkSelection::TopDegree(BENCH_LANDMARKS),
+        algorithm: alg,
+        threads: 1,
+    };
+    let mut group = c.benchmark_group("table6_directed");
+    for (name, alg) in [("BHL+", Algorithm::BhlPlus), ("BHL", Algorithm::Bhl)] {
+        let index = DirectedBatchIndex::build(g.clone(), cfg(alg));
+        group.bench_function(format!("update/{name}"), |b| {
+            b.iter_batched(
+                || index.clone(),
+                |mut idx| idx.apply_batch(&batch),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    let pairs = bench_queries(&und, 256);
+    let mut index = DirectedBatchIndex::build(g.clone(), cfg(Algorithm::BhlPlus));
+    group.bench_function("query/BHL+", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(index.query_dist(s, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared fixtures for the criterion benches.
+//!
+//! Benches run at [`Scale::Tiny`] with a short criterion schedule so
+//! `cargo bench --workspace` completes in minutes on one core; the
+//! `experiments` binary is the tool for full-size table reproduction.
+
+use crate::datasets::{dataset, Scale};
+use crate::workload::{fully_dynamic_batches, query_pairs, WorkloadConfig};
+use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl_graph::{Batch, DynamicGraph, Vertex};
+use batchhl_hcl::LandmarkSelection;
+
+pub const BENCH_SEED: u64 = 42;
+pub const BENCH_LANDMARKS: usize = 20;
+
+/// The default bench graph: the youtube stand-in at tiny scale.
+pub fn bench_graph() -> DynamicGraph {
+    dataset("youtube", Scale::Tiny)
+}
+
+/// A denser, more update-stressing graph.
+pub fn bench_graph_dense() -> DynamicGraph {
+    dataset("twitter", Scale::Tiny)
+}
+
+/// One fully-dynamic batch of the given size against `g`.
+pub fn bench_batch(g: &DynamicGraph, size: usize) -> Batch {
+    fully_dynamic_batches(g, WorkloadConfig::new(1, size, BENCH_SEED))
+        .pop()
+        .expect("one batch requested")
+}
+
+/// Query pairs for query benches.
+pub fn bench_queries(g: &DynamicGraph, count: usize) -> Vec<(Vertex, Vertex)> {
+    query_pairs(g, count, BENCH_SEED)
+}
+
+/// Build a BatchHL index with `k` landmarks.
+pub fn bench_index(g: &DynamicGraph, algorithm: Algorithm, k: usize) -> BatchIndex {
+    BatchIndex::build(
+        g.clone(),
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(k),
+            algorithm,
+            threads: 1,
+        },
+    )
+}
+
+/// Criterion schedule for a single-core container (few samples, short
+/// windows). Used by every bench as
+/// `criterion_group! { config = bench_config(); ... }`.
+#[macro_export]
+macro_rules! bench_config {
+    () => {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(200))
+            .measurement_time(std::time::Duration::from_millis(900))
+    };
+}

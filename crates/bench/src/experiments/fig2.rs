@@ -1,0 +1,58 @@
+//! Figure 2: number of vertices affected by batch updates of varying
+//! sizes (BHL⁺, BHL, BHLₛ vs the single-update UHL), on the Indochina-
+//! and Twitter-like datasets.
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::Table;
+use crate::workload::{fully_dynamic_batches, WorkloadConfig};
+use batchhl_core::index::Algorithm;
+
+/// Batch sizes relative to the scale's default (the paper sweeps
+/// 500 … 10000 around its default of 1000).
+pub const SIZE_FACTORS: &[f64] = &[0.5, 2.5, 5.0, 7.5, 10.0];
+
+pub fn run(ctx: &ExpContext) {
+    println!("== Figure 2: affected vertices vs batch size ==");
+    for name in ["indochina", "twitter"] {
+        if !ctx.static_datasets().contains(&name) {
+            continue;
+        }
+        let g = dataset(name, ctx.scale);
+        println!(
+            "-- {name}: |V|={} |E|={} (affected = Σ over {} landmarks; % of |V|)",
+            g.num_vertices(),
+            g.num_edges(),
+            ctx.landmarks
+        );
+        let mut table = Table::new(&[
+            "BatchSize", "BHL+", "BHL+%", "BHL", "BHL%", "BHLs", "BHLs%", "UHL", "UHL%",
+        ]);
+        for &f in SIZE_FACTORS {
+            let size = ((ctx.scale.batch_size() as f64 * f) as usize).max(2);
+            let cfg = WorkloadConfig::new(3, size, ctx.seed);
+            let batches = fully_dynamic_batches(&g, cfg);
+            let mut cells = vec![size.to_string()];
+            for alg in [
+                Algorithm::BhlPlus,
+                Algorithm::Bhl,
+                Algorithm::BhlS,
+                Algorithm::Uhl,
+            ] {
+                let mut index = ctx.index(g.clone(), alg, 1);
+                let mut affected = 0usize;
+                for b in &batches {
+                    affected += index.apply_batch(b).affected_total;
+                }
+                let avg = affected as f64 / batches.len() as f64;
+                cells.push(format!("{avg:.0}"));
+                cells.push(format!(
+                    "{:.1}%",
+                    100.0 * avg / (g.num_vertices() * ctx.landmarks) as f64
+                ));
+            }
+            table.row(cells);
+        }
+        print!("{}", table.render());
+    }
+}

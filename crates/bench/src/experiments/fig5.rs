@@ -1,0 +1,29 @@
+//! Figure 5: distance distribution of batch updates — how far apart the
+//! endpoints of the sampled batch edges are once those edges are
+//! deleted (small distances ⇒ updates hit densely connected regions).
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::Table;
+use crate::workload::{distance_distribution, sample_edge_batches, DISTANCE_BUCKETS};
+
+pub fn run(ctx: &ExpContext) {
+    println!("== Figure 5: distance distribution of batch updates ==");
+    let mut header = vec!["Dataset"];
+    header.extend_from_slice(DISTANCE_BUCKETS);
+    let mut table = Table::new(&header);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let batches = sample_edge_batches(&g, ctx.workload());
+        let all: Vec<_> = batches.into_iter().flatten().collect();
+        let hist = distance_distribution(&g, &all);
+        let total: usize = hist.iter().sum::<usize>().max(1);
+        let mut cells = vec![name.to_string()];
+        cells.extend(
+            hist.iter()
+                .map(|&c| format!("{:.1}%", 100.0 * c as f64 / total as f64)),
+        );
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}

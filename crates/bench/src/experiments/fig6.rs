@@ -1,0 +1,89 @@
+//! Figure 6: total time of querying and updating under varying batch
+//! sizes — (batch update + 1000 queries) / 1000, for BHL⁺, BHLₚ and
+//! FulFD, against query-only BiBFS. Five fully-dynamic batches per
+//! size, as in the paper.
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::{fmt_duration, time, Table};
+use crate::workload::{fully_dynamic_batches, query_pairs, WorkloadConfig};
+use batchhl_baselines::{FulFd, OnlineBiBfs};
+use batchhl_core::index::Algorithm;
+use std::time::Duration;
+
+pub const SIZE_FACTORS: &[f64] = &[0.5, 2.5, 5.0, 7.5, 10.0];
+const QUERIES_PER_BATCH: usize = 1000;
+const NUM_BATCHES: usize = 5;
+
+pub fn run(ctx: &ExpContext) {
+    println!(
+        "== Figure 6: (batch update + {QUERIES_PER_BATCH} queries) / {QUERIES_PER_BATCH}, {NUM_BATCHES} batches per size =="
+    );
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let pairs = query_pairs(&g, QUERIES_PER_BATCH, ctx.seed ^ 0x6F6);
+        println!("-- {name} --");
+        let mut table = Table::new(&["BatchSize", "BiBFS", "BHL+ +QT", "BHLp +QT", "FulFD+QT"]);
+        for &f in SIZE_FACTORS {
+            let size = ((ctx.scale.batch_size() as f64 * f) as usize).max(2);
+            let cfg = WorkloadConfig::new(NUM_BATCHES, size, ctx.seed);
+            let batches = fully_dynamic_batches(&g, cfg);
+
+            // BiBFS: queries only (its updates are free graph edits).
+            let mut bibfs = OnlineBiBfs::new(g.clone());
+            let mut bib_total = Duration::ZERO;
+            for b in &batches {
+                bibfs.apply_batch(b);
+                let (_, qt) = time(|| {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(bibfs.query_dist(s, t));
+                    }
+                });
+                bib_total += qt;
+            }
+
+            // BHL+ and BHLp.
+            let amortized = |threads: usize| -> Duration {
+                let mut index = ctx.index(g.clone(), Algorithm::BhlPlus, threads);
+                let mut total = Duration::ZERO;
+                for b in &batches {
+                    let (_, t) = time(|| {
+                        index.apply_batch(b);
+                        for &(s, t) in &pairs {
+                            std::hint::black_box(index.query_dist(s, t));
+                        }
+                    });
+                    total += t;
+                }
+                total
+            };
+            let bhl_total = amortized(1);
+            let bhlp_total = amortized(ctx.threads);
+
+            // FulFD.
+            let mut fd = FulFd::build(g.clone(), ctx.landmarks);
+            let mut fd_total = Duration::ZERO;
+            for b in &batches {
+                let (_, t) = time(|| {
+                    fd.apply_batch(b);
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(fd.query_dist(s, t));
+                    }
+                });
+                fd_total += t;
+            }
+
+            let per_query = |total: Duration| {
+                fmt_duration(total / (NUM_BATCHES * QUERIES_PER_BATCH) as u32)
+            };
+            table.row(vec![
+                size.to_string(),
+                per_query(bib_total),
+                per_query(bhl_total),
+                per_query(bhlp_total),
+                per_query(fd_total),
+            ]);
+        }
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 8: query time under 10–50 landmarks (after the fully-dynamic
+//! batches were applied, as in the paper).
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::{fmt_duration, time, Table};
+use crate::workload::{fully_dynamic_batches, query_pairs};
+use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl_hcl::LandmarkSelection;
+
+pub const LANDMARK_COUNTS: &[usize] = &[10, 20, 30, 40, 50];
+
+pub fn run(ctx: &ExpContext) {
+    println!(
+        "== Figure 8: BHL+ query time under 10-50 landmarks ({} queries) ==",
+        ctx.scale.query_count()
+    );
+    let mut header = vec!["Dataset".to_string()];
+    header.extend(LANDMARK_COUNTS.iter().map(|k| format!("R={k}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let batches = fully_dynamic_batches(&g, ctx.workload());
+        let pairs = query_pairs(&g, ctx.scale.query_count(), ctx.seed);
+        let mut cells = vec![name.to_string()];
+        for &k in LANDMARK_COUNTS {
+            let mut index = BatchIndex::build(
+                g.clone(),
+                IndexConfig {
+                    selection: LandmarkSelection::TopDegree(k),
+                    algorithm: Algorithm::BhlPlus,
+                    threads: 1,
+                },
+            );
+            for b in &batches {
+                index.apply_batch(b);
+            }
+            let (_, qt) = time(|| {
+                for &(s, t) in &pairs {
+                    std::hint::black_box(index.query_dist(s, t));
+                }
+            });
+            cells.push(fmt_duration(qt / pairs.len() as u32));
+        }
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}

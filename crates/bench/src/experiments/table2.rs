@@ -1,0 +1,26 @@
+//! Table 2: summary of datasets.
+
+use super::ExpContext;
+use crate::datasets::{dataset, dataset_kind};
+use crate::measure::Table;
+
+pub fn run(ctx: &ExpContext) {
+    println!("== Table 2: summary of datasets (stand-ins, scale {:?}) ==", ctx.scale);
+    let mut table = Table::new(&["Dataset", "Type", "|V|", "|E|", "avg. deg", "max. deg"]);
+    for name in ctx
+        .static_datasets()
+        .into_iter()
+        .chain(ctx.dynamic_datasets())
+    {
+        let g = dataset(name, ctx.scale);
+        table.row(vec![
+            name.to_string(),
+            dataset_kind(name).to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            format!("{:.3}", g.avg_degree()),
+            g.max_degree().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

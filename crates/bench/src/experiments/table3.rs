@@ -1,0 +1,191 @@
+//! Table 3: update time in the fully-dynamic, incremental and
+//! decremental settings — our variants (BHLₚ, BHL⁺, BHL, UHL⁺) against
+//! FulFD and FulPLL (the latter with a time budget: the paper's own
+//! FulPLL entries are missing on 8 of 12 datasets).
+//!
+//! Reported numbers are seconds per batch (the paper's "update time
+//! reported for every method is for 1,000 updates" — here for the
+//! scale-adjusted batch size).
+
+use super::{variant_name, ExpContext};
+use crate::datasets::{dataset, stream, PLL_FRIENDLY};
+use crate::measure::{fmt_duration, time, Table};
+use crate::workload::{decremental_batches, fully_dynamic_batches, incremental_batches};
+use batchhl_baselines::{FulFd, FulPll};
+use batchhl_core::index::Algorithm;
+use batchhl_graph::{Batch, DynamicGraph};
+use std::time::Duration;
+
+pub fn run(ctx: &ExpContext) {
+    println!(
+        "== Table 3: batch update time (batch size {} × 10 batches; avg per batch) ==",
+        ctx.scale.batch_size()
+    );
+    fully_dynamic(ctx);
+    incremental(ctx);
+    decremental(ctx);
+    dynamic_streams(ctx);
+}
+
+fn variant_columns() -> Vec<(&'static str, Algorithm, bool)> {
+    vec![
+        ("BHLp", Algorithm::BhlPlus, true),
+        ("BHL+", Algorithm::BhlPlus, false),
+        ("BHL", Algorithm::Bhl, false),
+        ("UHL+", Algorithm::UhlPlus, false),
+    ]
+}
+
+/// Average per-batch time of a BatchHL variant over a batch sequence.
+fn run_variant(
+    ctx: &ExpContext,
+    g: &DynamicGraph,
+    algorithm: Algorithm,
+    parallel: bool,
+    batches: &[Batch],
+) -> Duration {
+    let threads = if parallel { ctx.threads } else { 1 };
+    let mut index = ctx.index(g.clone(), algorithm, threads);
+    let (_, total) = time(|| {
+        for b in batches {
+            index.apply_batch(b);
+        }
+    });
+    total / batches.len() as u32
+}
+
+/// FulFD average per-batch time (single-update internally).
+fn run_fulfd(ctx: &ExpContext, g: &DynamicGraph, batches: &[Batch]) -> Duration {
+    let mut idx = FulFd::build(g.clone(), ctx.landmarks);
+    let (_, total) = time(|| {
+        for b in batches {
+            idx.apply_batch(b);
+        }
+    });
+    total / batches.len() as u32
+}
+
+/// FulPLL average per-batch time, or `None` (DNF) past the budget.
+fn run_fulpll(ctx: &ExpContext, g: &DynamicGraph, batches: &[Batch]) -> Option<Duration> {
+    let deadline = ctx.deadline();
+    let mut idx = FulPll::build_with_deadline(g.clone(), Some(deadline))?;
+    let start = std::time::Instant::now();
+    let mut done = 0u32;
+    for b in batches {
+        for &u in b.updates() {
+            idx.apply_update(u);
+            if std::time::Instant::now() > deadline {
+                return None;
+            }
+        }
+        done += 1;
+    }
+    (done > 0).then(|| start.elapsed() / done)
+}
+
+fn fully_dynamic(ctx: &ExpContext) {
+    println!("-- fully dynamic --");
+    let mut table = Table::new(&["Dataset", "BHLp", "BHL+", "BHL", "UHL+", "FulFD", "FulPLL"]);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let batches = fully_dynamic_batches(&g, ctx.workload());
+        let mut cells = vec![name.to_string()];
+        for (_, alg, par) in variant_columns() {
+            cells.push(fmt_duration(run_variant(ctx, &g, alg, par, &batches)));
+        }
+        cells.push(fmt_duration(run_fulfd(ctx, &g, &batches)));
+        cells.push(if PLL_FRIENDLY.contains(&name) {
+            run_fulpll(ctx, &g, &batches)
+                .map(fmt_duration)
+                .unwrap_or_else(|| "DNF".into())
+        } else {
+            "-".into()
+        });
+        table.row(cells);
+        let _ = variant_name(Algorithm::Bhl, false);
+    }
+    print!("{}", table.render());
+}
+
+fn incremental(ctx: &ExpContext) {
+    println!("-- incremental --");
+    let mut table = Table::new(&["Dataset", "BHLp", "BHL+", "UHL+", "IncFD", "IncPLL"]);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        // Start from the graph with the sampled edges removed, then
+        // re-insert them batch by batch (the paper pairs inc/dec on the
+        // same sample).
+        let ins = incremental_batches(&g, ctx.workload());
+        let mut base = g.clone();
+        for b in decremental_batches(&g, ctx.workload()) {
+            base.apply_batch(&b);
+        }
+        let mut cells = vec![name.to_string()];
+        for (_, alg, par) in [
+            ("BHLp", Algorithm::BhlPlus, true),
+            ("BHL+", Algorithm::BhlPlus, false),
+            ("UHL+", Algorithm::UhlPlus, false),
+        ] {
+            cells.push(fmt_duration(run_variant(ctx, &base, alg, par, &ins)));
+        }
+        cells.push(fmt_duration(run_fulfd(ctx, &base, &ins)));
+        cells.push(if PLL_FRIENDLY.contains(&name) {
+            run_fulpll(ctx, &base, &ins)
+                .map(fmt_duration)
+                .unwrap_or_else(|| "DNF".into())
+        } else {
+            "-".into()
+        });
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}
+
+fn decremental(ctx: &ExpContext) {
+    println!("-- decremental --");
+    let mut table = Table::new(&["Dataset", "BHLp", "BHL+", "UHL+", "DecFD", "DecPLL"]);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let dels = decremental_batches(&g, ctx.workload());
+        let mut cells = vec![name.to_string()];
+        for (_, alg, par) in [
+            ("BHLp", Algorithm::BhlPlus, true),
+            ("BHL+", Algorithm::BhlPlus, false),
+            ("UHL+", Algorithm::UhlPlus, false),
+        ] {
+            cells.push(fmt_duration(run_variant(ctx, &g, alg, par, &dels)));
+        }
+        cells.push(fmt_duration(run_fulfd(ctx, &g, &dels)));
+        cells.push(if PLL_FRIENDLY.contains(&name) {
+            run_fulpll(ctx, &g, &dels)
+                .map(fmt_duration)
+                .unwrap_or_else(|| "DNF".into())
+        } else {
+            "-".into()
+        });
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}
+
+/// The two real-dynamic networks: timestamp-ordered batches applied in
+/// a streaming fashion (fully-dynamic columns of Table 3).
+fn dynamic_streams(ctx: &ExpContext) {
+    println!("-- real dynamic streams (timestamp order) --");
+    let mut table = Table::new(&["Dataset", "BHLp", "BHL+", "BHL", "UHL+", "FulFD"]);
+    for name in ctx.dynamic_datasets() {
+        let s = stream(name, ctx.scale);
+        let batches: Vec<Batch> = s
+            .batches(ctx.scale.batch_size())
+            .into_iter()
+            .take(10)
+            .collect();
+        let mut cells = vec![name.to_string()];
+        for (_, alg, par) in variant_columns() {
+            cells.push(fmt_duration(run_variant(ctx, &s.initial, alg, par, &batches)));
+        }
+        cells.push(fmt_duration(run_fulfd(ctx, &s.initial, &batches)));
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,116 @@
+//! Table 4: construction time (CT), query time (QT) and labelling size
+//! (LS) — BHL⁺ vs FulFD, FulPLL and PSL\*. Query times are averaged
+//! over the scale's query sample on the graph *after* the fully-dynamic
+//! batches were applied; PLL-family methods get the context's time
+//! budget and print DNF beyond it (the paper's "-" entries).
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::{fmt_bytes, fmt_duration, time, Table};
+use crate::workload::{fully_dynamic_batches, query_pairs};
+use batchhl_baselines::{build_psl_with_deadline, FulFd, FulPll};
+use batchhl_core::index::Algorithm;
+
+pub fn run(ctx: &ExpContext) {
+    println!(
+        "== Table 4: construction time / query time / labelling size ({} queries) ==",
+        ctx.scale.query_count()
+    );
+    let mut table = Table::new(&[
+        "Dataset", "CT BHL+", "CT FulFD", "CT FulPLL", "CT PSL*", "QT BHL+", "QT FulFD",
+        "QT FulPLL", "QT PSL*", "LS BHL+", "LS FulFD", "LS FulPLL", "LS PSL*",
+    ]);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let batches = fully_dynamic_batches(&g, ctx.workload());
+        let pairs = query_pairs(&g, ctx.scale.query_count(), ctx.seed);
+
+        // BHL+ — construction, then updates, then queries.
+        let (mut bhl, ct_bhl) = time(|| ctx.index(g.clone(), Algorithm::BhlPlus, 1));
+        for b in &batches {
+            bhl.apply_batch(b);
+        }
+        let (_, qt_bhl) = time(|| {
+            for &(s, t) in &pairs {
+                std::hint::black_box(bhl.query_dist(s, t));
+            }
+        });
+        let ls_bhl = bhl.labelling().size_bytes();
+
+        // FulFD.
+        let (mut fd, ct_fd) = time(|| FulFd::build(g.clone(), ctx.landmarks));
+        for b in &batches {
+            fd.apply_batch(b);
+        }
+        let (_, qt_fd) = time(|| {
+            for &(s, t) in &pairs {
+                std::hint::black_box(fd.query_dist(s, t));
+            }
+        });
+        let ls_fd = fd.size_bytes();
+
+        // FulPLL (budgeted; applies batches single-update).
+        let (pll_res, ct_pll) = time(|| FulPll::build_with_deadline(g.clone(), Some(ctx.deadline())));
+        let mut qt_pll = None;
+        let mut ls_pll = None;
+        let ct_pll_str = match pll_res {
+            None => "DNF".to_string(),
+            Some(mut pll) => {
+                let deadline = ctx.deadline();
+                let mut dnf = false;
+                'outer: for b in &batches {
+                    for &u in b.updates() {
+                        pll.apply_update(u);
+                        if std::time::Instant::now() > deadline {
+                            dnf = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if !dnf {
+                    let (_, qt) = time(|| {
+                        for &(s, t) in &pairs {
+                            std::hint::black_box(pll.query_dist(s, t));
+                        }
+                    });
+                    qt_pll = Some(qt);
+                    ls_pll = Some(pll.size_bytes());
+                }
+                fmt_duration(ct_pll)
+            }
+        };
+
+        // PSL* (static construction only, budgeted).
+        let (psl_res, ct_psl) =
+            time(|| build_psl_with_deadline(&g, ctx.threads, Some(ctx.deadline())));
+        let (ct_psl_str, qt_psl, ls_psl) = match psl_res {
+            None => ("DNF".to_string(), None, None),
+            Some(labels) => {
+                let (_, qt) = time(|| {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(labels.query(s, t));
+                    }
+                });
+                (fmt_duration(ct_psl), Some(qt), Some(labels.size_bytes()))
+            }
+        };
+
+        let per_query = |d: std::time::Duration| fmt_duration(d / pairs.len() as u32);
+        table.row(vec![
+            name.to_string(),
+            fmt_duration(ct_bhl),
+            fmt_duration(ct_fd),
+            ct_pll_str,
+            ct_psl_str,
+            per_query(qt_bhl),
+            per_query(qt_fd),
+            qt_pll.map(per_query).unwrap_or_else(|| "-".into()),
+            qt_psl.map(per_query).unwrap_or_else(|| "-".into()),
+            fmt_bytes(ls_bhl),
+            fmt_bytes(ls_fd),
+            ls_pll.map(fmt_bytes).unwrap_or_else(|| "-".into()),
+            ls_psl.map(fmt_bytes).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,76 @@
+//! Table 5: average number of vertices affected per batch —
+//! BHL⁺ under deletions / additions / mixed batches, and BHL under
+//! mixed batches (the gap between the last two is the payoff of the
+//! improved search).
+
+use super::ExpContext;
+use crate::datasets::{dataset, stream};
+use crate::measure::Table;
+use crate::workload::{decremental_batches, fully_dynamic_batches, incremental_batches};
+use batchhl_core::index::Algorithm;
+use batchhl_graph::{Batch, DynamicGraph};
+
+fn avg_affected(
+    ctx: &ExpContext,
+    g: &DynamicGraph,
+    algorithm: Algorithm,
+    batches: &[Batch],
+) -> f64 {
+    let mut index = ctx.index(g.clone(), algorithm, 1);
+    let mut total = 0usize;
+    for b in batches {
+        total += index.apply_batch(b).affected_total;
+    }
+    total as f64 / batches.len() as f64
+}
+
+pub fn run(ctx: &ExpContext) {
+    println!("== Table 5: average affected vertices per batch ==");
+    let mut table = Table::new(&[
+        "Dataset",
+        "BHL+ Delete",
+        "BHL+ Add",
+        "BHL+ Mix",
+        "BHL Mix",
+    ]);
+    for name in ctx.static_datasets() {
+        let g = dataset(name, ctx.scale);
+        let dels = decremental_batches(&g, ctx.workload());
+        let del_avg = avg_affected(ctx, &g, Algorithm::BhlPlus, &dels);
+        // Additions start from the graph with the sample removed.
+        let mut base = g.clone();
+        for b in &dels {
+            base.apply_batch(b);
+        }
+        let adds = incremental_batches(&g, ctx.workload());
+        let add_avg = avg_affected(ctx, &base, Algorithm::BhlPlus, &adds);
+        let mix = fully_dynamic_batches(&g, ctx.workload());
+        let mix_plus = avg_affected(ctx, &g, Algorithm::BhlPlus, &mix);
+        let mix_basic = avg_affected(ctx, &g, Algorithm::Bhl, &mix);
+        table.row(vec![
+            name.to_string(),
+            format!("{del_avg:.0}"),
+            format!("{add_avg:.0}"),
+            format!("{mix_plus:.0}"),
+            format!("{mix_basic:.0}"),
+        ]);
+    }
+    for name in ctx.dynamic_datasets() {
+        let s = stream(name, ctx.scale);
+        let batches: Vec<Batch> = s
+            .batches(ctx.scale.batch_size())
+            .into_iter()
+            .take(10)
+            .collect();
+        let mix_plus = avg_affected(ctx, &s.initial, Algorithm::BhlPlus, &batches);
+        let mix_basic = avg_affected(ctx, &s.initial, Algorithm::Bhl, &batches);
+        table.row(vec![
+            name.to_string(),
+            "-".into(),
+            "-".into(),
+            format!("{mix_plus:.0}"),
+            format!("{mix_basic:.0}"),
+        ]);
+    }
+    print!("{}", table.render());
+}

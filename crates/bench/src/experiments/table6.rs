@@ -1,0 +1,100 @@
+//! Table 6: directed graphs — update time (BHLₚ, BHL⁺, BHL),
+//! construction time, query time and labelling size. The paper uses
+//! directed versions of Wikitalk, Enwiki, Livejournal and Twitter; we
+//! orient the corresponding stand-ins (30% of edges bidirectional).
+
+use super::ExpContext;
+use crate::datasets::dataset;
+use crate::measure::{fmt_bytes, fmt_duration, time, Table};
+use batchhl_core::directed::DirectedBatchIndex;
+use batchhl_core::index::{Algorithm, IndexConfig};
+use batchhl_graph::generators::orient_randomly;
+use batchhl_graph::{Batch, DynamicDiGraph, Vertex};
+use batchhl_hcl::LandmarkSelection;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+pub const DIRECTED_DATASETS: &[&str] = &["wikitalk", "enwiki", "livejournal", "twitter"];
+
+/// Fully-dynamic directed batches: 50% deletions of existing arcs, 50%
+/// fresh arcs, valid in sequence.
+fn directed_batches(
+    g: &DynamicDiGraph,
+    num: usize,
+    size: usize,
+    seed: u64,
+) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1D1);
+    let mut shadow = g.clone();
+    let n = g.num_vertices() as Vertex;
+    let mut out = Vec::with_capacity(num);
+    for _ in 0..num {
+        let mut batch = Batch::new();
+        let mut arcs: Vec<(Vertex, Vertex)> = shadow.edges().collect();
+        arcs.shuffle(&mut rng);
+        for &(a, b) in arcs.iter().take(size / 2) {
+            shadow.remove_edge(a, b);
+            batch.delete(a, b);
+        }
+        let mut added = 0;
+        while added < size - size / 2 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && shadow.insert_edge(a, b) {
+                batch.insert(a, b);
+                added += 1;
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+pub fn run(ctx: &ExpContext) {
+    println!("== Table 6: directed graphs ==");
+    let mut table = Table::new(&["Dataset", "BHLp", "BHL+", "BHL", "CT", "QT", "LS"]);
+    for name in DIRECTED_DATASETS {
+        if !ctx.static_datasets().contains(name) {
+            continue;
+        }
+        let und = dataset(name, ctx.scale);
+        let g = orient_randomly(&und, 0.3, ctx.seed ^ 0x66);
+        let batches = directed_batches(&g, 10, ctx.scale.batch_size(), ctx.seed);
+        let cfg = |alg: Algorithm, threads: usize| IndexConfig {
+            selection: LandmarkSelection::TopDegree(ctx.landmarks),
+            algorithm: alg,
+            threads,
+        };
+        let mut cells = vec![name.to_string()];
+        for (alg, threads) in [
+            (Algorithm::BhlPlus, ctx.threads),
+            (Algorithm::BhlPlus, 1),
+            (Algorithm::Bhl, 1),
+        ] {
+            let mut index = DirectedBatchIndex::build(g.clone(), cfg(alg, threads));
+            let (_, total) = time(|| {
+                for b in &batches {
+                    index.apply_batch(b);
+                }
+            });
+            cells.push(fmt_duration(total / batches.len() as u32));
+        }
+        // CT / QT / LS on the BHL+ sequential index.
+        let (mut index, ct) = time(|| DirectedBatchIndex::build(g.clone(), cfg(Algorithm::BhlPlus, 1)));
+        for b in &batches {
+            index.apply_batch(b);
+        }
+        let pairs = crate::workload::query_pairs(&und, ctx.scale.query_count(), ctx.seed);
+        let (_, qt) = time(|| {
+            for &(s, t) in &pairs {
+                std::hint::black_box(index.query_dist(s, t));
+            }
+        });
+        cells.push(fmt_duration(ct));
+        cells.push(fmt_duration(qt / pairs.len() as u32));
+        cells.push(fmt_bytes(index.size_bytes()));
+        table.row(cells);
+    }
+    print!("{}", table.render());
+}

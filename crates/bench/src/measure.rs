@@ -1,0 +1,135 @@
+//! Timing helpers and plain-text table formatting.
+
+use std::time::{Duration, Instant};
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Human-readable duration: µs / ms / s with 3 significant-ish digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.2}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.3}ms", us / 1000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+/// Human-readable byte size.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: &[&str] = &["B", "KB", "MB", "GB"];
+    let mut x = bytes as f64;
+    let mut unit = 0;
+    while x >= 1024.0 && unit + 1 < UNITS.len() {
+        x /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{x:.2} {}", UNITS[unit])
+    }
+}
+
+/// Column-aligned plain-text table writer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00us");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.500ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1500)), "1.500s");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MB");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

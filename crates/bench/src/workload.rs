@@ -1,0 +1,242 @@
+//! The workload protocol of Section 7.1.
+//!
+//! "We generate 10 batches …, where each batch contains 1,000 edges
+//! randomly selected. We use three batch update settings: (1)
+//! decremental — delete these batches …, (2) incremental — add these
+//! batches followed by decremental updates …, (3) fully dynamic —
+//! randomly select 50% updates in each of these 10 batches to delete."
+//! Plus 100,000 random query pairs, and (Figure 5) the distance
+//! distribution of batch edges after deletion.
+
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::bfs::BiBfs;
+use batchhl_graph::{Batch, DynamicGraph, Update};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    pub num_batches: usize,
+    pub batch_size: usize,
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    pub fn new(num_batches: usize, batch_size: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            num_batches,
+            batch_size,
+            seed,
+        }
+    }
+
+    /// The paper's protocol at full size.
+    pub fn paper(seed: u64) -> Self {
+        WorkloadConfig::new(10, 1000, seed)
+    }
+}
+
+/// Sample `num_batches` *disjoint* batches of existing edges.
+pub fn sample_edge_batches(g: &DynamicGraph, cfg: WorkloadConfig) -> Vec<Vec<(Vertex, Vertex)>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut edges: Vec<(Vertex, Vertex)> = g.edges().collect();
+    edges.shuffle(&mut rng);
+    let need = cfg.num_batches * cfg.batch_size;
+    assert!(
+        edges.len() >= need,
+        "graph has {} edges, workload needs {need}",
+        edges.len()
+    );
+    edges
+        .chunks(cfg.batch_size)
+        .take(cfg.num_batches)
+        .map(<[(Vertex, Vertex)]>::to_vec)
+        .collect()
+}
+
+/// Decremental setting: batches of deletions of existing edges.
+pub fn decremental_batches(g: &DynamicGraph, cfg: WorkloadConfig) -> Vec<Batch> {
+    sample_edge_batches(g, cfg)
+        .into_iter()
+        .map(|edges| {
+            edges
+                .into_iter()
+                .map(|(a, b)| Update::Delete(a, b))
+                .collect()
+        })
+        .collect()
+}
+
+/// Incremental setting: the same sampled edges as insertions. Apply to
+/// the graph *after* the decremental batches removed them (the paper
+/// pairs the two settings on the same edge sample).
+pub fn incremental_batches(g: &DynamicGraph, cfg: WorkloadConfig) -> Vec<Batch> {
+    sample_edge_batches(g, cfg)
+        .into_iter()
+        .map(|edges| {
+            edges
+                .into_iter()
+                .map(|(a, b)| Update::Insert(a, b))
+                .collect()
+        })
+        .collect()
+}
+
+/// Fully dynamic setting: each batch mixes 50% deletions of existing
+/// edges with 50% insertions of fresh (non-adjacent) pairs. Batches are
+/// built against an evolving copy so the whole sequence is valid.
+pub fn fully_dynamic_batches(g: &DynamicGraph, cfg: WorkloadConfig) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5D5D);
+    let mut shadow = g.clone();
+    let n = g.num_vertices() as Vertex;
+    let mut batches = Vec::with_capacity(cfg.num_batches);
+    for _ in 0..cfg.num_batches {
+        let mut batch = Batch::new();
+        let deletions = cfg.batch_size / 2;
+        let insertions = cfg.batch_size - deletions;
+        let mut edges: Vec<(Vertex, Vertex)> = shadow.edges().collect();
+        edges.shuffle(&mut rng);
+        for &(a, b) in edges.iter().take(deletions) {
+            shadow.remove_edge(a, b);
+            batch.delete(a, b);
+        }
+        let mut added = 0;
+        while added < insertions {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && shadow.insert_edge(a, b) {
+                batch.insert(a, b);
+                added += 1;
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// Uniform random query pairs (the paper samples 100,000).
+pub fn query_pairs(g: &DynamicGraph, count: usize, seed: u64) -> Vec<(Vertex, Vertex)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BAD);
+    let n = g.num_vertices() as Vertex;
+    (0..count)
+        .map(|_| {
+            let s = rng.gen_range(0..n);
+            let mut t = rng.gen_range(0..n);
+            while t == s {
+                t = rng.gen_range(0..n);
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+/// Histogram buckets for Figure 5: distances 1..=6, "7+" and "∞".
+pub const DISTANCE_BUCKETS: &[&str] = &["1", "2", "3", "4", "5", "6", "7+", "inf"];
+
+/// Figure 5: distribution of endpoint distances of the batch's edges
+/// *after deleting them* from `g`. Returns counts per
+/// [`DISTANCE_BUCKETS`] bucket.
+pub fn distance_distribution(g: &DynamicGraph, edges: &[(Vertex, Vertex)]) -> [usize; 8] {
+    let mut g2 = g.clone();
+    for &(a, b) in edges {
+        g2.remove_edge(a, b);
+    }
+    let mut bibfs = BiBfs::new(g2.num_vertices());
+    let mut hist = [0usize; 8];
+    for &(a, b) in edges {
+        let d: Dist = bibfs.run(&g2, a, b, INF, |_| true).unwrap_or(INF);
+        let bucket = match d {
+            INF => 7,
+            d if d >= 7 => 6,
+            d => (d - 1) as usize,
+        };
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::{barabasi_albert, cycle};
+
+    fn graph() -> DynamicGraph {
+        barabasi_albert(500, 4, 77)
+    }
+
+    #[test]
+    fn edge_batches_are_disjoint_and_sized() {
+        let g = graph();
+        let cfg = WorkloadConfig::new(4, 50, 1);
+        let batches = sample_edge_batches(&g, cfg);
+        assert_eq!(batches.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for b in &batches {
+            assert_eq!(b.len(), 50);
+            for &e in b {
+                assert!(seen.insert(e), "edge {e:?} sampled twice");
+                assert!(g.has_edge(e.0, e.1));
+            }
+        }
+    }
+
+    #[test]
+    fn decremental_then_incremental_round_trip() {
+        let g = graph();
+        let cfg = WorkloadConfig::new(3, 40, 9);
+        let mut work = g.clone();
+        for b in decremental_batches(&g, cfg) {
+            let applied = work.apply_batch(&b);
+            assert_eq!(applied, b.len(), "every deletion valid");
+        }
+        for b in incremental_batches(&g, cfg) {
+            let applied = work.apply_batch(&b);
+            assert_eq!(applied, b.len(), "every insertion valid");
+        }
+        assert_eq!(work, g);
+    }
+
+    #[test]
+    fn fully_dynamic_batches_are_valid_in_sequence() {
+        let g = graph();
+        let cfg = WorkloadConfig::new(5, 60, 3);
+        let mut work = g.clone();
+        for b in fully_dynamic_batches(&g, cfg) {
+            assert_eq!(b.num_deletions(), 30);
+            assert_eq!(b.num_insertions(), 30);
+            let applied = work.apply_batch(&b);
+            assert_eq!(applied, b.len());
+        }
+    }
+
+    #[test]
+    fn query_pairs_are_distinct_endpoints() {
+        let g = graph();
+        for (s, t) in query_pairs(&g, 500, 5) {
+            assert_ne!(s, t);
+            assert!((s as usize) < g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn distance_distribution_on_cycle() {
+        // Deleting one edge of a 10-cycle leaves endpoints at distance 9.
+        let g = cycle(10);
+        let hist = distance_distribution(&g, &[(0, 9)]);
+        assert_eq!(hist[6], 1, "9 lands in the 7+ bucket");
+        // Deleting a path edge of a 2-path graph disconnects it.
+        let p = batchhl_graph::generators::path(2);
+        let hist = distance_distribution(&p, &[(0, 1)]);
+        assert_eq!(hist[7], 1, "disconnected lands in inf");
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let g = graph();
+        let cfg = WorkloadConfig::new(2, 30, 4);
+        assert_eq!(fully_dynamic_batches(&g, cfg), fully_dynamic_batches(&g, cfg));
+        assert_eq!(query_pairs(&g, 10, 1), query_pairs(&g, 10, 1));
+    }
+}

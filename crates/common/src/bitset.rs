@@ -1,0 +1,161 @@
+//! A bitset with sparse O(|set bits|) clearing.
+//!
+//! The affected-vertex sets of batch search are tiny relative to `|V|`
+//! (that is the whole point of the paper — see Table 5), but membership
+//! tests must be O(1) and the structure is reused once per landmark per
+//! batch. `SparseBitSet` therefore pairs a word array with the list of
+//! inserted indices: clearing walks the list instead of zeroing `|V|/64`
+//! words.
+
+use crate::dist::Vertex;
+
+/// Fixed-capacity bitset that remembers which bits were set so it can be
+/// cleared in time proportional to the number of insertions.
+#[derive(Debug, Clone, Default)]
+pub struct SparseBitSet {
+    words: Vec<u64>,
+    members: Vec<Vertex>,
+}
+
+impl SparseBitSet {
+    pub fn new(capacity: usize) -> Self {
+        SparseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Grow the addressable range to at least `capacity` bits.
+    pub fn grow(&mut self, capacity: usize) {
+        let words = capacity.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Insert `v`; returns true iff it was not already present.
+    #[inline]
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.members.push(v);
+        true
+    }
+
+    #[inline(always)]
+    pub fn contains(&self, v: Vertex) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Remove `v` if present. The membership list keeps the stale entry;
+    /// [`Self::iter`] filters it out lazily and [`Self::clear`] tolerates
+    /// it, so removal stays O(1).
+    #[inline]
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let mask = 1u64 << b;
+        if self.words[w] & mask == 0 {
+            return false;
+        }
+        self.words[w] &= !mask;
+        true
+    }
+
+    /// Number of *live* members. O(members-inserted) when removals
+    /// happened; O(1) otherwise is not guaranteed, so hot paths should
+    /// track counts externally.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.iter().all(|&v| !self.contains(v))
+    }
+
+    /// Iterate over live members in insertion order (deduplicated by
+    /// construction: `insert` records each index once).
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.members.iter().copied().filter(|&v| self.contains(v))
+    }
+
+    /// All indices ever inserted since the last clear (whether or not
+    /// they were removed since). Useful for iterating the affected set
+    /// while it is being drained.
+    pub fn inserted(&self) -> &[Vertex] {
+        &self.members
+    }
+
+    /// Reset in O(insertions).
+    pub fn clear(&mut self) {
+        for &v in &self.members {
+            self.words[v as usize / 64] = 0;
+        }
+        // Wholesale word zeroing above may clear neighbours in the same
+        // word twice — harmless. Stale removed entries are covered too.
+        self.members.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = SparseBitSet::new(200);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(3));
+        assert!(s.contains(130));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![130]);
+    }
+
+    #[test]
+    fn clear_is_complete() {
+        let mut s = SparseBitSet::new(500);
+        for v in [0u32, 1, 63, 64, 65, 127, 128, 499] {
+            s.insert(v);
+        }
+        s.clear();
+        for v in 0..500 {
+            assert!(!s.contains(v), "bit {v} survived clear");
+        }
+        assert!(s.is_empty());
+        // Reusable after clear.
+        assert!(s.insert(64));
+        assert!(s.contains(64));
+    }
+
+    #[test]
+    fn grow_extends_range() {
+        let mut s = SparseBitSet::new(10);
+        s.grow(1000);
+        assert!(s.insert(999));
+        assert!(s.contains(999));
+    }
+
+    #[test]
+    fn iter_insertion_order() {
+        let mut s = SparseBitSet::new(100);
+        for v in [5u32, 1, 99, 42] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 1, 99, 42]);
+        assert_eq!(s.len(), 4);
+    }
+}

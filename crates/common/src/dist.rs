@@ -1,0 +1,45 @@
+//! The distance domain shared by every index in the workspace.
+//!
+//! Distances are hop counts on unweighted graphs (the paper's setting);
+//! `u32` leaves ample headroom for the weighted extension. Unreachable
+//! pairs are represented by the absorbing sentinel [`INF`]: all arithmetic
+//! on distances must go through [`dist_add1`] (or `saturating_add`), which
+//! keeps `INF` a fixed point so that "∞ + 1 = ∞" holds without branches.
+
+/// Vertex identifier. Dense `0..n` indices; 32 bits keep adjacency lists,
+/// label rows and queues compact (see the type-size guidance in the Rust
+/// performance guide).
+pub type Vertex = u32;
+
+/// Shortest-path distance (number of edges on unweighted graphs).
+pub type Dist = u32;
+
+/// Sentinel distance for unreachable pairs. Absorbing under
+/// [`dist_add1`].
+pub const INF: Dist = u32::MAX;
+
+/// `d + 1` with `INF` as an absorbing element.
+#[inline(always)]
+pub fn dist_add1(d: Dist) -> Dist {
+    d.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_absorbing() {
+        assert_eq!(dist_add1(INF), INF);
+        assert_eq!(dist_add1(INF - 1), INF);
+        assert_eq!(dist_add1(0), 1);
+        assert_eq!(dist_add1(41), 42);
+    }
+
+    #[test]
+    fn inf_compares_greater_than_any_real_distance() {
+        for d in [0u32, 1, 100, 1 << 20] {
+            assert!(d < INF);
+        }
+    }
+}

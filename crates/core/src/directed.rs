@@ -1,0 +1,433 @@
+//! Directed BatchHL (Section 6).
+//!
+//! Directed graphs keep **two** labellings: a forward one on `G`
+//! (entries `(r, d(r→v))`, highway `δ_Hf(r_i, r_j) = d(r_i→r_j)`) and a
+//! backward one that is simply the forward structure of the *reversed*
+//! graph (entries `(r, d(v→r))`). Batch search and batch repair run
+//! twice per update — once per direction — reusing the exact undirected
+//! machinery through the [`AdjacencyView`] abstraction:
+//!
+//! * the search anchors only arc *heads* (`directed = true`): an arc
+//!   `a→b` can only carry `r`-paths through it in its own direction;
+//! * repair reads bounds from in-neighbours and relaxes out-neighbours,
+//!   which on the reversed view becomes the mirror image.
+//!
+//! A query `d(s, t)` combines `d(s→r_i)` (backward labels of `s`),
+//! `δ_Hf(r_i, r_j)` and `d(r_j→t)` (forward labels of `t`) into the
+//! upper bound of Eq. 3, then refines with a directed bounded
+//! bidirectional BFS on `G[V \ R]`.
+
+use crate::index::run_landmarks_parallel;
+use crate::repair::batch_repair;
+use crate::search::batch_search;
+use crate::search_improved::batch_search_improved;
+use crate::stats::UpdateStats;
+use crate::workspace::UpdateWorkspace;
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::bfs::BiBfs;
+use batchhl_graph::digraph::ReversedView;
+use batchhl_graph::{AdjacencyView, Batch, DynamicDiGraph, Update};
+use batchhl_hcl::{build_labelling_parallel, Labelling, NO_LABEL};
+use std::time::Instant;
+
+pub use crate::index::{Algorithm, IndexConfig};
+
+/// Batch-dynamic distance index over a directed graph.
+pub struct DirectedBatchIndex {
+    graph: DynamicDiGraph,
+    /// Forward labelling on `G` — answers `d(r → v)`.
+    fwd: Labelling,
+    /// Backward labelling (forward labelling of `Gᵀ`) — answers `d(v → r)`.
+    bwd: Labelling,
+    fwd_shadow: Labelling,
+    bwd_shadow: Labelling,
+    config: IndexConfig,
+    ws: UpdateWorkspace,
+    bibfs: BiBfs,
+}
+
+impl Clone for DirectedBatchIndex {
+    fn clone(&self) -> Self {
+        let n = self.graph.num_vertices();
+        DirectedBatchIndex {
+            graph: self.graph.clone(),
+            fwd: self.fwd.clone(),
+            bwd: self.bwd.clone(),
+            fwd_shadow: self.fwd_shadow.clone(),
+            bwd_shadow: self.bwd_shadow.clone(),
+            config: self.config.clone(),
+            ws: UpdateWorkspace::new(n),
+            bibfs: BiBfs::new(n),
+        }
+    }
+}
+
+impl DirectedBatchIndex {
+    pub fn build(graph: DynamicDiGraph, config: IndexConfig) -> Self {
+        let landmarks = config.selection.select_directed(&graph);
+        let threads = config.threads.max(1);
+        let fwd = build_labelling_parallel(&graph, landmarks.clone(), threads);
+        let bwd = build_labelling_parallel(&ReversedView(&graph), landmarks, threads);
+        let n = graph.num_vertices();
+        DirectedBatchIndex {
+            fwd_shadow: fwd.clone(),
+            bwd_shadow: bwd.clone(),
+            graph,
+            fwd,
+            bwd,
+            config,
+            ws: UpdateWorkspace::new(n),
+            bibfs: BiBfs::new(n),
+        }
+    }
+
+    pub fn with_defaults(graph: DynamicDiGraph) -> Self {
+        Self::build(graph, IndexConfig::default())
+    }
+
+    pub fn graph(&self) -> &DynamicDiGraph {
+        &self.graph
+    }
+
+    pub fn forward_labelling(&self) -> &Labelling {
+        &self.fwd
+    }
+
+    pub fn backward_labelling(&self) -> &Labelling {
+        &self.bwd
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Combined logical size of both labellings in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.fwd.size_bytes() + self.bwd.size_bytes()
+    }
+
+    /// Exact directed distance `d(s → t)`; `None` if unreachable.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let d = self.query_dist(s, t);
+        (d != INF).then_some(d)
+    }
+
+    /// As [`DirectedBatchIndex::query`] with `INF` for unreachable.
+    pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return INF;
+        }
+        if s == t {
+            return 0;
+        }
+        // Landmark endpoints: exact via the highway cover property.
+        if let Some(i) = self.fwd.landmark_index(s) {
+            return self.fwd.landmark_to_vertex(i, t);
+        }
+        if let Some(j) = self.bwd.landmark_index(t) {
+            return self.bwd.landmark_to_vertex(j, s);
+        }
+        let bound = self.upper_bound(s, t);
+        let fwd = &self.fwd;
+        let found = self
+            .bibfs
+            .run(&self.graph, s, t, bound, |v| !fwd.is_landmark(v));
+        found.unwrap_or(bound)
+    }
+
+    /// Eq. 3 for directed graphs: `min_{i,j} d(s→r_i) + δ_Hf(r_i, r_j)
+    /// + d(r_j→t)` over the backward labels of `s` and forward labels
+    /// of `t`.
+    pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
+        let r = self.fwd.num_landmarks();
+        let mut best = u64::from(INF);
+        for i in 0..r {
+            let ls = self.bwd.label(i, s);
+            if ls == NO_LABEL {
+                continue;
+            }
+            for j in 0..r {
+                let h = self.fwd.highway(i, j);
+                if h == INF {
+                    continue;
+                }
+                let lt = self.fwd.label(j, t);
+                if lt == NO_LABEL {
+                    continue;
+                }
+                best = best.min(ls as u64 + h as u64 + lt as u64);
+            }
+        }
+        best.min(u64::from(INF)) as Dist
+    }
+
+    /// Apply a batch of *directed* updates (Algorithm 1, run once per
+    /// direction).
+    pub fn apply_batch(&mut self, batch: &Batch) -> UpdateStats {
+        let start = Instant::now();
+        let norm = batch.normalize_directed(&self.graph);
+        let mut stats = UpdateStats {
+            passes: 1,
+            ..Default::default()
+        };
+        if norm.is_empty() {
+            stats.elapsed = start.elapsed();
+            return stats;
+        }
+        stats.applied = self.graph.apply_batch(&norm);
+        stats.insertions = norm.num_insertions();
+        stats.deletions = norm.num_deletions();
+
+        let n = self.graph.num_vertices();
+        for lab in [
+            &mut self.fwd,
+            &mut self.bwd,
+            &mut self.fwd_shadow,
+            &mut self.bwd_shadow,
+        ] {
+            lab.ensure_vertices(n);
+        }
+        self.ws.grow(n);
+
+        // Backward pass sees every arc reversed.
+        let rev_updates: Vec<Update> = norm
+            .updates()
+            .iter()
+            .map(|u| match *u {
+                Update::Insert(a, b) => Update::Insert(b, a),
+                Update::Delete(a, b) => Update::Delete(b, a),
+            })
+            .collect();
+
+        let improved = self.config.algorithm.improved_search();
+        let threads = self.config.threads.max(1);
+
+        let fwd_aff = run_direction(
+            &self.fwd_shadow,
+            &self.graph,
+            norm.updates(),
+            improved,
+            threads,
+            &mut self.fwd,
+            &mut self.ws,
+        );
+        sync_shadow(&mut self.fwd_shadow, &self.fwd, &fwd_aff);
+        let rev = ReversedView(&self.graph);
+        let bwd_aff = run_direction(
+            &self.bwd_shadow,
+            &rev,
+            &rev_updates,
+            improved,
+            threads,
+            &mut self.bwd,
+            &mut self.ws,
+        );
+        sync_shadow(&mut self.bwd_shadow, &self.bwd, &bwd_aff);
+
+        let r = self.fwd.num_landmarks();
+        stats.affected_per_landmark = (0..r)
+            .map(|i| fwd_aff[i].len() + bwd_aff[i].len())
+            .collect();
+        stats.affected_total = stats.affected_per_landmark.iter().sum();
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    /// Rebuild both labellings from scratch.
+    pub fn rebuild(&mut self) {
+        let landmarks = self.fwd.landmarks().to_vec();
+        let threads = self.config.threads.max(1);
+        self.fwd = build_labelling_parallel(&self.graph, landmarks.clone(), threads);
+        self.bwd = build_labelling_parallel(&ReversedView(&self.graph), landmarks, threads);
+        self.fwd_shadow = self.fwd.clone();
+        self.bwd_shadow = self.bwd.clone();
+    }
+}
+
+/// Search + repair for one direction over all landmarks.
+fn run_direction<A: AdjacencyView + Sync>(
+    old: &Labelling,
+    g: &A,
+    updates: &[Update],
+    improved: bool,
+    threads: usize,
+    new_lab: &mut Labelling,
+    ws: &mut UpdateWorkspace,
+) -> Vec<Vec<Vertex>> {
+    let r = new_lab.num_landmarks();
+    if threads > 1 && r > 1 {
+        return run_landmarks_parallel(old, g, updates, improved, true, threads, new_lab);
+    }
+    let mut affected = Vec::with_capacity(r);
+    for i in 0..r {
+        ws.reset();
+        if improved {
+            batch_search_improved(old, g, updates, i, true, ws);
+        } else {
+            batch_search(old, g, updates, i, true, ws);
+        }
+        let (label_row, highway_row) = new_lab.row_mut(i);
+        batch_repair(old, g, i, label_row, highway_row, ws);
+        affected.push(ws.aff.inserted().to_vec());
+    }
+    affected
+}
+
+fn sync_shadow(shadow: &mut Labelling, lab: &Labelling, affected: &[Vec<Vertex>]) {
+    let r = lab.num_landmarks();
+    for (i, aff) in affected.iter().enumerate() {
+        for &v in aff {
+            shadow.set_label(i, v, lab.label(i, v));
+        }
+        for j in 0..r {
+            shadow.set_highway_row(i, j, lab.highway(i, j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_hcl::{oracle, LandmarkSelection};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config(algorithm: Algorithm, k: usize) -> IndexConfig {
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(k),
+            algorithm,
+            threads: 1,
+        }
+    }
+
+    fn random_digraph(n: usize, m: usize, seed: u64) -> DynamicDiGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DynamicDiGraph::new(n);
+        while g.num_edges() < m {
+            let a = rng.gen_range(0..n as Vertex);
+            let b = rng.gen_range(0..n as Vertex);
+            if a != b {
+                g.insert_edge(a, b);
+            }
+        }
+        g
+    }
+
+    fn random_batch(g: &DynamicDiGraph, size: usize, rng: &mut StdRng) -> Batch {
+        let n = g.num_vertices() as Vertex;
+        let mut b = Batch::new();
+        for _ in 0..size {
+            let x = rng.gen_range(0..n);
+            let y = rng.gen_range(0..n);
+            if x == y {
+                continue;
+            }
+            if g.has_edge(x, y) {
+                b.delete(x, y);
+            } else {
+                b.insert(x, y);
+            }
+        }
+        b
+    }
+
+    fn assert_both_minimal(index: &DirectedBatchIndex) {
+        oracle::check_minimal(index.graph(), index.forward_labelling())
+            .unwrap_or_else(|e| panic!("forward: {e}"));
+        oracle::check_minimal(&ReversedView(index.graph()), index.backward_labelling())
+            .unwrap_or_else(|e| panic!("backward: {e}"));
+    }
+
+    #[test]
+    fn construction_is_minimal_both_ways() {
+        let g = random_digraph(60, 180, 3);
+        let index = DirectedBatchIndex::build(g, config(Algorithm::BhlPlus, 5));
+        assert_both_minimal(&index);
+    }
+
+    #[test]
+    fn queries_match_bfs_exhaustively() {
+        let g = random_digraph(50, 160, 7);
+        let truth = oracle::all_pairs_bfs(&g);
+        let mut index = DirectedBatchIndex::build(g, config(Algorithm::BhlPlus, 5));
+        for s in 0..50u32 {
+            for t in 0..50u32 {
+                assert_eq!(
+                    index.query_dist(s, t),
+                    truth[s as usize][t as usize],
+                    "query({s},{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn updates_track_rebuild() {
+        for (alg, seed) in [
+            (Algorithm::Bhl, 1u64),
+            (Algorithm::BhlPlus, 2),
+            (Algorithm::BhlPlus, 3),
+            (Algorithm::Bhl, 4),
+        ] {
+            let g = random_digraph(60, 170, seed);
+            let mut index = DirectedBatchIndex::build(g, config(alg, 5));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF00);
+            for round in 0..4 {
+                let batch = random_batch(index.graph(), 12, &mut rng);
+                index.apply_batch(&batch);
+                oracle::check_minimal(index.graph(), index.forward_labelling())
+                    .unwrap_or_else(|e| panic!("{alg:?}/{seed} fwd round {round}: {e}"));
+                oracle::check_minimal(&ReversedView(index.graph()), index.backward_labelling())
+                    .unwrap_or_else(|e| panic!("{alg:?}/{seed} bwd round {round}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_stay_exact_under_updates() {
+        let g = random_digraph(40, 120, 11);
+        let mut index = DirectedBatchIndex::build(g, config(Algorithm::BhlPlus, 4));
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..4 {
+            let batch = random_batch(index.graph(), 10, &mut rng);
+            index.apply_batch(&batch);
+            let truth = oracle::all_pairs_bfs(index.graph());
+            for s in 0..40u32 {
+                for t in 0..40u32 {
+                    assert_eq!(index.query_dist(s, t), truth[s as usize][t as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = random_digraph(80, 240, 13);
+        let mut rng = StdRng::seed_from_u64(77);
+        let batch = random_batch(&g, 16, &mut rng);
+        let mut seq = DirectedBatchIndex::build(g.clone(), config(Algorithm::BhlPlus, 6));
+        seq.apply_batch(&batch);
+        let mut cfg = config(Algorithm::BhlPlus, 6);
+        cfg.threads = 4;
+        let mut par = DirectedBatchIndex::build(g, cfg);
+        par.apply_batch(&batch);
+        assert_eq!(seq.fwd, par.fwd);
+        assert_eq!(seq.bwd, par.bwd);
+    }
+
+    #[test]
+    fn one_way_reachability() {
+        // 0→1→2, landmark picks highest total degree (vertex 1).
+        let g = DynamicDiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut index = DirectedBatchIndex::build(g, config(Algorithm::BhlPlus, 1));
+        assert_eq!(index.query(0, 2), Some(2));
+        assert_eq!(index.query(2, 0), None);
+        // Add the return arc and re-check.
+        let mut b = Batch::new();
+        b.insert(2, 0);
+        index.apply_batch(&b);
+        assert_eq!(index.query(2, 0), Some(1));
+        assert_both_minimal(&index);
+    }
+}

@@ -1,0 +1,564 @@
+//! The public batch-dynamic index (Algorithm 1 and its variants).
+//!
+//! [`BatchIndex`] owns the graph, the current labelling `Γ` and a
+//! *shadow* copy of it. During an update the shadow plays the role of
+//! the read-only old labelling `Γ` of Algorithm 1 while the current
+//! labelling is repaired in place into `Γ′`; afterwards only the entries
+//! that repair actually touched are copied into the shadow (O(affected)
+//! instead of an O(|R|·|V|) clone per batch). Reads during the update
+//! go exclusively through the shadow, so per-landmark work is
+//! independent — which is also exactly what makes the landmark-level
+//! parallel variant (BHLₚ, Section 6) safe: each worker thread reads the
+//! shared shadow and writes its own disjoint label/highway rows.
+
+use crate::repair::batch_repair;
+use crate::search::batch_search;
+use crate::search_improved::batch_search_improved;
+use crate::stats::UpdateStats;
+use crate::workspace::UpdateWorkspace;
+use batchhl_common::{Dist, Vertex};
+use batchhl_graph::{Batch, DynamicGraph, Update};
+use batchhl_hcl::{build_labelling_parallel, Labelling, LandmarkSelection, QueryEngine};
+use std::time::Instant;
+
+/// Which published variant performs the update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// BHL: basic batch search (Algorithm 2) + batch repair.
+    Bhl,
+    /// BHL⁺: improved batch search (Algorithm 3) + batch repair.
+    BhlPlus,
+    /// BHLₛ: deletions and insertions processed as two sequential
+    /// sub-batches (each with the basic search).
+    BhlS,
+    /// UHL: every update processed alone (single-update setting).
+    Uhl,
+    /// UHL⁺: single-update setting with the improved search.
+    UhlPlus,
+}
+
+impl Algorithm {
+    pub(crate) fn improved_search(self) -> bool {
+        matches!(self, Algorithm::BhlPlus | Algorithm::UhlPlus)
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Algorithm::Bhl => "BHL",
+            Algorithm::BhlPlus => "BHL+",
+            Algorithm::BhlS => "BHLs",
+            Algorithm::Uhl => "UHL",
+            Algorithm::UhlPlus => "UHL+",
+        }
+    }
+}
+
+/// Index configuration.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// How to choose the landmark set (paper default: 20 top-degree).
+    pub selection: LandmarkSelection,
+    /// Update variant.
+    pub algorithm: Algorithm,
+    /// Worker threads for construction and updates. `> 1` turns BHL⁺
+    /// into the paper's BHLₚ.
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            selection: LandmarkSelection::paper_default(),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// The paper's BHLₚ configuration.
+    pub fn parallel(threads: usize) -> Self {
+        IndexConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+}
+
+/// Batch-dynamic distance index over an undirected graph.
+///
+/// Cloning copies the graph and both labelling buffers; the scratch
+/// workspaces start fresh (they hold no semantic state).
+pub struct BatchIndex {
+    graph: DynamicGraph,
+    /// Current labelling `Γ` (post all applied batches).
+    lab: Labelling,
+    /// Copy of `Γ` used as the old-labelling oracle during updates.
+    /// Invariant outside [`BatchIndex::apply_batch`]: `shadow == lab`.
+    shadow: Labelling,
+    config: IndexConfig,
+    ws: UpdateWorkspace,
+    engine: QueryEngine,
+}
+
+impl Clone for BatchIndex {
+    fn clone(&self) -> Self {
+        BatchIndex {
+            graph: self.graph.clone(),
+            lab: self.lab.clone(),
+            shadow: self.shadow.clone(),
+            config: self.config.clone(),
+            ws: UpdateWorkspace::new(self.graph.num_vertices()),
+            engine: QueryEngine::new(self.graph.num_vertices()),
+        }
+    }
+}
+
+impl BatchIndex {
+    /// Build the index: select landmarks, construct the minimal
+    /// labelling (`O(|R|·(|V|+|E|))`).
+    pub fn build(graph: DynamicGraph, config: IndexConfig) -> Self {
+        let landmarks = config.selection.select(&graph);
+        let lab = build_labelling_parallel(&graph, landmarks, config.threads.max(1));
+        let shadow = lab.clone();
+        let n = graph.num_vertices();
+        BatchIndex {
+            graph,
+            lab,
+            shadow,
+            config,
+            ws: UpdateWorkspace::new(n),
+            engine: QueryEngine::new(n),
+        }
+    }
+
+    /// Convenience: build with the default configuration.
+    pub fn with_defaults(graph: DynamicGraph) -> Self {
+        Self::build(graph, IndexConfig::default())
+    }
+
+    /// Assemble from pre-validated parts (see `snapshot` module).
+    pub(crate) fn assemble(graph: DynamicGraph, lab: Labelling, config: IndexConfig) -> Self {
+        let n = graph.num_vertices();
+        BatchIndex {
+            graph,
+            shadow: lab.clone(),
+            lab,
+            config,
+            ws: UpdateWorkspace::new(n),
+            engine: QueryEngine::new(n),
+        }
+    }
+
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    pub fn labelling(&self) -> &Labelling {
+        &self.lab
+    }
+
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Exact distance, `None` when disconnected (Section 4: labelling
+    /// upper bound + bounded bidirectional BFS on `G[V\R]`).
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return None;
+        }
+        self.engine.query(&self.lab, &self.graph, s, t)
+    }
+
+    /// As [`BatchIndex::query`], returning `INF` for disconnected pairs.
+    pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
+        self.engine.query_dist(&self.lab, &self.graph, s, t)
+    }
+
+    /// Apply a batch of updates and repair the labelling (Algorithm 1,
+    /// dispatched per the configured [`Algorithm`]).
+    pub fn apply_batch(&mut self, batch: &Batch) -> UpdateStats {
+        let start = Instant::now();
+        let mut stats = match self.config.algorithm {
+            Algorithm::Bhl | Algorithm::BhlPlus => {
+                let norm = batch.normalize(&self.graph);
+                self.run_pass(&norm)
+            }
+            Algorithm::BhlS => {
+                let norm = batch.normalize(&self.graph);
+                let (deletions, insertions) = norm.split();
+                let mut s = self.run_pass(&deletions);
+                s.absorb(self.run_pass(&insertions));
+                s
+            }
+            Algorithm::Uhl | Algorithm::UhlPlus => {
+                let mut s = UpdateStats::default();
+                for &u in batch.updates() {
+                    let single = Batch::from_updates(vec![u]).normalize(&self.graph);
+                    s.absorb(self.run_pass(&single));
+                }
+                s
+            }
+        };
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    /// Rebuild the labelling from scratch (used by tests and the
+    /// construction benchmarks).
+    pub fn rebuild(&mut self) {
+        let landmarks = self.lab.landmarks().to_vec();
+        self.lab = build_labelling_parallel(&self.graph, landmarks, self.config.threads.max(1));
+        self.shadow = self.lab.clone();
+    }
+
+    /// One search+repair pass over a normalized, conflict-free batch.
+    fn run_pass(&mut self, norm: &Batch) -> UpdateStats {
+        let mut stats = UpdateStats {
+            passes: 1,
+            ..Default::default()
+        };
+        if norm.is_empty() {
+            return stats;
+        }
+        stats.applied = self.graph.apply_batch(norm);
+        debug_assert_eq!(stats.applied, norm.len(), "normalized batches are valid");
+        stats.insertions = norm.num_insertions();
+        stats.deletions = norm.num_deletions();
+
+        let n = self.graph.num_vertices();
+        self.lab.ensure_vertices(n);
+        self.shadow.ensure_vertices(n);
+        self.ws.grow(n);
+
+        let improved = self.config.algorithm.improved_search();
+        let r = self.lab.num_landmarks();
+        let threads = self.config.threads.max(1).min(r.max(1));
+
+        let affected: Vec<Vec<Vertex>> = if threads <= 1 {
+            let mut affected = Vec::with_capacity(r);
+            for i in 0..r {
+                self.ws.reset();
+                if improved {
+                    batch_search_improved(
+                        &self.shadow,
+                        &self.graph,
+                        norm.updates(),
+                        i,
+                        false,
+                        &mut self.ws,
+                    );
+                } else {
+                    batch_search(&self.shadow, &self.graph, norm.updates(), i, false, &mut self.ws);
+                }
+                let (label_row, highway_row) = self.lab.row_mut(i);
+                batch_repair(&self.shadow, &self.graph, i, label_row, highway_row, &mut self.ws);
+                affected.push(self.ws.aff.inserted().to_vec());
+            }
+            affected
+        } else {
+            run_landmarks_parallel(
+                &self.shadow,
+                &self.graph,
+                norm.updates(),
+                improved,
+                false,
+                threads,
+                &mut self.lab,
+            )
+        };
+
+        // Sync the shadow: only entries repair may have written.
+        for (i, aff) in affected.iter().enumerate() {
+            for &v in aff {
+                let d = self.lab.label(i, v);
+                self.shadow.set_label(i, v, d);
+            }
+            for j in 0..r {
+                self.shadow.set_highway_row(i, j, self.lab.highway(i, j));
+            }
+        }
+        stats.affected_per_landmark = affected.iter().map(Vec::len).collect();
+        stats.affected_total = stats.affected_per_landmark.iter().sum();
+        stats
+    }
+}
+
+/// Landmark-level parallel search + repair (BHLₚ): distribute landmark
+/// rows over `threads` scoped threads; every thread owns its rows and a
+/// private workspace and reads the shared old labelling and graph.
+/// Returns the per-landmark affected lists for shadow syncing and stats.
+pub(crate) fn run_landmarks_parallel<A>(
+    old: &Labelling,
+    g: &A,
+    updates: &[Update],
+    improved: bool,
+    directed: bool,
+    threads: usize,
+    new_lab: &mut Labelling,
+) -> Vec<Vec<Vertex>>
+where
+    A: batchhl_graph::AdjacencyView + Sync,
+{
+    let n = g.num_vertices();
+    let r = new_lab.num_landmarks();
+    let (rows, _) = new_lab.rows_mut();
+    let mut work: Vec<(usize, batchhl_hcl::labelling::RowPair<'_>)> =
+        rows.into_iter().enumerate().collect();
+    let per = r.div_ceil(threads.max(1));
+    let mut results: Vec<Vec<Vertex>> = vec![Vec::new(); r];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        while !work.is_empty() {
+            let take = per.min(work.len());
+            let chunk: Vec<_> = work.drain(..take).collect();
+            handles.push(scope.spawn(move || {
+                let mut ws = UpdateWorkspace::new(n);
+                let mut out = Vec::with_capacity(chunk.len());
+                for (i, (label_row, highway_row)) in chunk {
+                    ws.reset();
+                    if improved {
+                        batch_search_improved(old, g, updates, i, directed, &mut ws);
+                    } else {
+                        batch_search(old, g, updates, i, directed, &mut ws);
+                    }
+                    batch_repair(old, g, i, label_row, highway_row, &mut ws);
+                    out.push((i, ws.aff.inserted().to_vec()));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, aff) in h.join().expect("landmark worker panicked") {
+                results[i] = aff;
+            }
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::{barabasi_albert, erdos_renyi_gnm, path};
+    use batchhl_hcl::oracle;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config(algorithm: Algorithm, k: usize) -> IndexConfig {
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(k),
+            algorithm,
+            threads: 1,
+        }
+    }
+
+    fn random_batch(g: &DynamicGraph, size: usize, rng: &mut StdRng) -> Batch {
+        let n = g.num_vertices() as Vertex;
+        let mut b = Batch::new();
+        for _ in 0..size {
+            let a = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            if a == c {
+                continue;
+            }
+            if g.has_edge(a, c) {
+                b.delete(a, c);
+            } else {
+                b.insert(a, c);
+            }
+        }
+        b
+    }
+
+    /// Core invariant: after any update sequence, the maintained
+    /// labelling equals the from-scratch minimal labelling (unique!).
+    fn assert_tracks_rebuild(algorithm: Algorithm, seed: u64) {
+        let g0 = erdos_renyi_gnm(70, 150, seed);
+        let mut index = BatchIndex::build(g0, config(algorithm, 5));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for round in 0..6 {
+            let batch = random_batch(index.graph(), 12, &mut rng);
+            index.apply_batch(&batch);
+            oracle::check_minimal(index.graph(), index.labelling())
+                .unwrap_or_else(|e| panic!("{algorithm:?} seed {seed} round {round}: {e}"));
+            assert_eq!(
+                index.labelling(),
+                &index.shadow,
+                "shadow out of sync after round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn bhl_tracks_rebuild() {
+        for seed in 0..6 {
+            assert_tracks_rebuild(Algorithm::Bhl, seed);
+        }
+    }
+
+    #[test]
+    fn bhl_plus_tracks_rebuild() {
+        for seed in 0..6 {
+            assert_tracks_rebuild(Algorithm::BhlPlus, seed);
+        }
+    }
+
+    #[test]
+    fn bhl_s_tracks_rebuild() {
+        for seed in 0..4 {
+            assert_tracks_rebuild(Algorithm::BhlS, seed);
+        }
+    }
+
+    #[test]
+    fn uhl_variants_track_rebuild() {
+        assert_tracks_rebuild(Algorithm::Uhl, 1);
+        assert_tracks_rebuild(Algorithm::UhlPlus, 2);
+    }
+
+    #[test]
+    fn queries_stay_exact_under_updates() {
+        let g0 = barabasi_albert(120, 3, 3);
+        let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 6));
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..4 {
+            let batch = random_batch(index.graph(), 15, &mut rng);
+            index.apply_batch(&batch);
+            let truth = oracle::all_pairs_bfs(index.graph());
+            for s in (0..120u32).step_by(5) {
+                for t in (0..120u32).step_by(7) {
+                    assert_eq!(
+                        index.query_dist(s, t),
+                        truth[s as usize][t as usize],
+                        "query({s},{t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_converge_to_same_labelling() {
+        let g0 = erdos_renyi_gnm(80, 180, 5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = random_batch(&g0, 25, &mut rng);
+        let mut labellings = Vec::new();
+        for alg in [
+            Algorithm::Bhl,
+            Algorithm::BhlPlus,
+            Algorithm::BhlS,
+            Algorithm::Uhl,
+            Algorithm::UhlPlus,
+        ] {
+            let mut index = BatchIndex::build(g0.clone(), config(alg, 6));
+            index.apply_batch(&batch);
+            labellings.push((alg, index.lab));
+        }
+        for w in labellings.windows(2) {
+            assert_eq!(
+                w[0].1, w[1].1,
+                "{:?} and {:?} disagree",
+                w[0].0, w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g0 = barabasi_albert(150, 3, 8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let batch = random_batch(&g0, 20, &mut rng);
+        let mut seq = BatchIndex::build(g0.clone(), config(Algorithm::BhlPlus, 8));
+        seq.apply_batch(&batch);
+        for threads in [2, 3, 8] {
+            let mut cfg = config(Algorithm::BhlPlus, 8);
+            cfg.threads = threads;
+            let mut par = BatchIndex::build(g0.clone(), cfg);
+            let stats = par.apply_batch(&batch);
+            assert_eq!(seq.lab, par.lab, "threads={threads}");
+            assert_eq!(par.lab, par.shadow, "shadow sync, threads={threads}");
+            assert!(stats.affected_total > 0);
+        }
+    }
+
+    #[test]
+    fn affected_counts_bhl_plus_never_exceed_bhl() {
+        let g0 = erdos_renyi_gnm(100, 220, 11);
+        let mut rng = StdRng::seed_from_u64(13);
+        let batch = random_batch(&g0, 18, &mut rng);
+        let mut basic = BatchIndex::build(g0.clone(), config(Algorithm::Bhl, 6));
+        let mut plus = BatchIndex::build(g0, config(Algorithm::BhlPlus, 6));
+        let sb = basic.apply_batch(&batch);
+        let sp = plus.apply_batch(&batch);
+        assert!(
+            sp.affected_total <= sb.affected_total,
+            "BHL+ affected {} > BHL {}",
+            sp.affected_total,
+            sb.affected_total
+        );
+    }
+
+    #[test]
+    fn empty_and_invalid_batches_are_noops() {
+        let g0 = path(10);
+        let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 2));
+        let before = index.lab.clone();
+        let stats = index.apply_batch(&Batch::new());
+        assert_eq!(stats.applied, 0);
+        let mut b = Batch::new();
+        b.insert(0, 1); // already present
+        b.delete(0, 5); // absent
+        b.insert(3, 3); // self-loop
+        let stats = index.apply_batch(&b);
+        assert_eq!(stats.applied, 0);
+        assert_eq!(index.lab, before);
+    }
+
+    #[test]
+    fn batch_with_new_vertices_grows_index() {
+        let g0 = path(5);
+        let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 2));
+        let mut b = Batch::new();
+        b.insert(4, 9); // vertex 9 does not exist yet
+        index.apply_batch(&b);
+        assert_eq!(index.num_vertices(), 10);
+        assert_eq!(index.query(0, 9), Some(5));
+        assert_eq!(index.query(0, 7), None, "7 is isolated");
+        oracle::check_minimal(index.graph(), index.labelling()).unwrap();
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let g0 = barabasi_albert(100, 2, 17);
+        let mut index = BatchIndex::build(g0.clone(), config(Algorithm::BhlPlus, 4));
+        let baseline = index.lab.clone();
+        let mut ins = Batch::new();
+        ins.insert(0, 50);
+        ins.insert(13, 77);
+        let del = ins.inverse();
+        index.apply_batch(&ins);
+        index.apply_batch(&del);
+        assert_eq!(index.graph(), &g0);
+        assert_eq!(index.lab, baseline, "labelling must round-trip (uniqueness)");
+    }
+
+    #[test]
+    fn rebuild_agrees_with_incremental() {
+        let g0 = erdos_renyi_gnm(60, 140, 23);
+        let mut index = BatchIndex::build(g0, config(Algorithm::Bhl, 5));
+        let mut rng = StdRng::seed_from_u64(31);
+        let batch = random_batch(index.graph(), 20, &mut rng);
+        index.apply_batch(&batch);
+        let incremental = index.lab.clone();
+        index.rebuild();
+        assert_eq!(index.lab, incremental);
+    }
+}

@@ -1,0 +1,62 @@
+//! # BatchHL — batch-dynamic highway cover labelling
+//!
+//! The primary contribution of *"BatchHL: Answering Distance Queries on
+//! Batch-Dynamic Networks at Scale"* (SIGMOD 2022): maintain the unique
+//! minimal highway cover labelling of a graph under **batches** of edge
+//! insertions and deletions, in two phases per landmark (Algorithm 1):
+//!
+//! 1. **Batch search** finds a superset of the vertices whose label or
+//!    landmark distance is affected by the batch — either the basic
+//!    unified search (Algorithm 2, [`search`]) or the improved search
+//!    with landmark-length pruning (Algorithm 3, [`search_improved`]);
+//! 2. **Batch repair** (Algorithm 4, [`repair`]) recomputes the affected
+//!    labels from the boundary of unaffected vertices inward, restoring
+//!    correctness *and minimality* (Theorem 5.21).
+//!
+//! The public entry point is [`index::BatchIndex`] (undirected) and
+//! [`directed::DirectedBatchIndex`] (Section 6), configured by
+//! [`index::IndexConfig`] with an [`index::Algorithm`] variant:
+//!
+//! | Variant | Paper name | Meaning |
+//! |---------|-----------|---------|
+//! | [`Algorithm::Bhl`] | BHL | basic batch search + batch repair |
+//! | [`Algorithm::BhlPlus`] | BHL⁺ | improved batch search + batch repair |
+//! | [`Algorithm::BhlS`] | BHLₛ | deletions and insertions as separate sub-batches |
+//! | [`Algorithm::Uhl`] | UHL | one update at a time, basic search |
+//! | [`Algorithm::UhlPlus`] | UHL⁺ | one update at a time, improved search |
+//!
+//! Setting `threads > 1` in the config runs search + repair with
+//! landmark-level parallelism (BHLₚ, Section 6): label rows of distinct
+//! landmarks are disjoint, so threads share nothing but read-only state.
+//!
+//! ```
+//! use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
+//! use batchhl_graph::{generators, Batch};
+//!
+//! let g = generators::barabasi_albert(500, 3, 42);
+//! let mut index = BatchIndex::build(g, IndexConfig::default());
+//! let d0 = index.query(3, 77);
+//!
+//! let mut batch = Batch::new();
+//! batch.insert(3, 77); // arbitrary mix of insertions/deletions
+//! let stats = index.apply_batch(&batch);
+//! assert!(stats.applied >= 1);
+//! assert_eq!(index.query(3, 77), Some(1));
+//! # let _ = d0;
+//! ```
+
+pub mod directed;
+pub mod index;
+pub mod paths;
+pub mod repair;
+pub mod search;
+pub mod search_improved;
+pub mod snapshot;
+pub mod stats;
+pub mod weighted;
+pub mod workspace;
+
+pub use directed::DirectedBatchIndex;
+pub use index::{Algorithm, BatchIndex, IndexConfig};
+pub use stats::UpdateStats;
+pub use weighted::WeightedBatchIndex;

@@ -1,0 +1,207 @@
+//! Batch search (Algorithm 2): find the CP-affected vertices.
+//!
+//! The "shared pattern" of Section 5.1 unifies insertions and deletions:
+//! a vertex `v` is affected w.r.t. landmark `r` iff some shortest path
+//! between them in `G ∪ G′` crosses an updated edge, and every such path
+//! can be traced on `G′` starting from the update's *anchor* (the
+//! endpoint farther from `r`) with starting distance
+//! `d_G(r, pre-anchor) + 1`. The search therefore runs a single
+//! Dijkstra-like pass over the anchors of the whole batch, pruning any
+//! vertex `w` whose old distance beats the traced path
+//! (`d + 1 ≤ d_G(r, w)` keeps, else prunes), and never expanding a
+//! vertex twice even when multiple updates affect it — the batch-level
+//! saving that Figure 2 quantifies.
+//!
+//! The result is the set of *composite-path-affected* vertices
+//! (Definition 5.7, Lemma 5.8): a superset of the truly affected ones,
+//! at most the old-distance-consistent reach of the anchors.
+
+use crate::workspace::{dl_old, UpdateWorkspace};
+use batchhl_common::dist_add1;
+use batchhl_graph::{AdjacencyView, Update};
+use batchhl_hcl::Labelling;
+
+/// Run Algorithm 2 for landmark `i` over the *old* labelling `lab`
+/// (the `d_G(r, ·)` oracle) and the *new* graph `g` (`G′`).
+///
+/// `directed` restricts anchors to arc heads (Section 6); undirected
+/// graphs treat whichever endpoint is farther as the anchor.
+///
+/// On return `ws.aff` holds `V_aff⁺`; the caller passes it straight to
+/// batch repair. `ws.dl_cache` retains the old-distance memo that
+/// repair's boundary initialization reuses.
+pub fn batch_search<A: AdjacencyView>(
+    lab: &Labelling,
+    g: &A,
+    batch: &[Update],
+    i: usize,
+    directed: bool,
+    ws: &mut UpdateWorkspace,
+) {
+    ws.aff.clear();
+    ws.queue.clear();
+
+    // Seed the queue with anchors (lines 2–6). Updates with equidistant
+    // endpoints are trivial w.r.t. r (Lemma 5.2) and skipped.
+    for u in batch {
+        let (a, b) = u.endpoints();
+        let da = dl_old(lab, i, a, &mut ws.dl_cache).dist();
+        let db = dl_old(lab, i, b, &mut ws.dl_cache).dist();
+        if da < db {
+            ws.queue.push(dist_add1(da), b);
+        } else if db < da && !directed {
+            ws.queue.push(dist_add1(db), a);
+        }
+    }
+
+    // Unified traversal (lines 7–13).
+    while let Some((d, v)) = ws.queue.pop() {
+        if !ws.aff.insert(v) {
+            continue;
+        }
+        let dnext = dist_add1(d);
+        for &w in g.out_neighbors(v) {
+            let dw_old = dl_old(lab, i, w, &mut ws.dl_cache).dist();
+            if dnext <= dw_old {
+                ws.queue.push(dnext, w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_common::Vertex;
+    use batchhl_graph::{Batch, DynamicGraph};
+    use batchhl_hcl::build_labelling;
+
+    /// Apply a batch and return (old labelling, new graph, normalized
+    /// updates).
+    fn setup(
+        g0: &DynamicGraph,
+        landmarks: Vec<Vertex>,
+        batch: Batch,
+    ) -> (Labelling, DynamicGraph, Batch) {
+        let lab = build_labelling(g0, landmarks);
+        let norm = batch.normalize(g0);
+        let mut g1 = g0.clone();
+        g1.apply_batch(&norm);
+        (lab, g1, norm)
+    }
+
+    fn affected(lab: &Labelling, g1: &DynamicGraph, batch: &Batch, i: usize) -> Vec<Vertex> {
+        let mut ws = UpdateWorkspace::new(g1.num_vertices());
+        batch_search(lab, g1, batch.updates(), i, false, &mut ws);
+        let mut v: Vec<Vertex> = ws.aff.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure3_worked_example() {
+        // Figure 3(a): r-a, a-b?, ... reconstructed from the table:
+        // d_G(r,·) = a:1 b:3 c:2 d:3 e:4 f:5 g:6, with updates
+        // +(a,b), +(d,e), -(a,c), -(b,e). Affected = {b,c,d,e,f,g}.
+        // Edges of G: r-a, a-c, c-d, b-e(deleted), e-f, f-g, and b at
+        // distance 3 via a-c? b's old distance is 3: path r-a-c-b? Use
+        // edge c-b. Deleted (a,c) reroutes c via ... consistent graph:
+        let mut g0 = DynamicGraph::new(8);
+        let (r, a, b, c, d, e, f, gg) = (0u32, 1u32, 2u32, 3u32, 4u32, 5u32, 6u32, 7u32);
+        for &(x, y) in &[(r, a), (a, c), (c, b), (c, d), (b, e), (e, f), (f, gg)] {
+            g0.insert_edge(x, y);
+        }
+        // Old distances: a=1, c=2, b=3, d=3, e=4, f=5, g=6 — matches the
+        // paper's table.
+        let mut batch = Batch::new();
+        batch.insert(a, b);
+        batch.insert(d, e);
+        batch.delete(a, c);
+        batch.delete(b, e);
+        let (lab, g1, norm) = setup(&g0, vec![r], batch);
+        let aff = affected(&lab, &g1, &norm, 0);
+        // Example 5.4: the affected set is {b, c, d, e, f, g}.
+        assert_eq!(aff, vec![b, c, d, e, f, gg]);
+    }
+
+    #[test]
+    fn trivial_update_affects_nothing() {
+        // Cycle 0-1-2-3: inserting the chord (1, 3) with d(r,1) = d(r,3)
+        // = 1 w.r.t. r = 0 is trivial (Lemma 5.2).
+        let g0 = batchhl_graph::generators::cycle(4);
+        let mut batch = Batch::new();
+        batch.insert(1, 3);
+        let (lab, g1, norm) = setup(&g0, vec![0], batch);
+        assert!(affected(&lab, &g1, &norm, 0).is_empty());
+    }
+
+    #[test]
+    fn insertion_affects_downstream_and_equal_length_rewires() {
+        // Path 0-1-2-3-4, landmark 0; insert (0, 3): 3 and 4 get
+        // closer, and 2 gains a *new* shortest path 0-3-2 of the same
+        // length — affected per Definition 5.1. Vertex 1 is untouched.
+        let g0 = batchhl_graph::generators::path(5);
+        let mut batch = Batch::new();
+        batch.insert(0, 3);
+        let (lab, g1, norm) = setup(&g0, vec![0], batch);
+        assert_eq!(affected(&lab, &g1, &norm, 0), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn deletion_affects_cut_off_suffix() {
+        // Path 0-1-2-3-4, landmark 0; delete (1, 2): 2, 3, 4 lose their
+        // paths.
+        let g0 = batchhl_graph::generators::path(5);
+        let mut batch = Batch::new();
+        batch.delete(1, 2);
+        let (lab, g1, norm) = setup(&g0, vec![0], batch);
+        assert_eq!(affected(&lab, &g1, &norm, 0), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_visits_shared_suffix_once_but_counts_it() {
+        // Example 5.3 shape: two updates whose affected regions overlap;
+        // the search returns the union without duplicates.
+        let g0 = batchhl_graph::generators::path(7);
+        let mut batch = Batch::new();
+        batch.insert(0, 2); // shortens 2..6
+        batch.insert(0, 3); // shortens 3..6 further
+        let (lab, g1, norm) = setup(&g0, vec![0], batch);
+        let aff = affected(&lab, &g1, &norm, 0);
+        assert_eq!(aff, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn directed_mode_only_anchors_heads() {
+        use batchhl_graph::DynamicDiGraph;
+        // Arc path 0→1→2 plus arc 2→3; landmark 0. Insert arc (2, 0):
+        // with undirected semantics vertex 0's side would anchor; in
+        // directed mode d(0→2)=2 > d(0→0)=0 means anchor is 2? No:
+        // endpoints (a=2, b=0): d(r→a)=2, d(r→b)=0 — not d(a) < d(b),
+        // so nothing is pushed: the new arc 2→0 cannot shorten paths
+        // *from* 0.
+        let g0 = DynamicDiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let lab = build_labelling(&g0, vec![0]);
+        let mut g1 = g0.clone();
+        g1.insert_edge(2, 0);
+        let mut ws = UpdateWorkspace::new(4);
+        batch_search(&lab, &g1, &[Update::Insert(2, 0)], 0, true, &mut ws);
+        assert_eq!(ws.aff.iter().count(), 0);
+        // But inserting 0→3 does affect 3 (2 → 1).
+        let mut g2 = g0.clone();
+        g2.insert_edge(0, 3);
+        batch_search(&lab, &g2, &[Update::Insert(0, 3)], 0, true, &mut ws);
+        let aff: Vec<Vertex> = ws.aff.iter().collect();
+        assert_eq!(aff, vec![3]);
+    }
+
+    #[test]
+    fn unreachable_vertices_become_affected_on_connection() {
+        let g0 = DynamicGraph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let mut batch = Batch::new();
+        batch.insert(1, 2);
+        let (lab, g1, norm) = setup(&g0, vec![0], batch);
+        // The whole far component gains finite distances.
+        assert_eq!(affected(&lab, &g1, &norm, 0), vec![2, 3, 4]);
+    }
+}

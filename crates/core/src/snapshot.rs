@@ -1,0 +1,116 @@
+//! Index snapshots: assemble a [`BatchIndex`] from externally persisted
+//! parts, and verify an index against its graph.
+//!
+//! A deployment that restarts against an unchanged graph should not pay
+//! reconstruction: persist the graph (`batchhl_graph::io`) and the
+//! labelling (`batchhl_hcl::serde_io`) and reassemble with
+//! [`BatchIndex::from_parts`]. Cheap structural sanity checks run at
+//! load time; [`BatchIndex::verify`] offers the full (expensive)
+//! semantic check for tests and operational audits.
+
+use crate::index::{BatchIndex, IndexConfig};
+use batchhl_graph::DynamicGraph;
+use batchhl_hcl::{oracle, Labelling};
+
+impl BatchIndex {
+    /// Assemble an index from a graph and a previously constructed
+    /// labelling (e.g. loaded via `batchhl_hcl::serde_io`).
+    ///
+    /// Performs structural validation (sizes, landmark range); it does
+    /// *not* prove the labelling matches the graph — use
+    /// [`BatchIndex::verify`] when provenance is in doubt.
+    pub fn from_parts(
+        graph: DynamicGraph,
+        labelling: Labelling,
+        config: IndexConfig,
+    ) -> Result<BatchIndex, String> {
+        if labelling.num_vertices() != graph.num_vertices() {
+            return Err(format!(
+                "labelling covers {} vertices, graph has {}",
+                labelling.num_vertices(),
+                graph.num_vertices()
+            ));
+        }
+        for &lm in labelling.landmarks() {
+            if (lm as usize) >= graph.num_vertices() {
+                return Err(format!("landmark {lm} out of bounds"));
+            }
+        }
+        for i in 0..labelling.num_landmarks() {
+            if labelling.highway(i, i) != 0 {
+                return Err(format!("highway diagonal {i} is nonzero"));
+            }
+        }
+        Ok(BatchIndex::assemble(graph, labelling, config))
+    }
+
+    /// Full semantic audit: the labelling must equal the unique minimal
+    /// highway cover labelling of the current graph. `O(|R|·(|V|+|E|))`
+    /// — intended for tests and offline checks, not the hot path.
+    pub fn verify(&self) -> Result<(), String> {
+        oracle::check_minimal(self.graph(), self.labelling())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Algorithm;
+    use batchhl_graph::generators::barabasi_albert;
+    use batchhl_graph::Batch;
+    use batchhl_hcl::serde_io::{read_labelling, write_labelling};
+    use batchhl_hcl::LandmarkSelection;
+
+    fn config() -> IndexConfig {
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(5),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_maintenance() {
+        let g = barabasi_albert(150, 3, 3);
+        let mut original = BatchIndex::build(g.clone(), config());
+        // Persist the labelling, reload, reassemble.
+        let mut buf = Vec::new();
+        write_labelling(original.labelling(), &mut buf).unwrap();
+        let lab = read_labelling(buf.as_slice()).unwrap();
+        let mut restored = BatchIndex::from_parts(g, lab, config()).unwrap();
+        restored.verify().unwrap();
+        assert_eq!(original.labelling(), restored.labelling());
+        // Both continue to accept batches identically.
+        let mut b = Batch::new();
+        b.delete(0, 1);
+        b.insert(10, 140);
+        original.apply_batch(&b);
+        restored.apply_batch(&b);
+        assert_eq!(original.labelling(), restored.labelling());
+        restored.verify().unwrap();
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatches() {
+        let g = barabasi_albert(50, 2, 1);
+        let other = barabasi_albert(60, 2, 1);
+        let lab = batchhl_hcl::build_labelling(&other, vec![0, 1]);
+        let err = match BatchIndex::from_parts(g, lab, config()) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched parts must be rejected"),
+        };
+        assert!(err.contains("vertices"), "{err}");
+    }
+
+    #[test]
+    fn verify_catches_stale_labellings() {
+        let g = barabasi_albert(80, 2, 5);
+        let index = BatchIndex::build(g, config());
+        index.verify().unwrap();
+        // Same labelling, different graph: must fail.
+        let other = barabasi_albert(80, 2, 6);
+        let stale =
+            BatchIndex::from_parts(other, index.labelling().clone(), config()).unwrap();
+        assert!(stale.verify().is_err());
+    }
+}

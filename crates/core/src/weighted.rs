@@ -1,0 +1,556 @@
+//! Weighted BatchHL (the Section 6 extension).
+//!
+//! "For weighted graphs, we can use pruned Dijkstra's algorithm in place
+//! of pruned BFSs. We consider updates in the form of edge weight
+//! increase or decrease instead of edge insertion or deletion. Our
+//! methods can then handle weight increases in a similar way to edge
+//! deletions, and weight decreases in a similar way to edge insertions."
+//!
+//! The machinery carries over with three changes:
+//!
+//! * construction runs a *flagged Dijkstra* per landmark (same landmark
+//!   flags, heap-ordered settle),
+//! * batch search seeds each update's anchors with
+//!   `d_G(r, near) + min(w_old, w_new)` — the lighter of the two
+//!   weights covers both the paths an increase destroys and the paths a
+//!   decrease creates (insertion/deletion are the `w = ∞` edge cases) —
+//!   and expands with the basic (Algorithm 2 style) pruning
+//!   `d + w(v, u) ≤ d_G(r, u)`,
+//! * batch repair pops by the full packed `(distance, landmark-flag)`
+//!   key from a binary heap instead of a Dial queue (weights > 1 void
+//!   the unit-bucket argument; the Dijkstra exchange argument of
+//!   Lemma 5.20 still applies verbatim).
+//!
+//! The paper reports no weighted experiments, so the harness claims
+//! none either; correctness is pinned the same way as the unweighted
+//! index — the maintained labelling must equal the (unique) minimal
+//! labelling rebuilt from scratch.
+
+use crate::stats::UpdateStats;
+use batchhl_common::{
+    Dist, EpochCache, FxHashMap, LandmarkLength, SparseBitSet, Vertex, INF,
+};
+use batchhl_graph::weighted::{BiDijkstra, Weight, WeightedGraph, WeightedUpdate};
+use batchhl_hcl::Labelling;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// A normalized weighted update: the edge plus its old/new weight
+/// (`None` = absent on that side).
+#[derive(Debug, Clone, Copy)]
+struct Effect {
+    a: Vertex,
+    b: Vertex,
+    w_old: Option<Weight>,
+    w_new: Option<Weight>,
+}
+
+/// Batch-dynamic distance index over a positively weighted graph.
+pub struct WeightedBatchIndex {
+    graph: WeightedGraph,
+    lab: Labelling,
+    shadow: Labelling,
+    aff: SparseBitSet,
+    dl_cache: EpochCache,
+    bounds: EpochCache,
+    engine: BiDijkstra,
+}
+
+impl WeightedBatchIndex {
+    /// Build with `k` top-degree landmarks.
+    pub fn build(graph: WeightedGraph, k: usize) -> Self {
+        let mut order = graph.vertices_by_degree();
+        order.truncate(k.min(graph.num_vertices()));
+        Self::build_with_landmarks(graph, order)
+    }
+
+    pub fn build_with_landmarks(graph: WeightedGraph, landmarks: Vec<Vertex>) -> Self {
+        let n = graph.num_vertices();
+        let mut lab = Labelling::empty(n, landmarks.clone());
+        for i in 0..landmarks.len() {
+            flagged_dijkstra(&graph, &lab, i, &mut Vec::new())
+                .into_iter()
+                .for_each(|(v, ll)| write_entry(&mut lab, i, v, ll));
+        }
+        let shadow = lab.clone();
+        WeightedBatchIndex {
+            graph,
+            lab,
+            shadow,
+            aff: SparseBitSet::new(n),
+            dl_cache: EpochCache::new(n),
+            bounds: EpochCache::new(n),
+            engine: BiDijkstra::new(n),
+        }
+    }
+
+    pub fn graph(&self) -> &WeightedGraph {
+        &self.graph
+    }
+
+    pub fn labelling(&self) -> &Labelling {
+        &self.lab
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Exact weighted distance; `None` when disconnected.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let d = self.query_dist(s, t);
+        (d != INF).then_some(d)
+    }
+
+    pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return INF;
+        }
+        if s == t {
+            return 0;
+        }
+        match (self.lab.landmark_index(s), self.lab.landmark_index(t)) {
+            (Some(i), Some(j)) => self.lab.highway(i, j),
+            (Some(i), None) => self.lab.landmark_to_vertex(i, t),
+            (None, Some(j)) => self.lab.landmark_to_vertex(j, s),
+            (None, None) => {
+                let bound = self.lab.upper_bound(s, t);
+                let lab = &self.lab;
+                self.engine
+                    .run(&self.graph, s, t, bound, |v| !lab.is_landmark(v))
+                    .unwrap_or(bound)
+            }
+        }
+    }
+
+    /// Apply a batch of weighted updates. Self-loops, invalid updates
+    /// and repeated updates of the same edge (only the first counts)
+    /// are dropped during normalization.
+    pub fn apply_batch(&mut self, updates: &[WeightedUpdate]) -> UpdateStats {
+        let start = Instant::now();
+        let mut stats = UpdateStats {
+            passes: 1,
+            ..Default::default()
+        };
+        let effects = self.normalize(updates);
+        if effects.is_empty() {
+            stats.elapsed = start.elapsed();
+            return stats;
+        }
+        // Apply to the graph.
+        for e in &effects {
+            match (e.w_old, e.w_new) {
+                (None, Some(w)) => {
+                    self.graph.ensure_vertices(e.a.max(e.b) as usize + 1);
+                    self.graph.insert_edge(e.a, e.b, w);
+                    stats.insertions += 1;
+                }
+                (Some(_), None) => {
+                    self.graph.remove_edge(e.a, e.b);
+                    stats.deletions += 1;
+                }
+                (Some(_), Some(w)) => {
+                    self.graph.set_weight(e.a, e.b, w);
+                    // Weight changes count toward the kind they mimic.
+                    if Some(w) < e.w_old {
+                        stats.insertions += 1;
+                    } else {
+                        stats.deletions += 1;
+                    }
+                }
+                (None, None) => unreachable!("normalization keeps valid effects only"),
+            }
+        }
+        stats.applied = effects.len();
+
+        let n = self.graph.num_vertices();
+        self.lab.ensure_vertices(n);
+        self.shadow.ensure_vertices(n);
+        self.aff.grow(n);
+        self.dl_cache.grow(n);
+        self.bounds.grow(n);
+
+        let r = self.lab.num_landmarks();
+        let mut affected = Vec::with_capacity(r);
+        for i in 0..r {
+            self.search(i, &effects);
+            self.repair(i);
+            affected.push(self.aff.inserted().to_vec());
+        }
+        for (i, aff) in affected.iter().enumerate() {
+            for &v in aff {
+                let d = self.lab.label(i, v);
+                self.shadow.set_label(i, v, d);
+            }
+            for j in 0..r {
+                self.shadow.set_highway_row(i, j, self.lab.highway(i, j));
+            }
+        }
+        stats.affected_per_landmark = affected.iter().map(Vec::len).collect();
+        stats.affected_total = stats.affected_per_landmark.iter().sum();
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    fn normalize(&self, updates: &[WeightedUpdate]) -> Vec<Effect> {
+        let mut seen: FxHashMap<(Vertex, Vertex), ()> = FxHashMap::default();
+        let mut out = Vec::new();
+        for u in updates {
+            let u = u.canonical();
+            let (a, b) = u.endpoints();
+            if a == b || seen.contains_key(&(a, b)) {
+                continue;
+            }
+            let in_range = (b as usize) < self.graph.num_vertices();
+            let w_old = if in_range { self.graph.weight(a, b) } else { None };
+            let effect = match u {
+                WeightedUpdate::Insert(_, _, w) if w_old.is_none() => Effect {
+                    a,
+                    b,
+                    w_old: None,
+                    w_new: Some(w),
+                },
+                WeightedUpdate::Delete(..) if w_old.is_some() => Effect {
+                    a,
+                    b,
+                    w_old,
+                    w_new: None,
+                },
+                WeightedUpdate::SetWeight(_, _, w) if w_old.is_some() && w_old != Some(w) => {
+                    Effect {
+                        a,
+                        b,
+                        w_old,
+                        w_new: Some(w),
+                    }
+                }
+                _ => continue, // invalid
+            };
+            seen.insert((a, b), ());
+            out.push(effect);
+        }
+        out
+    }
+
+    /// Weighted batch search for landmark `i` (Algorithm 2 analogue).
+    fn search(&mut self, i: usize, effects: &[Effect]) {
+        self.aff.clear();
+        self.dl_cache.clear();
+        let mut heap: BinaryHeap<Reverse<(Dist, Vertex)>> = BinaryHeap::new();
+        for e in effects {
+            let min_w = e.w_old.unwrap_or(Weight::MAX).min(e.w_new.unwrap_or(Weight::MAX));
+            let da = self.dl_old(i, e.a).dist();
+            let db = self.dl_old(i, e.b).dist();
+            if da != INF && da.saturating_add(min_w) <= db {
+                heap.push(Reverse((da + min_w, e.b)));
+            }
+            if db != INF && db.saturating_add(min_w) <= da {
+                heap.push(Reverse((db + min_w, e.a)));
+            }
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if !self.aff.insert(v) {
+                continue;
+            }
+            for k in 0..self.graph.neighbors(v).len() {
+                let (w, wt) = self.graph.neighbors(v)[k];
+                let nd = d.saturating_add(wt);
+                if nd <= self.dl_old(i, w).dist() {
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+    }
+
+    /// Weighted batch repair for landmark `i` (Algorithm 4 analogue,
+    /// heap-ordered by the packed landmark-length key).
+    fn repair(&mut self, i: usize) {
+        self.bounds.clear();
+        let mut heap: BinaryHeap<Reverse<(u64, Vertex)>> = BinaryHeap::new();
+        for idx in 0..self.aff.inserted().len() {
+            let v = self.aff.inserted()[idx];
+            let v_is_lm = self.lab.is_landmark(v);
+            let mut best = LandmarkLength::INFINITE;
+            for k in 0..self.graph.neighbors(v).len() {
+                let (w, wt) = self.graph.neighbors(v)[k];
+                if self.aff.contains(w) {
+                    continue;
+                }
+                let cand = self.dl_old(i, w).extend_by(wt, v_is_lm);
+                if cand < best {
+                    best = cand;
+                }
+            }
+            self.bounds.set(v as usize, best.key());
+            if !best.is_infinite() {
+                heap.push(Reverse((best.key(), v)));
+            }
+        }
+        while let Some(Reverse((key, v))) = heap.pop() {
+            if !self.aff.contains(v) {
+                continue;
+            }
+            let bound = LandmarkLength::from_key(self.bounds.get(v as usize).expect("bounded"));
+            if bound.key() != key {
+                continue; // stale
+            }
+            self.aff.remove(v);
+            self.finalize(i, v, bound);
+            for k in 0..self.graph.neighbors(v).len() {
+                let (w, wt) = self.graph.neighbors(v)[k];
+                if !self.aff.contains(w) {
+                    continue;
+                }
+                let cand = bound.extend_by(wt, self.lab.is_landmark(w));
+                let cur = self
+                    .bounds
+                    .get(w as usize)
+                    .map(LandmarkLength::from_key)
+                    .unwrap_or(LandmarkLength::INFINITE);
+                if cand < cur {
+                    self.bounds.set(w as usize, cand.key());
+                    if !cand.is_infinite() {
+                        heap.push(Reverse((cand.key(), w)));
+                    }
+                }
+            }
+        }
+        for idx in 0..self.aff.inserted().len() {
+            let v = self.aff.inserted()[idx];
+            if self.aff.contains(v) {
+                self.aff.remove(v);
+                self.finalize(i, v, LandmarkLength::INFINITE);
+            }
+        }
+    }
+
+    fn finalize(&mut self, i: usize, v: Vertex, dl: LandmarkLength) {
+        if let Some(j) = self.lab.landmark_index(v) {
+            let d = if dl.is_infinite() { INF } else { dl.dist() };
+            self.lab.set_highway_row(i, j, d);
+            self.lab.remove_label(i, v);
+        } else if dl.is_infinite() || dl.through_landmark() {
+            self.lab.remove_label(i, v);
+        } else {
+            self.lab.set_label(i, v, dl.dist());
+        }
+    }
+
+    fn dl_old(&mut self, i: usize, v: Vertex) -> LandmarkLength {
+        if let Some(key) = self.dl_cache.get(v as usize) {
+            return LandmarkLength::from_key(key);
+        }
+        let ll = self.shadow.landmark_dist(i, v);
+        self.dl_cache.set(v as usize, ll.key());
+        ll
+    }
+}
+
+/// Flagged Dijkstra from landmark `i`: `(vertex, d^L)` for all reached
+/// vertices, flags as in the flagged BFS of the unweighted build.
+fn flagged_dijkstra(
+    g: &WeightedGraph,
+    lab: &Labelling,
+    i: usize,
+    scratch: &mut Vec<(Vertex, LandmarkLength)>,
+) -> Vec<(Vertex, LandmarkLength)> {
+    scratch.clear();
+    let n = g.num_vertices();
+    let root = lab.landmark_vertex(i);
+    let mut best: Vec<u64> = vec![LandmarkLength::INFINITE.key(); n];
+    let mut heap: BinaryHeap<Reverse<(u64, Vertex)>> = BinaryHeap::new();
+    best[root as usize] = LandmarkLength::ZERO.key();
+    heap.push(Reverse((LandmarkLength::ZERO.key(), root)));
+    while let Some(Reverse((key, v))) = heap.pop() {
+        if key > best[v as usize] {
+            continue;
+        }
+        let ll = LandmarkLength::from_key(key);
+        for &(w, wt) in g.neighbors(v) {
+            let cand = ll.extend_by(wt, lab.is_landmark(w));
+            if cand.key() < best[w as usize] {
+                best[w as usize] = cand.key();
+                heap.push(Reverse((cand.key(), w)));
+            }
+        }
+    }
+    (0..n as Vertex)
+        .filter(|&v| v != root)
+        .map(|v| (v, LandmarkLength::from_key(best[v as usize])))
+        .filter(|(_, ll)| !ll.is_infinite())
+        .collect()
+}
+
+fn write_entry(lab: &mut Labelling, i: usize, v: Vertex, ll: LandmarkLength) {
+    if let Some(j) = lab.landmark_index(v) {
+        lab.set_highway_row(i, j, ll.dist());
+    } else if !ll.through_landmark() {
+        lab.set_label(i, v, ll.dist());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_common::SplitMix64;
+    use batchhl_graph::weighted::dijkstra;
+
+    /// Brute-force minimal weighted labelling via Dijkstra matrices.
+    fn bruteforce(g: &WeightedGraph, landmarks: Vec<Vertex>) -> Labelling {
+        let dists: Vec<Vec<Dist>> = landmarks.iter().map(|&r| dijkstra(g, r)).collect();
+        let mut lab = Labelling::empty(g.num_vertices(), landmarks);
+        let r = lab.num_landmarks();
+        for (i, row) in dists.iter().enumerate() {
+            for j in 0..r {
+                lab.set_highway_row(i, j, row[lab.landmark_vertex(j) as usize]);
+            }
+        }
+        for i in 0..r {
+            for v in 0..g.num_vertices() as Vertex {
+                if lab.is_landmark(v) || dists[i][v as usize] == INF {
+                    continue;
+                }
+                let d = dists[i][v as usize];
+                let covered = (0..r).any(|j| {
+                    j != i
+                        && dists[i][lab.landmark_vertex(j) as usize] != INF
+                        && dists[j][v as usize] != INF
+                        && dists[i][lab.landmark_vertex(j) as usize] as u64
+                            + dists[j][v as usize] as u64
+                            == d as u64
+                });
+                if !covered {
+                    lab.set_label(i, v, d);
+                }
+            }
+        }
+        lab
+    }
+
+    fn random_weighted(n: usize, m: usize, seed: u64) -> WeightedGraph {
+        let mut rng = SplitMix64::new(seed);
+        let mut g = WeightedGraph::new(n);
+        while g.num_edges() < m {
+            let a = rng.below(n as u64) as Vertex;
+            let b = rng.below(n as u64) as Vertex;
+            if a != b {
+                g.insert_edge(a, b, 1 + rng.below(9) as Weight);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn construction_is_minimal() {
+        for seed in 0..6 {
+            let g = random_weighted(40, 90, seed);
+            let idx = WeightedBatchIndex::build(g.clone(), 5);
+            let want = bruteforce(&g, idx.labelling().landmarks().to_vec());
+            assert_eq!(idx.labelling(), &want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn queries_match_dijkstra() {
+        let g = random_weighted(45, 100, 3);
+        let mut idx = WeightedBatchIndex::build(g.clone(), 5);
+        for s in 0..45u32 {
+            let truth = dijkstra(&g, s);
+            for t in 0..45u32 {
+                assert_eq!(idx.query_dist(s, t), truth[t as usize], "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_changes_track_rebuild() {
+        for seed in 0..6u64 {
+            let g = random_weighted(35, 80, seed);
+            let mut idx = WeightedBatchIndex::build(g, 4);
+            let mut rng = SplitMix64::new(seed ^ 0xAB);
+            for round in 0..4 {
+                let mut batch = Vec::new();
+                // Mixed batch: weight bumps, cuts and fresh edges.
+                let edges: Vec<_> = idx.graph().edges().collect();
+                for k in 0..8 {
+                    match k % 3 {
+                        0 => {
+                            let (a, b, w) = edges[rng.below(edges.len() as u64) as usize];
+                            let nw = 1 + ((w as u64 + rng.below(6)) % 9) as Weight;
+                            batch.push(WeightedUpdate::SetWeight(a, b, nw));
+                        }
+                        1 => {
+                            let (a, b, _) = edges[rng.below(edges.len() as u64) as usize];
+                            batch.push(WeightedUpdate::Delete(a, b));
+                        }
+                        _ => {
+                            let a = rng.below(35) as Vertex;
+                            let b = rng.below(35) as Vertex;
+                            if a != b {
+                                batch.push(WeightedUpdate::Insert(
+                                    a,
+                                    b,
+                                    1 + rng.below(9) as Weight,
+                                ));
+                            }
+                        }
+                    }
+                }
+                idx.apply_batch(&batch);
+                let want = bruteforce(idx.graph(), idx.labelling().landmarks().to_vec());
+                assert_eq!(
+                    idx.labelling(),
+                    &want,
+                    "seed {seed} round {round}: labelling diverged from rebuild"
+                );
+            }
+            // Queries stay exact at the end.
+            let g = idx.graph().clone();
+            for s in (0..35u32).step_by(5) {
+                let truth = dijkstra(&g, s);
+                for t in 0..35u32 {
+                    assert_eq!(idx.query_dist(s, t), truth[t as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_increase_behaves_like_deletion() {
+        // Path 0 -1- 1 -1- 2; landmark 0. Bumping (0,1) to 5 must
+        // raise d(0,2) to 6 and keep labels minimal.
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]);
+        assert_eq!(idx.query(0, 2), Some(2));
+        idx.apply_batch(&[WeightedUpdate::SetWeight(0, 1, 5)]);
+        assert_eq!(idx.query(0, 2), Some(6));
+        assert_eq!(idx.query(1, 2), Some(1));
+    }
+
+    #[test]
+    fn weight_decrease_behaves_like_insertion() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 9), (1, 2, 1)]);
+        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]);
+        assert_eq!(idx.query(0, 2), Some(10));
+        idx.apply_batch(&[WeightedUpdate::SetWeight(0, 1, 2)]);
+        assert_eq!(idx.query(0, 2), Some(3));
+    }
+
+    #[test]
+    fn normalization_rules() {
+        let g = WeightedGraph::from_edges(4, &[(0, 1, 2)]);
+        let mut idx = WeightedBatchIndex::build(g, 2);
+        let stats = idx.apply_batch(&[
+            WeightedUpdate::Insert(0, 1, 5),    // exists: invalid
+            WeightedUpdate::SetWeight(0, 1, 2), // unchanged: invalid
+            WeightedUpdate::Delete(2, 3),       // absent: invalid
+            WeightedUpdate::Insert(1, 1, 4),    // self-loop
+            WeightedUpdate::Insert(2, 3, 4),    // valid
+            WeightedUpdate::SetWeight(2, 3, 7), // same edge twice: dropped
+        ]);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(idx.graph().weight(2, 3), Some(4));
+    }
+}

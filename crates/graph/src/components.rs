@@ -1,0 +1,91 @@
+//! Connectivity helpers used by workload generation and tests.
+
+use crate::graph::DynamicGraph;
+use batchhl_common::Vertex;
+use std::collections::VecDeque;
+
+/// Connected-component labelling. Returns `(count, component_of)` where
+/// `component_of[v]` is a dense component id in `0..count`.
+pub fn connected_components(g: &DynamicGraph) -> (usize, Vec<u32>) {
+    const UNSET: u32 = u32::MAX;
+    let n = g.num_vertices();
+    let mut comp = vec![UNSET; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for s in 0..n as Vertex {
+        if comp[s as usize] != UNSET {
+            continue;
+        }
+        comp[s as usize] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == UNSET {
+                    comp[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (count as usize, comp)
+}
+
+/// True iff the graph has exactly one connected component (isolated
+/// vertices count as their own components; the empty graph is connected).
+pub fn is_connected(g: &DynamicGraph) -> bool {
+    connected_components(g).0 <= 1
+}
+
+/// Vertices of the largest connected component.
+pub fn largest_component(g: &DynamicGraph) -> Vec<Vertex> {
+    let (count, comp) = connected_components(g);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let big = (0..count).max_by_key(|&c| sizes[c]).unwrap() as u32;
+    (0..g.num_vertices() as Vertex)
+        .filter(|&v| comp[v as usize] == big)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_components() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (count, comp) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[5]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_graph() {
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_picks_biggest() {
+        let g = DynamicGraph::from_edges(7, &[(0, 1), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(largest_component(&g), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = DynamicGraph::new(0);
+        assert!(is_connected(&g));
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Directed dynamic graph (Section 6 of the paper).
+//!
+//! Stores both out- and in-adjacency (each sorted) so that forward and
+//! backward searches are symmetric slice scans. An edge `a → b` appears
+//! in `out[a]` and `in[b]`.
+
+use crate::update::{Batch, Update};
+use crate::AdjacencyView;
+use batchhl_common::Vertex;
+
+/// A directed simple graph under batch updates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynamicDiGraph {
+    out: Vec<Vec<Vertex>>,
+    inn: Vec<Vec<Vertex>>,
+    num_edges: usize,
+}
+
+impl DynamicDiGraph {
+    pub fn new(n: usize) -> Self {
+        DynamicDiGraph {
+            out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Build from directed arcs, ignoring self-loops and duplicates.
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        let mut g = DynamicDiGraph::new(n);
+        for &(u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n > self.out.len() {
+            self.out.resize(n, Vec::new());
+            self.inn.resize(n, Vec::new());
+        }
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: Vertex) -> usize {
+        self.out[v as usize].len()
+    }
+
+    #[inline]
+    pub fn in_degree(&self, v: Vertex) -> usize {
+        self.inn[v as usize].len()
+    }
+
+    /// Total degree, the ranking key for landmark selection on directed
+    /// graphs.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    #[inline]
+    pub fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.out[v as usize]
+    }
+
+    #[inline]
+    pub fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.inn[v as usize]
+    }
+
+    /// True iff arc `u → v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.out[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Insert arc `u → v`; invalid (`false`) for self-loops/duplicates.
+    pub fn insert_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        if u == v {
+            return false;
+        }
+        let max = u.max(v) as usize;
+        assert!(max < self.out.len(), "vertex {max} out of bounds");
+        match self.out[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(iu) => {
+                let iv = self.inn[v as usize].binary_search(&u).unwrap_err();
+                self.out[u as usize].insert(iu, v);
+                self.inn[v as usize].insert(iv, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove arc `u → v`; `false` if absent.
+    pub fn remove_edge(&mut self, u: Vertex, v: Vertex) -> bool {
+        match self.out[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(iu) => {
+                let iv = self.inn[v as usize].binary_search(&u).unwrap();
+                self.out[u as usize].remove(iu);
+                self.inn[v as usize].remove(iv);
+                self.num_edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Apply a batch of directed updates; returns how many changed the
+    /// graph.
+    pub fn apply_batch(&mut self, batch: &Batch) -> usize {
+        let mut applied = 0;
+        for u in batch.updates() {
+            let (a, b) = u.endpoints();
+            self.ensure_vertices(a.max(b) as usize + 1);
+            let changed = match u {
+                Update::Insert(..) => self.insert_edge(a, b),
+                Update::Delete(..) => self.remove_edge(a, b),
+            };
+            applied += usize::from(changed);
+        }
+        applied
+    }
+
+    /// All arcs `(u, v)` meaning `u → v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter().copied().map(move |v| (u as Vertex, v))
+        })
+    }
+
+    /// The reversed graph (every arc flipped). O(m).
+    pub fn reversed(&self) -> DynamicDiGraph {
+        DynamicDiGraph {
+            out: self.inn.clone(),
+            inn: self.out.clone(),
+            num_edges: self.num_edges,
+        }
+    }
+
+    pub fn vertices_by_degree(&self) -> Vec<Vertex> {
+        let mut order: Vec<Vertex> = (0..self.num_vertices() as Vertex).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        order
+    }
+
+    /// Consistency check: sorted lists, out/in mirroring, edge count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.out.len() != self.inn.len() {
+            return Err("out/in vertex count mismatch".into());
+        }
+        let mut arcs = 0usize;
+        for (u, nbrs) in self.out.iter().enumerate() {
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("out-adjacency of {u} not sorted"));
+            }
+            for &v in nbrs {
+                if v as usize == u {
+                    return Err(format!("self-loop at {u}"));
+                }
+                if self.inn[v as usize].binary_search(&(u as Vertex)).is_err() {
+                    return Err(format!("arc ({u},{v}) missing from in-list"));
+                }
+            }
+            arcs += nbrs.len();
+        }
+        if arcs != self.num_edges {
+            return Err("edge count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+impl AdjacencyView for DynamicDiGraph {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.out[v as usize]
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.inn[v as usize]
+    }
+}
+
+/// View of a directed graph with all arcs reversed, without copying.
+/// Backward label maintenance runs the forward machinery over this view.
+#[derive(Debug, Clone, Copy)]
+pub struct ReversedView<'g>(pub &'g DynamicDiGraph);
+
+impl AdjacencyView for ReversedView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
+        self.0.in_neighbors(v)
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
+        self.0.out_neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut g = DynamicDiGraph::new(3);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(g.insert_edge(1, 0));
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn in_out_mirroring() {
+        let g = DynamicDiGraph::from_edges(4, &[(0, 1), (2, 1), (3, 1), (1, 0)]);
+        assert_eq!(g.in_neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+        assert_eq!(g.in_degree(1), 3);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.degree(1), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_edge_directed() {
+        let mut g = DynamicDiGraph::from_edges(3, &[(0, 1), (1, 0)]);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reversed_view_swaps_directions() {
+        let g = DynamicDiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = ReversedView(&g);
+        assert_eq!(r.out_neighbors(1), &[0]);
+        assert_eq!(r.in_neighbors(1), &[2]);
+        let rg = g.reversed();
+        assert!(rg.has_edge(1, 0));
+        assert!(rg.has_edge(2, 1));
+        assert!(!rg.has_edge(0, 1));
+        rg.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_application() {
+        let mut g = DynamicDiGraph::new(2);
+        let b = Batch::from_updates(vec![
+            Update::Insert(0, 1),
+            Update::Insert(1, 0),
+            Update::Delete(0, 1),
+        ]);
+        assert_eq!(g.apply_batch(&b), 3);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+}

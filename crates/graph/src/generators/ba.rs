@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! The workhorse stand-in for the paper's social networks: power-law
+//! degree distribution (a few very-high-degree hubs, mirroring Table 2's
+//! max-degree column) and small diameter, the two properties the
+//! BatchHL pruning rules exploit.
+
+use crate::graph::DynamicGraph;
+use batchhl_common::Vertex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// BA graph on `n` vertices where each arriving vertex attaches `m`
+/// edges to existing vertices with probability proportional to degree.
+///
+/// Implementation: the classic repeated-endpoint list — sampling a
+/// uniform element of the half-edge list is exactly degree-proportional
+/// sampling. Duplicate targets are re-drawn so each arrival contributes
+/// `m` distinct edges (when possible).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> DynamicGraph {
+    assert!(m >= 1, "attachment count must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new(n);
+    if n == 0 {
+        return g;
+    }
+    let core = (m + 1).min(n);
+    // Seed clique keeps the early degree distribution non-degenerate.
+    for u in 0..core as Vertex {
+        for v in u + 1..core as Vertex {
+            g.insert_edge(u, v);
+        }
+    }
+    let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * n * m);
+    for (u, v) in g.edges() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for v in core as Vertex..n as Vertex {
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < m && attempts < 50 * m {
+            attempts += 1;
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if g.insert_edge(v, target) {
+                endpoints.push(v);
+                endpoints.push(target);
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn edge_count_and_connectivity() {
+        let n = 500;
+        let m = 4;
+        let g = barabasi_albert(n, m, 11);
+        assert_eq!(g.num_vertices(), n);
+        // core clique + m per arrival
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = barabasi_albert(2000, 3, 5);
+        // Power-law graphs have max degree far above the average.
+        assert!(
+            g.max_degree() as f64 > 8.0 * g.avg_degree(),
+            "max {} vs avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(300, 2, 42), barabasi_albert(300, 2, 42));
+        assert_ne!(barabasi_albert(300, 2, 42), barabasi_albert(300, 2, 43));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(barabasi_albert(0, 2, 1).num_vertices(), 0);
+        let g = barabasi_albert(1, 2, 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = barabasi_albert(2, 3, 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic classic graphs used throughout the test suites.
+
+use crate::graph::DynamicGraph;
+use batchhl_common::Vertex;
+
+/// Path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::new(n);
+    for i in 1..n as Vertex {
+        g.insert_edge(i - 1, i);
+    }
+    g
+}
+
+/// Cycle on `n ≥ 3` vertices (smaller `n` degrades to a path).
+pub fn cycle(n: usize) -> DynamicGraph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.insert_edge(0, n as Vertex - 1);
+    }
+    g
+}
+
+/// Star with centre `0` and `n - 1` leaves.
+pub fn star(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::new(n);
+    for i in 1..n as Vertex {
+        g.insert_edge(0, i);
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::new(n);
+    for u in 0..n as Vertex {
+        for v in u + 1..n as Vertex {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+/// `w × h` grid; vertex `(x, y)` has id `y * w + x`. The road-network
+/// control case (large diameter, no hubs).
+pub fn grid(w: usize, h: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as Vertex;
+            if x + 1 < w {
+                g.insert_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                g.insert_edge(v, v + w as Vertex);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+
+    #[test]
+    fn path_distances() {
+        let g = path(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(bfs_distances(&g, 0)[5], 5);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(bfs_distances(&g, 0)[5], 1);
+        assert_eq!(bfs_distances(&g, 0)[3], 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(bfs_distances(&g, 1)[2], 2);
+    }
+
+    #[test]
+    fn complete_diameter_one() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        let d = bfs_distances(&g, 3);
+        assert!(d.iter().enumerate().all(|(v, &dv)| dv == u32::from(v != 3)));
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = grid(4, 3);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[(2 * 4 + 3) as usize], 5); // (3,2): 3 + 2
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // h*(w-1) + (h-1)*w
+    }
+}

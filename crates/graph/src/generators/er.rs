@@ -1,0 +1,116 @@
+//! Erdős–Rényi random graphs.
+
+use crate::graph::DynamicGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::random_pair;
+
+/// G(n, m): exactly `m` distinct uniform edges (or as many as fit).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> DynamicGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new(n);
+    if n < 2 {
+        return g;
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    // Rejection sampling is fine while m is far below the maximum;
+    // fall back to dense enumeration otherwise.
+    if m * 3 < max_edges {
+        while g.num_edges() < m {
+            let (u, v) = random_pair(n, &mut rng);
+            g.insert_edge(u, v);
+        }
+    } else {
+        let mut all: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| (u + 1..n as u32).map(move |v| (u, v)))
+            .collect();
+        for i in (1..all.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            all.swap(i, j);
+        }
+        for &(u, v) in all.iter().take(m) {
+            g.insert_edge(u, v);
+        }
+    }
+    g
+}
+
+/// G(n, p): each pair independently with probability `p`.
+///
+/// Uses Batagelj–Brandes geometric skipping, so the expected running
+/// time is O(n + m) rather than O(n²).
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new(n);
+    if p == 0.0 || n < 2 {
+        return g;
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                g.insert_edge(u, v);
+            }
+        }
+        return g;
+    }
+    let log_q = (1.0 - p).ln();
+    let (mut u, mut v) = (1i64, -1i64);
+    let n = n as i64;
+    while u < n {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        v += 1 + (r.ln() / log_q).floor() as i64;
+        while v >= u && u < n {
+            v -= u;
+            u += 1;
+        }
+        if u < n {
+            g.insert_edge(u as u32, v as u32);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 250);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_caps_at_complete() {
+        let g = erdos_renyi_gnm(5, 1000, 1);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        assert_eq!(erdos_renyi_gnm(50, 100, 9), erdos_renyi_gnm(50, 100, 9));
+        assert_ne!(erdos_renyi_gnm(50, 100, 9), erdos_renyi_gnm(50, 100, 10));
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi_gnp(n, p, 4);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < 0.25 * expected, "m={m} expected≈{expected}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(erdos_renyi_gnp(30, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).num_edges(), 45);
+    }
+}

@@ -1,0 +1,106 @@
+//! R-MAT (recursive matrix) generator.
+//!
+//! Produces the heavily skewed degree distributions of web and
+//! communication graphs (Indochina-, Wikitalk-, UK-like stand-ins):
+//! recursive quadrant sampling with probabilities `(a, b, c, d)`.
+
+use crate::graph::DynamicGraph;
+use batchhl_common::Vertex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities for R-MAT. Must sum to ~1; `a` is the
+/// self-similar "rich get richer" corner.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The parameters popularized by Graph500 (a=0.57, b=c=0.19).
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// Milder skew, closer to social networks.
+    pub fn social() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Undirected R-MAT graph on `2^scale` vertices with ~`m` edges
+/// (duplicates and self-loops are dropped, so the realized count can be
+/// slightly lower).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> DynamicGraph {
+    assert!(params.d() >= 0.0, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new(n);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(8).max(64);
+    while g.num_edges() < m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        g.insert_edge(u as Vertex, v as Vertex);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_determinism() {
+        let g = rmat(10, 3000, RmatParams::graph500(), 2);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 2000, "m={}", g.num_edges());
+        assert_eq!(g, rmat(10, 3000, RmatParams::graph500(), 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn skew_produces_heavy_hubs() {
+        let g = rmat(12, 20000, RmatParams::graph500(), 3);
+        assert!(
+            g.max_degree() as f64 > 10.0 * g.avg_degree(),
+            "max {} vs avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rejects_bad_params() {
+        rmat(4, 10, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 1);
+    }
+}

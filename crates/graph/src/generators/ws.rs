@@ -1,0 +1,80 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::graph::DynamicGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ring lattice on `n` vertices with `k` nearest neighbours per side
+/// (`2k` total), each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::new(n);
+    if n < 2 || k == 0 {
+        return g;
+    }
+    let k = k.min((n - 1) / 2).max(1);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire: keep u, pick a uniform non-neighbour target.
+                let mut tries = 0;
+                loop {
+                    let w = rng.gen_range(0..n) as u32;
+                    if w as usize != u && !g.has_edge(u as u32, w) {
+                        g.insert_edge(u as u32, w);
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 100 {
+                        g.insert_edge(u as u32, v as u32);
+                        break;
+                    }
+                }
+            } else {
+                g.insert_edge(u as u32, v as u32);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for u in 0..20u32 {
+            assert_eq!(g.degree(u), 4);
+            assert!(g.has_edge(u, (u + 1) % 20));
+            assert!(g.has_edge(u, (u + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn rewiring_keeps_edge_count_close() {
+        let g = watts_strogatz(200, 3, 0.2, 7);
+        // Rewiring can occasionally fall back / collide; stay close.
+        assert!(g.num_edges() >= 550 && g.num_edges() <= 600, "m={}", g.num_edges());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn usually_connected_small_world() {
+        let g = watts_strogatz(500, 4, 0.1, 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(100, 2, 0.3, 5),
+            watts_strogatz(100, 2, 0.3, 5)
+        );
+    }
+}

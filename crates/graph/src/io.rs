@@ -1,0 +1,105 @@
+//! SNAP-style edge-list I/O.
+//!
+//! The paper's datasets ship as whitespace-separated edge lists with `#`
+//! comment lines (SNAP), occasionally `%` (KONECT). The reader accepts
+//! both, is buffered, and sizes the graph to the largest vertex id seen,
+//! so real datasets can be dropped into the benchmark harness when
+//! available (see DESIGN.md §4).
+
+use crate::digraph::DynamicDiGraph;
+use crate::graph::DynamicGraph;
+use batchhl_common::Vertex;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parse a whitespace-separated edge list. Lines starting with `#` or
+/// `%` (or empty) are skipped. Extra columns (timestamps, weights) are
+/// ignored.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> io::Result<Vec<(Vertex, Vertex)>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> io::Result<Vertex> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: expected two vertex ids", lineno + 1),
+                )
+            })?
+            .parse::<Vertex>()
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Read an undirected graph from an edge-list file.
+pub fn read_graph<P: AsRef<Path>>(path: P) -> io::Result<DynamicGraph> {
+    let file = std::fs::File::open(path)?;
+    let edges = parse_edge_list(io::BufReader::new(file))?;
+    Ok(DynamicGraph::from_edges_auto(&edges))
+}
+
+/// Read a directed graph from an edge-list file.
+pub fn read_digraph<P: AsRef<Path>>(path: P) -> io::Result<DynamicDiGraph> {
+    let file = std::fs::File::open(path)?;
+    let edges = parse_edge_list(io::BufReader::new(file))?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(DynamicDiGraph::from_edges(n, &edges))
+}
+
+/// Write an undirected graph as a canonical edge list (`u < v`, one edge
+/// per line), buffered.
+pub fn write_graph<W: Write>(g: &DynamicGraph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# undirected, {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u}\t{v}")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_extra_columns() {
+        let text = "# SNAP header\n% konect header\n\n0 1\n1\t2\t1655000000\n 2 3 \n";
+        let edges = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(parse_edge_list("42\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let g = DynamicGraph::from_edges(5, &[(0, 4), (1, 2), (2, 3)]);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let edges = parse_edge_list(buf.as_slice()).unwrap();
+        let g2 = DynamicGraph::from_edges(5, &edges);
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,52 @@
+//! Dynamic graph substrate for the `batchhl` workspace.
+//!
+//! The BatchHL paper operates on unweighted graphs stored explicitly in
+//! main memory that undergo *batches* of edge insertions and deletions
+//! (Section 3). This crate provides that substrate:
+//!
+//! * [`graph::DynamicGraph`] — undirected graphs with sorted adjacency
+//!   lists and O(log d) edge tests,
+//! * [`digraph::DynamicDiGraph`] — the directed counterpart (Section 6),
+//! * [`update`] — the update/batch model with the paper's normalization
+//!   rules (cancel insert+delete pairs, drop invalid/duplicate updates),
+//! * [`bfs`] — reusable BFS workspaces, including the distance-bounded
+//!   bidirectional search that powers query answering (Section 4),
+//! * [`generators`] — seeded synthetic graphs standing in for the
+//!   paper's 14 datasets (see DESIGN.md §4),
+//! * [`stream`] — an evolving timestamped edge stream standing in for
+//!   the real dynamic Wikipedia networks,
+//! * [`io`] — SNAP-style edge-list reading/writing,
+//! * [`components`] — connectivity helpers used by tests and workloads.
+
+pub mod bfs;
+pub mod components;
+pub mod digraph;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod stream;
+pub mod update;
+pub mod weighted;
+
+pub use digraph::DynamicDiGraph;
+pub use graph::DynamicGraph;
+pub use update::{Batch, Update};
+
+pub use batchhl_common::{Dist, Vertex, INF};
+
+/// Uniform view over the adjacency of directed and undirected graphs.
+///
+/// Undirected graphs present the same neighbour list in both directions;
+/// directed graphs present out- and in-neighbours. The BFS toolkit and
+/// the labelling algorithms are generic over this trait so the directed
+/// variant of BatchHL (Section 6) reuses the exact same machinery.
+pub trait AdjacencyView {
+    /// Number of vertices (`0..n` ids are valid).
+    fn num_vertices(&self) -> usize;
+
+    /// Successors of `v` (all neighbours for undirected graphs).
+    fn out_neighbors(&self, v: Vertex) -> &[Vertex];
+
+    /// Predecessors of `v` (all neighbours for undirected graphs).
+    fn in_neighbors(&self, v: Vertex) -> &[Vertex];
+}

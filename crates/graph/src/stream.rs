@@ -1,0 +1,176 @@
+//! Evolving timestamped edge streams.
+//!
+//! Stand-in for the paper's two *real dynamic* networks (Italian and
+//! French Wikipedia), whose topology evolves over time and whose batches
+//! are taken "in the order of their timestamps, each containing 1,000
+//! real-world inserted/deleted edges … applied in a streaming fashion"
+//! (Section 7.1). The generator grows a preferential-attachment network
+//! and then emits an interleaved stream of timestamped insertions (new
+//! preferential edges) and deletions (of currently-live edges), from
+//! which fixed-size batches are cut.
+
+use crate::graph::DynamicGraph;
+use crate::update::{Batch, Update};
+use batchhl_common::Vertex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A timestamped update stream over an evolving base graph.
+#[derive(Debug, Clone)]
+pub struct EvolvingStream {
+    /// Snapshot at stream start.
+    pub initial: DynamicGraph,
+    /// Updates in timestamp order. Timestamps are abstract ticks.
+    pub events: Vec<(u64, Update)>,
+}
+
+impl EvolvingStream {
+    /// Generate a stream: a BA base graph on `n` vertices (attachment
+    /// `m`), then `num_events` interleaved updates of which roughly
+    /// `delete_frac` are deletions of live edges.
+    pub fn generate(n: usize, m: usize, num_events: usize, delete_frac: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&delete_frac));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = crate::generators::barabasi_albert(n, m, seed ^ 0x9E37);
+        let mut live: Vec<(Vertex, Vertex)> = initial.edges().collect();
+        // Degree-proportional endpoint pool for realistic insertions.
+        let mut endpoints: Vec<Vertex> = Vec::with_capacity(2 * live.len());
+        for &(u, v) in &live {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        let mut shadow = initial.clone();
+        let mut events = Vec::with_capacity(num_events);
+        let mut ts = 0u64;
+        while events.len() < num_events {
+            ts += 1 + rng.gen_range(0..3u64); // irregular arrival times
+            let delete = !live.is_empty() && rng.gen_bool(delete_frac);
+            if delete {
+                let i = rng.gen_range(0..live.len());
+                let (u, v) = live.swap_remove(i);
+                if shadow.remove_edge(u, v) {
+                    events.push((ts, Update::Delete(u, v)));
+                }
+            } else {
+                // Preferential insertion mirroring ongoing growth.
+                let u = endpoints[rng.gen_range(0..endpoints.len())];
+                let v = if rng.gen_bool(0.5) {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                } else {
+                    rng.gen_range(0..n) as Vertex
+                };
+                if u != v && shadow.insert_edge(u, v) {
+                    let (a, b) = if u < v { (u, v) } else { (v, u) };
+                    live.push((a, b));
+                    endpoints.push(u);
+                    endpoints.push(v);
+                    events.push((ts, Update::Insert(a, b)));
+                }
+            }
+        }
+        EvolvingStream { initial, events }
+    }
+
+    /// Cut the stream into consecutive batches of `size` updates
+    /// (timestamp order preserved; a short final batch is kept).
+    pub fn batches(&self, size: usize) -> Vec<Batch> {
+        assert!(size > 0);
+        self.events
+            .chunks(size)
+            .map(|chunk| chunk.iter().map(|&(_, u)| u).collect())
+            .collect()
+    }
+
+    /// The graph state after applying the first `k` events to the
+    /// initial snapshot.
+    pub fn snapshot_after(&self, k: usize) -> DynamicGraph {
+        let mut g = self.initial.clone();
+        for &(_, u) in self.events.iter().take(k) {
+            let (a, b) = u.endpoints();
+            g.ensure_vertices(a.max(b) as usize + 1);
+            match u {
+                Update::Insert(..) => g.insert_edge(a, b),
+                Update::Delete(..) => g.remove_edge(a, b),
+            };
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_events_are_valid_in_sequence() {
+        let s = EvolvingStream::generate(300, 3, 1000, 0.4, 17);
+        assert_eq!(s.events.len(), 1000);
+        // Replaying must never hit an invalid update.
+        let mut g = s.initial.clone();
+        for &(_, u) in &s.events {
+            let (a, b) = u.endpoints();
+            let ok = match u {
+                Update::Insert(..) => g.insert_edge(a, b),
+                Update::Delete(..) => g.remove_edge(a, b),
+            };
+            assert!(ok, "stream produced invalid update {u:?}");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let s = EvolvingStream::generate(100, 2, 500, 0.3, 5);
+        assert!(s.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn batches_partition_events() {
+        let s = EvolvingStream::generate(100, 2, 550, 0.3, 5);
+        let batches = s.batches(100);
+        assert_eq!(batches.len(), 6);
+        assert_eq!(batches.last().unwrap().len(), 50);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 550);
+    }
+
+    #[test]
+    fn snapshot_matches_manual_replay() {
+        let s = EvolvingStream::generate(120, 2, 400, 0.5, 9);
+        let snap = s.snapshot_after(400);
+        let mut g = s.initial.clone();
+        for &(_, u) in &s.events {
+            let (a, b) = u.endpoints();
+            match u {
+                Update::Insert(..) => g.insert_edge(a, b),
+                Update::Delete(..) => g.remove_edge(a, b),
+            };
+        }
+        assert_eq!(snap, g);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = EvolvingStream::generate(100, 2, 200, 0.3, 1);
+        let b = EvolvingStream::generate(100, 2, 200, 0.3, 1);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.initial, b.initial);
+    }
+
+    #[test]
+    fn snapshot_beyond_length_saturates() {
+        let s = EvolvingStream::generate(80, 2, 100, 0.4, 2);
+        assert_eq!(s.snapshot_after(100), s.snapshot_after(usize::MAX));
+        assert_eq!(s.snapshot_after(0), s.initial);
+    }
+
+    #[test]
+    fn insert_only_stream() {
+        let s = EvolvingStream::generate(80, 2, 150, 0.0, 3);
+        assert!(s.events.iter().all(|&(_, u)| u.is_insert()));
+        assert_eq!(
+            s.snapshot_after(150).num_edges(),
+            s.initial.num_edges() + 150
+        );
+    }
+}

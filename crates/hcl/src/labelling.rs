@@ -1,0 +1,408 @@
+//! Labelling storage and the landmark-distance oracle.
+//!
+//! Layout (see DESIGN.md "Key design decisions"): one dense `Box<[Dist]>`
+//! row per landmark holding either the label distance or the [`NO_LABEL`]
+//! sentinel, plus a dense `|R| × |R|` highway matrix. Landmark-major rows
+//! make (a) per-landmark repair a contiguous-row affair, (b) the
+//! landmark-level parallelism of BHLₚ lock-free (threads own disjoint
+//! rows), and (c) the Γ → Γ′ double buffer a `memcpy`-speed clone.
+//!
+//! The *logical* labelling — the set of `(landmark, dist)` pairs at
+//! non-sentinel slots — is exactly the paper's minimal highway cover
+//! labelling; sizes are reported over logical entries.
+
+use batchhl_common::{Dist, LandmarkLength, Vertex, INF};
+
+/// Sentinel stored in a label row when the vertex holds no label for
+/// that landmark (either unreachable or covered via another landmark).
+pub const NO_LABEL: Dist = INF;
+
+/// Sentinel in the vertex → landmark-index map.
+const NOT_LANDMARK: u16 = u16::MAX;
+
+/// One landmark's mutable label row paired with its highway row.
+pub type RowPair<'a> = (&'a mut [Dist], &'a mut [Dist]);
+
+/// A highway cover labelling `Γ = (H, L)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labelling {
+    /// Landmarks in selection order; `landmarks[i]` is the vertex id of
+    /// landmark `i`.
+    landmarks: Vec<Vertex>,
+    /// Inverse map: `lm_index[v] == i` iff `landmarks[i] == v`.
+    lm_index: Vec<u16>,
+    /// `labels[i][v]`: the `r_i`-label of `v`, or [`NO_LABEL`].
+    labels: Vec<Box<[Dist]>>,
+    /// Row-major `|R| × |R|` matrix of exact landmark distances.
+    highway: Vec<Dist>,
+}
+
+impl Labelling {
+    /// An empty labelling (no labels, infinite highway) over `n`
+    /// vertices with the given landmarks. Construction fills it in.
+    pub fn empty(n: usize, landmarks: Vec<Vertex>) -> Self {
+        let r = landmarks.len();
+        assert!(r < NOT_LANDMARK as usize, "too many landmarks");
+        let mut lm_index = vec![NOT_LANDMARK; n];
+        for (i, &v) in landmarks.iter().enumerate() {
+            assert!((v as usize) < n, "landmark {v} out of bounds");
+            assert_eq!(
+                lm_index[v as usize], NOT_LANDMARK,
+                "duplicate landmark {v}"
+            );
+            lm_index[v as usize] = i as u16;
+        }
+        let mut highway = vec![INF; r * r];
+        for i in 0..r {
+            highway[i * r + i] = 0;
+        }
+        Labelling {
+            landmarks,
+            lm_index,
+            labels: (0..r).map(|_| vec![NO_LABEL; n].into_boxed_slice()).collect(),
+            highway,
+        }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.lm_index.len()
+    }
+
+    #[inline]
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    #[inline]
+    pub fn landmarks(&self) -> &[Vertex] {
+        &self.landmarks
+    }
+
+    #[inline]
+    pub fn landmark_vertex(&self, i: usize) -> Vertex {
+        self.landmarks[i]
+    }
+
+    /// Landmark index of `v`, if it is one.
+    #[inline]
+    pub fn landmark_index(&self, v: Vertex) -> Option<usize> {
+        let i = self.lm_index[v as usize];
+        (i != NOT_LANDMARK).then_some(i as usize)
+    }
+
+    #[inline]
+    pub fn is_landmark(&self, v: Vertex) -> bool {
+        self.lm_index[v as usize] != NOT_LANDMARK
+    }
+
+    /// The `r_i`-label of `v` ([`NO_LABEL`] if absent).
+    #[inline]
+    pub fn label(&self, i: usize, v: Vertex) -> Dist {
+        self.labels[i][v as usize]
+    }
+
+    #[inline]
+    pub fn set_label(&mut self, i: usize, v: Vertex, d: Dist) {
+        self.labels[i][v as usize] = d;
+    }
+
+    #[inline]
+    pub fn remove_label(&mut self, i: usize, v: Vertex) {
+        self.labels[i][v as usize] = NO_LABEL;
+    }
+
+    /// Full label row for landmark `i` (used by batch repair).
+    #[inline]
+    pub fn label_row(&self, i: usize) -> &[Dist] {
+        &self.labels[i]
+    }
+
+    #[inline]
+    pub fn label_row_mut(&mut self, i: usize) -> &mut [Dist] {
+        &mut self.labels[i]
+    }
+
+    /// Highway distance `δ_H(r_i, r_j)`.
+    #[inline]
+    pub fn highway(&self, i: usize, j: usize) -> Dist {
+        self.highway[i * self.landmarks.len() + j]
+    }
+
+    /// Write one directed highway entry `δ_H(r_i, r_j) ← d`.
+    ///
+    /// Deliberately *not* mirrored: on undirected graphs the repair pass
+    /// for landmark `j` writes the `(j, i)` entry itself (the two are
+    /// affected symmetrically), which keeps landmark-level parallelism
+    /// write-disjoint. Use [`Labelling::set_highway_sym`] elsewhere.
+    #[inline]
+    pub fn set_highway_row(&mut self, i: usize, j: usize, d: Dist) {
+        let r = self.landmarks.len();
+        self.highway[i * r + j] = d;
+    }
+
+    /// Write a symmetric highway entry (construction on undirected
+    /// graphs).
+    #[inline]
+    pub fn set_highway_sym(&mut self, i: usize, j: usize, d: Dist) {
+        let r = self.landmarks.len();
+        self.highway[i * r + j] = d;
+        self.highway[j * r + i] = d;
+    }
+
+    /// Exact `d_G(r_i, v)` recovered from the labelling (Eq. 2):
+    /// the label if present, otherwise the best label + highway detour.
+    pub fn landmark_to_vertex(&self, i: usize, v: Vertex) -> Dist {
+        self.landmark_dist(i, v).dist()
+    }
+
+    /// The landmark-distance oracle `d^L_G(r_i, v)` (Definition 5.13):
+    /// exact distance plus the flag recording whether *some* shortest
+    /// `r_i`–`v` path passes through another landmark. Derived purely
+    /// from the labelling:
+    ///
+    /// * `v = r_i` → `(0, false)`;
+    /// * `v` another landmark → `(δ_H(r_i, v), true)` (the path
+    ///   terminates in a landmark);
+    /// * `v` holds an `r_i`-label → `(label, false)` (minimality:
+    ///   the label exists iff no shortest path is landmark-covered);
+    /// * otherwise → `(min_k label_k(v) + δ_H(r_i, r_k), true)`,
+    ///   infinite when unreachable.
+    pub fn landmark_dist(&self, i: usize, v: Vertex) -> LandmarkLength {
+        if let Some(j) = self.landmark_index(v) {
+            return if i == j {
+                LandmarkLength::ZERO
+            } else {
+                LandmarkLength::new(self.highway(i, j), true)
+            };
+        }
+        let lab = self.labels[i][v as usize];
+        if lab != NO_LABEL {
+            return LandmarkLength::new(lab, false);
+        }
+        let mut best = INF as u64;
+        let r = self.landmarks.len();
+        for k in 0..r {
+            let lk = self.labels[k][v as usize];
+            if lk == NO_LABEL {
+                continue;
+            }
+            let h = self.highway[i * r + k];
+            if h == INF {
+                continue;
+            }
+            best = best.min(lk as u64 + h as u64);
+        }
+        if best >= INF as u64 {
+            LandmarkLength::INFINITE
+        } else {
+            LandmarkLength::new(best as Dist, true)
+        }
+    }
+
+    /// The upper bound `d⊤(s, t)` of Eq. 3: the length of the best
+    /// `s → r_i → r_j → t` route through the highway, `INF` if none.
+    pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
+        let r = self.landmarks.len();
+        let mut best = u64::from(INF);
+        for i in 0..r {
+            let ls = self.labels[i][s as usize];
+            if ls == NO_LABEL {
+                continue;
+            }
+            let row = &self.highway[i * r..(i + 1) * r];
+            for (j, &h) in row.iter().enumerate() {
+                if h == INF {
+                    continue;
+                }
+                let lt = self.labels[j][t as usize];
+                if lt == NO_LABEL {
+                    continue;
+                }
+                best = best.min(ls as u64 + h as u64 + lt as u64);
+            }
+        }
+        best.min(u64::from(INF)) as Dist
+    }
+
+    /// Logical label entries of one vertex, `(landmark index, dist)`.
+    pub fn label_entries(&self, v: Vertex) -> impl Iterator<Item = (usize, Dist)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, row)| {
+                let d = row[v as usize];
+                (d != NO_LABEL).then_some((i, d))
+            })
+    }
+
+    /// Total number of logical label entries, `Σ_v |L(v)|`.
+    pub fn size_entries(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|row| row.iter().filter(|&&d| d != NO_LABEL).count())
+            .sum()
+    }
+
+    /// Average label size per vertex.
+    pub fn avg_label_size(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.size_entries() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Logical size in bytes: entries as `(u16 landmark, u32 dist)`
+    /// pairs plus the highway matrix. This is the quantity Table 4's
+    /// "Labelling Size" column reports.
+    pub fn size_bytes(&self) -> usize {
+        self.size_entries() * (2 + 4) + self.landmarks.len() * self.landmarks.len() * 4
+    }
+
+    /// Grow the vertex set (new vertices carry no labels).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        if n <= self.num_vertices() {
+            return;
+        }
+        self.lm_index.resize(n, NOT_LANDMARK);
+        for row in &mut self.labels {
+            let mut v = std::mem::take(row).into_vec();
+            v.resize(n, NO_LABEL);
+            *row = v.into_boxed_slice();
+        }
+    }
+
+    /// Mutable access to one landmark's label row and highway row (the
+    /// only parts of `Γ′` that landmark `i`'s repair writes).
+    pub fn row_mut(&mut self, i: usize) -> (&mut [Dist], &mut [Dist]) {
+        let r = self.landmarks.len();
+        (&mut self.labels[i], &mut self.highway[i * r..(i + 1) * r])
+    }
+
+    /// Disjoint mutable views of every label row together with the
+    /// matching highway row, for landmark-parallel repair.
+    pub fn rows_mut(&mut self) -> (Vec<RowPair<'_>>, &[Vertex]) {
+        let r = self.landmarks.len();
+        let mut out = Vec::with_capacity(r);
+        let mut labels: &mut [Box<[Dist]>] = &mut self.labels;
+        let mut highway: &mut [Dist] = &mut self.highway;
+        for _ in 0..r {
+            let (lrow, lrest) = labels.split_first_mut().unwrap();
+            let (hrow, hrest) = highway.split_at_mut(r);
+            labels = lrest;
+            highway = hrest;
+            out.push((&mut lrow[..], hrow));
+        }
+        (out, &self.landmarks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Labelling {
+        // 6 vertices, landmarks 0 and 3.
+        let mut l = Labelling::empty(6, vec![0, 3]);
+        l.set_highway_sym(0, 1, 2);
+        l.set_label(0, 1, 1); // d(0,1)=1, not covered
+        l.set_label(0, 2, 1);
+        l.set_label(1, 2, 1); // vertex 2 adjacent to both landmarks
+        l.set_label(1, 4, 1);
+        l
+    }
+
+    #[test]
+    fn landmark_bookkeeping() {
+        let l = sample();
+        assert_eq!(l.num_landmarks(), 2);
+        assert_eq!(l.landmark_index(0), Some(0));
+        assert_eq!(l.landmark_index(3), Some(1));
+        assert_eq!(l.landmark_index(2), None);
+        assert!(l.is_landmark(3));
+        assert_eq!(l.landmark_vertex(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate landmark")]
+    fn rejects_duplicate_landmarks() {
+        Labelling::empty(4, vec![1, 1]);
+    }
+
+    #[test]
+    fn highway_diagonal_is_zero() {
+        let l = sample();
+        assert_eq!(l.highway(0, 0), 0);
+        assert_eq!(l.highway(1, 1), 0);
+        assert_eq!(l.highway(0, 1), 2);
+        assert_eq!(l.highway(1, 0), 2);
+    }
+
+    #[test]
+    fn landmark_dist_cases() {
+        let l = sample();
+        use batchhl_common::LandmarkLength as LL;
+        // Self.
+        assert_eq!(l.landmark_dist(0, 0), LL::ZERO);
+        // Other landmark: highway distance, flag set.
+        assert_eq!(l.landmark_dist(0, 3), LL::new(2, true));
+        // Labelled vertex: label distance, flag clear.
+        assert_eq!(l.landmark_dist(0, 1), LL::new(1, false));
+        // Covered vertex: label of the other landmark + highway.
+        assert_eq!(l.landmark_dist(0, 4), LL::new(3, true));
+        // Unreachable vertex.
+        assert_eq!(l.landmark_dist(0, 5), LL::INFINITE);
+        assert_eq!(l.landmark_to_vertex(0, 5), INF);
+    }
+
+    #[test]
+    fn upper_bound_routes_through_highway() {
+        let l = sample();
+        // 1 → r0 → r1 → 4 : 1 + 2 + 1 = 4.
+        assert_eq!(l.upper_bound(1, 4), 4);
+        // 2 has labels to both landmarks: 2 → r1 → 4 gives 1 + 0 + 1.
+        assert_eq!(l.upper_bound(2, 4), 2);
+        // No labels on 5.
+        assert_eq!(l.upper_bound(1, 5), INF);
+    }
+
+    #[test]
+    fn sizes_count_logical_entries() {
+        let l = sample();
+        assert_eq!(l.size_entries(), 4);
+        assert!((l.avg_label_size() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(l.size_bytes(), 4 * 6 + 4 * 4);
+        let entries: Vec<_> = l.label_entries(2).collect();
+        assert_eq!(entries, vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn ensure_vertices_extends_rows() {
+        let mut l = sample();
+        l.ensure_vertices(10);
+        assert_eq!(l.num_vertices(), 10);
+        assert_eq!(l.label(0, 9), NO_LABEL);
+        assert_eq!(l.landmark_index(9), None);
+        // Old content survives.
+        assert_eq!(l.label(0, 1), 1);
+    }
+
+    #[test]
+    fn rows_mut_are_disjoint_and_aligned() {
+        let mut l = sample();
+        {
+            let (rows, lms) = l.rows_mut();
+            assert_eq!(lms, &[0, 3]);
+            assert_eq!(rows.len(), 2);
+            for (i, (lrow, hrow)) in rows.into_iter().enumerate() {
+                assert_eq!(lrow.len(), 6);
+                assert_eq!(hrow.len(), 2);
+                assert_eq!(hrow[i], 0, "diagonal of row {i}");
+                lrow[5] = i as Dist; // write through the view
+            }
+        }
+        assert_eq!(l.label(0, 5), 0);
+        assert_eq!(l.label(1, 5), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Highway cover labelling (Definitions 3.2–3.4 of the BatchHL paper).
+//!
+//! A highway cover labelling `Γ = (H, L)` consists of
+//!
+//! * a **highway** `H = (R, δ_H)`: a set of landmarks `R` together with
+//!   their exact pairwise distances, and
+//! * a **distance labelling** `L`: per vertex `v`, entries `(r, d_G(r, v))`
+//!   for exactly those landmarks `r` such that *no* shortest path between
+//!   `r` and `v` passes through another landmark (the unique *minimal*
+//!   labelling — Definition 3.4 and [17]).
+//!
+//! Unlike a 2-hop cover (full) labelling, this is a *partial* labelling:
+//! it answers landmark–vertex distances exactly (Eq. 2) and provides an
+//! upper bound `d⊤` for arbitrary pairs (Eq. 3) that a distance-bounded
+//! bidirectional BFS on the landmark-free subgraph `G[V \ R]` turns into
+//! an exact answer (Section 4).
+//!
+//! Modules:
+//!
+//! * [`labelling`] — storage (landmark-major label rows + highway
+//!   matrix) and the `d^L` landmark-distance oracle,
+//! * [`landmarks`] — landmark-selection strategies,
+//! * [`build`] — construction by flagged BFS (sequential and parallel),
+//! * [`query`] — the combined labelling + bounded-search query engine,
+//! * [`oracle`] — brute-force reference implementations used by tests.
+
+pub mod build;
+pub mod labelling;
+pub mod landmarks;
+pub mod oracle;
+pub mod query;
+pub mod serde_io;
+
+pub use build::{build_labelling, build_labelling_parallel};
+pub use labelling::{Labelling, NO_LABEL};
+pub use landmarks::LandmarkSelection;
+pub use query::QueryEngine;

@@ -1,0 +1,181 @@
+//! Query processing (Section 4).
+//!
+//! `Q(s, t) = min(d_{G[V\R]}(s, t), d⊤_{st})`: compute the highway upper
+//! bound from the labelling (Eq. 3), then run a distance-bounded
+//! bidirectional BFS on the landmark-sparsified graph. Landmark
+//! endpoints are answered from the labelling alone via the highway cover
+//! property (Eq. 2) — for them the bound is already exact.
+
+use crate::labelling::Labelling;
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::bfs::BiBfs;
+use batchhl_graph::AdjacencyView;
+
+/// Reusable query engine for undirected graphs: owns the bidirectional
+/// search workspace so back-to-back queries allocate nothing.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    bibfs: BiBfs,
+}
+
+impl QueryEngine {
+    pub fn new(n: usize) -> Self {
+        QueryEngine {
+            bibfs: BiBfs::new(n),
+        }
+    }
+
+    /// Exact distance between `s` and `t` on the graph `g` that `lab`
+    /// currently describes; `None` if disconnected.
+    pub fn query<A: AdjacencyView>(
+        &mut self,
+        lab: &Labelling,
+        g: &A,
+        s: Vertex,
+        t: Vertex,
+    ) -> Option<Dist> {
+        let d = self.query_dist(lab, g, s, t);
+        (d != INF).then_some(d)
+    }
+
+    /// As [`QueryEngine::query`] but returning `INF` for disconnected.
+    pub fn query_dist<A: AdjacencyView>(
+        &mut self,
+        lab: &Labelling,
+        g: &A,
+        s: Vertex,
+        t: Vertex,
+    ) -> Dist {
+        if s == t {
+            return 0;
+        }
+        match (lab.landmark_index(s), lab.landmark_index(t)) {
+            (Some(i), Some(j)) => lab.highway(i, j),
+            // Landmark–vertex distances are exact by the highway cover
+            // property (Eq. 2).
+            (Some(i), None) => lab.landmark_to_vertex(i, t),
+            (None, Some(j)) => lab.landmark_to_vertex(j, s),
+            (None, None) => {
+                let bound = lab.upper_bound(s, t);
+                let found = self
+                    .bibfs
+                    .run(g, s, t, bound, |v| !lab.is_landmark(v));
+                found.unwrap_or(bound)
+            }
+        }
+    }
+
+    /// The labelling-only upper bound (for diagnostics / benches).
+    pub fn upper_bound(&self, lab: &Labelling, s: Vertex, t: Vertex) -> Dist {
+        lab.upper_bound(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_labelling;
+    use crate::oracle::all_pairs_bfs;
+    use crate::LandmarkSelection;
+    use batchhl_graph::generators::{barabasi_albert, cycle, erdos_renyi_gnm, grid, path, star};
+    use batchhl_graph::DynamicGraph;
+
+    fn assert_all_pairs_exact(g: &DynamicGraph, k: usize) {
+        let lms = LandmarkSelection::TopDegree(k).select(g);
+        let lab = build_labelling(g, lms);
+        let truth = all_pairs_bfs(g);
+        let mut engine = QueryEngine::new(g.num_vertices());
+        for s in 0..g.num_vertices() as Vertex {
+            for t in 0..g.num_vertices() as Vertex {
+                assert_eq!(
+                    engine.query_dist(&lab, g, s, t),
+                    truth[s as usize][t as usize],
+                    "query({s},{t}) with {k} landmarks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_classics() {
+        for k in [1, 2, 4] {
+            assert_all_pairs_exact(&path(9), k);
+            assert_all_pairs_exact(&cycle(9), k);
+            assert_all_pairs_exact(&star(9), k);
+            assert_all_pairs_exact(&grid(4, 3), k);
+        }
+    }
+
+    #[test]
+    fn exact_on_random_graphs() {
+        for seed in 0..6 {
+            let g = erdos_renyi_gnm(50, 90, seed);
+            assert_all_pairs_exact(&g, 4);
+        }
+        let g = barabasi_albert(80, 2, 3);
+        assert_all_pairs_exact(&g, 6);
+    }
+
+    #[test]
+    fn exact_on_disconnected_graph() {
+        // Two components; landmark in one of them.
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_all_pairs_exact(&g, 2);
+        let lab = build_labelling(&g, vec![0]);
+        let mut engine = QueryEngine::new(6);
+        assert_eq!(engine.query(&lab, &g, 0, 4), None);
+        assert_eq!(engine.query(&lab, &g, 3, 4), Some(1));
+        assert_eq!(engine.query(&lab, &g, 5, 5), Some(0));
+        assert_eq!(engine.query(&lab, &g, 5, 0), None);
+    }
+
+    #[test]
+    fn landmark_endpoint_cases() {
+        let g = path(6);
+        let lab = build_labelling(&g, vec![1, 4]);
+        let mut engine = QueryEngine::new(6);
+        // landmark–landmark via highway
+        assert_eq!(engine.query(&lab, &g, 1, 4), Some(3));
+        // landmark–vertex via Eq. 2
+        assert_eq!(engine.query(&lab, &g, 1, 5), Some(4));
+        assert_eq!(engine.query(&lab, &g, 0, 4), Some(4));
+        // same landmark
+        assert_eq!(engine.query(&lab, &g, 4, 4), Some(0));
+    }
+
+    #[test]
+    fn search_beats_bound_when_paths_avoid_landmarks() {
+        // Square 0-1-2-3-0 plus a hub 4 connected to 0 and 2; landmark
+        // at the hub. d(1, 3) = 2 around the square, but the highway
+        // route via the hub also gives 1 + 0 + 1... make the hub farther.
+        // Path 0-1, 1-2; hub 3 adjacent to 0 and 2 only.
+        let g = DynamicGraph::from_edges(4, &[(0, 1), (1, 2), (3, 0), (3, 2)]);
+        let lab = build_labelling(&g, vec![3]);
+        let mut engine = QueryEngine::new(4);
+        // Upper bound through landmark 3: d(0,3)+d(3,2) = 2; the direct
+        // path 0-1-2 also has length 2 — equal here. For (1, 1)? Use
+        // (0, 2): both routes length 2.
+        assert_eq!(engine.query(&lab, &g, 0, 2), Some(2));
+        // (1, 3) is landmark query.
+        assert_eq!(engine.query(&lab, &g, 1, 3), Some(2));
+        // (0, 1): bound via landmark = 1 + 2... actual edge = 1.
+        assert_eq!(engine.query(&lab, &g, 0, 1), Some(1));
+    }
+
+    #[test]
+    fn upper_bound_is_admissible_and_often_tight() {
+        let g = barabasi_albert(120, 3, 11);
+        let lab = build_labelling(&g, LandmarkSelection::TopDegree(8).select(&g));
+        let truth = all_pairs_bfs(&g);
+        let engine = QueryEngine::new(g.num_vertices());
+        for s in (0..120u32).step_by(7) {
+            for t in (0..120u32).step_by(11) {
+                let ub = engine.upper_bound(&lab, s, t);
+                let d = truth[s as usize][t as usize];
+                if !lab.is_landmark(s) && !lab.is_landmark(t) && s != t {
+                    assert!(ub as u64 >= d as u64, "bound must be admissible");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Labelling persistence: a small versioned binary format, std-only.
+//!
+//! Rebuilding a labelling is cheap but not free (`O(|R|·(|V|+|E|))`);
+//! a service restarting against an unchanged graph can instead load the
+//! snapshot and resume batch maintenance immediately. The format stores
+//! the landmark list, the highway matrix and each label row
+//! run-length-free (dense rows compress poorly anyway at `|R| ≤ 64`
+//! entries/vertex; the dominant payload is genuine label data).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "BHL1" | u64 n | u64 r | r × u32 landmark ids
+//! r × r × u32 highway | r rows × n × u32 labels (NO_LABEL = absent)
+//! ```
+
+use crate::labelling::Labelling;
+use batchhl_common::{Dist, Vertex};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BHL1";
+
+/// Serialize a labelling.
+pub fn write_labelling<W: Write>(lab: &Labelling, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    out.write_all(MAGIC)?;
+    let n = lab.num_vertices() as u64;
+    let r = lab.num_landmarks() as u64;
+    out.write_all(&n.to_le_bytes())?;
+    out.write_all(&r.to_le_bytes())?;
+    for &lm in lab.landmarks() {
+        out.write_all(&lm.to_le_bytes())?;
+    }
+    for i in 0..lab.num_landmarks() {
+        for j in 0..lab.num_landmarks() {
+            out.write_all(&lab.highway(i, j).to_le_bytes())?;
+        }
+    }
+    for i in 0..lab.num_landmarks() {
+        for &d in lab.label_row(i) {
+            out.write_all(&d.to_le_bytes())?;
+        }
+    }
+    out.flush()
+}
+
+/// Deserialize a labelling written by [`write_labelling`].
+pub fn read_labelling<R: Read>(reader: R) -> io::Result<Labelling> {
+    let mut inp = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a BHL1 labelling snapshot",
+        ));
+    }
+    let n = read_u64(&mut inp)? as usize;
+    let r = read_u64(&mut inp)? as usize;
+    if r > u16::MAX as usize - 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "landmark count out of range",
+        ));
+    }
+    let mut landmarks = Vec::with_capacity(r);
+    for _ in 0..r {
+        let v = read_u32(&mut inp)?;
+        if v as usize >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("landmark {v} out of bounds (n = {n})"),
+            ));
+        }
+        landmarks.push(v as Vertex);
+    }
+    let mut lab = Labelling::empty(n, landmarks);
+    for i in 0..r {
+        for j in 0..r {
+            lab.set_highway_row(i, j, read_u32(&mut inp)?);
+        }
+    }
+    for i in 0..r {
+        let row = lab.label_row_mut(i);
+        // Bulk-read each row to avoid 4-byte syscall chatter.
+        let mut buf = vec![0u8; n * 4];
+        inp.read_exact(&mut buf)?;
+        for (v, chunk) in buf.chunks_exact(4).enumerate() {
+            row[v] = Dist::from_le_bytes(chunk.try_into().unwrap());
+        }
+    }
+    Ok(lab)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_labelling;
+    use crate::LandmarkSelection;
+    use batchhl_graph::generators::{barabasi_albert, path};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for g in [path(20), barabasi_albert(200, 3, 7)] {
+            let lab = build_labelling(&g, LandmarkSelection::TopDegree(6).select(&g));
+            let mut buf = Vec::new();
+            write_labelling(&lab, &mut buf).unwrap();
+            let back = read_labelling(buf.as_slice()).unwrap();
+            assert_eq!(lab, back);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_labelling(&b"NOPE"[..]).is_err());
+        assert!(read_labelling(&b"BHL1\x01"[..]).is_err(), "truncated");
+        // Landmark id out of range.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BHL1");
+        buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // r = 1
+        buf.extend_from_slice(&9u32.to_le_bytes()); // landmark 9 >= n
+        assert!(read_labelling(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let g = barabasi_albert(100, 2, 3);
+        let lab = build_labelling(&g, LandmarkSelection::TopDegree(4).select(&g));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_labelling(&lab, &mut a).unwrap();
+        write_labelling(&lab, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Communication-network monitoring — the paper's router scenario:
+//! links "become slow or broken due to congestion … or a deadly fault",
+//! and operators need shortest-path distances maintained to preserve
+//! quality of service.
+//!
+//! A small-world backbone suffers waves of correlated link failures
+//! (batch deletions) followed by repairs (batch insertions). After each
+//! wave the index answers SLA probes — hop distances between critical
+//! router pairs — and flags violations.
+//!
+//! ```sh
+//! cargo run --release --example network_monitoring
+//! ```
+
+use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::graph::generators::watts_strogatz;
+use batchhl::graph::{Batch, Vertex};
+use batchhl::hcl::LandmarkSelection;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+const ROUTERS: usize = 5_000;
+const SLA_HOPS: u32 = 9;
+
+fn main() {
+    // Ring-lattice + shortcuts: a plausible backbone topology.
+    let graph = watts_strogatz(ROUTERS, 3, 0.1, 4);
+    let mut index = BatchIndex::build(
+        graph,
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(16),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<(Vertex, Vertex)> = (0..8)
+        .map(|i| (i * 577 % ROUTERS as Vertex, (i * 911 + 2500) % ROUTERS as Vertex))
+        .collect();
+
+    for wave in 1..=4 {
+        // Failure wave: a correlated burst of link faults.
+        let mut edges: Vec<(Vertex, Vertex)> = index.graph().edges().collect();
+        edges.shuffle(&mut rng);
+        let failed: Vec<(Vertex, Vertex)> = edges.into_iter().take(120).collect();
+        let mut outage = Batch::new();
+        for &(a, b) in &failed {
+            outage.delete(a, b);
+        }
+        let stats = index.apply_batch(&outage);
+        println!(
+            "wave {wave}: {} links down, repaired labelling in {:.1?} ({} vertices touched)",
+            stats.applied, stats.elapsed, stats.affected_total
+        );
+        let mut violations = 0;
+        for &(s, t) in &probes {
+            match index.query(s, t) {
+                Some(d) if d <= SLA_HOPS => {}
+                Some(d) => {
+                    violations += 1;
+                    println!("  SLA violation: {s} -> {t} now {d} hops");
+                }
+                None => {
+                    violations += 1;
+                    println!("  OUTAGE: {s} -> {t} disconnected");
+                }
+            }
+        }
+        if violations == 0 {
+            println!("  all {} probes within {} hops", probes.len(), SLA_HOPS);
+        }
+
+        // Operators restore the failed links (plus one new backup link).
+        let mut repair = Batch::new();
+        for &(a, b) in &failed {
+            repair.insert(a, b);
+        }
+        repair.insert(wave * 13, wave * 577 + 99);
+        let stats = index.apply_batch(&repair);
+        println!(
+            "        restored {} links in {:.1?}",
+            stats.applied, stats.elapsed
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a BatchHL index, answer distance queries, apply a
+//! mixed batch of edge insertions/deletions, and query again.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::graph::generators::barabasi_albert;
+use batchhl::graph::Batch;
+use batchhl::hcl::LandmarkSelection;
+
+fn main() {
+    // A scale-free graph shaped like a small social network.
+    let graph = barabasi_albert(20_000, 5, 42);
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // Build the index: 20 top-degree landmarks, improved batch search
+    // (the paper's BHL+ configuration).
+    let config = IndexConfig {
+        selection: LandmarkSelection::TopDegree(20),
+        algorithm: Algorithm::BhlPlus,
+        threads: 1,
+    };
+    let start = std::time::Instant::now();
+    let mut index = BatchIndex::build(graph, config);
+    println!(
+        "built labelling in {:.1?}: {} label entries ({:.2} per vertex)",
+        start.elapsed(),
+        index.labelling().size_entries(),
+        index.labelling().avg_label_size()
+    );
+
+    // Exact distance queries (None = disconnected).
+    for (s, t) in [(0, 1), (17, 12_345), (19_999, 3)] {
+        println!("d({s}, {t}) = {:?}", index.query(s, t));
+    }
+
+    // A batch update: sever some edges, create others — one call.
+    let mut batch = Batch::new();
+    batch.delete(0, 1);
+    batch.insert(17, 12_345);
+    batch.insert(19_999, 3);
+    let stats = index.apply_batch(&batch);
+    println!(
+        "applied {} updates in {:.1?} ({} vertices affected across {} landmarks)",
+        stats.applied,
+        stats.elapsed,
+        stats.affected_total,
+        stats.affected_per_landmark.len()
+    );
+
+    for (s, t) in [(0, 1), (17, 12_345), (19_999, 3)] {
+        println!("d({s}, {t}) = {:?}", index.query(s, t));
+    }
+}

@@ -1,0 +1,88 @@
+//! Distance-based friend recommendation on a churning social network —
+//! the paper's motivating Twitter scenario: "about 9% of all
+//! connections change in a month", while distance information drives
+//! content and connection recommendation.
+//!
+//! The index absorbs follow/unfollow events in batches; after each
+//! batch we recommend, for a sample of users, the closest non-friends
+//! (friends-of-friends first).
+//!
+//! ```sh
+//! cargo run --release --example social_recommendations
+//! ```
+
+use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::graph::generators::barabasi_albert;
+use batchhl::graph::{Batch, Vertex};
+use batchhl::hcl::LandmarkSelection;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+const USERS: usize = 10_000;
+const ROUNDS: usize = 5;
+const EVENTS_PER_ROUND: usize = 400;
+
+fn main() {
+    let graph = barabasi_albert(USERS, 6, 7);
+    let mut index = BatchIndex::build(
+        graph,
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(20),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let watched: Vec<Vertex> = (0..5).map(|_| rng.gen_range(0..USERS as Vertex)).collect();
+
+    for round in 1..=ROUNDS {
+        // Churn: ~60% new follows (preferential), 40% unfollows.
+        let mut batch = Batch::new();
+        for _ in 0..EVENTS_PER_ROUND {
+            if rng.gen_bool(0.6) {
+                let a = rng.gen_range(0..USERS as Vertex);
+                let b = rng.gen_range(0..USERS as Vertex);
+                if a != b {
+                    batch.insert(a, b);
+                }
+            } else {
+                let v = rng.gen_range(0..USERS as Vertex);
+                let nbrs = index.graph().neighbors(v);
+                if let Some(&w) = nbrs.choose(&mut rng) {
+                    batch.delete(v, w);
+                }
+            }
+        }
+        let stats = index.apply_batch(&batch);
+        println!(
+            "round {round}: {} events applied in {:.1?}, {} vertices repaired",
+            stats.applied, stats.elapsed, stats.affected_total
+        );
+
+        // Recommend the closest non-friends for the watched users.
+        for &u in &watched {
+            let friends: Vec<Vertex> = index.graph().neighbors(u).to_vec();
+            let mut best: Vec<(u32, Vertex)> = Vec::new();
+            // Candidates: friends of friends.
+            let mut cands: Vec<Vertex> = friends
+                .iter()
+                .flat_map(|&f| index.graph().neighbors(f).iter().copied())
+                .filter(|&c| c != u && !friends.contains(&c))
+                .collect();
+            cands.sort_unstable();
+            cands.dedup();
+            for c in cands.into_iter().take(64) {
+                if let Some(d) = index.query(u, c) {
+                    best.push((d, c));
+                }
+            }
+            best.sort_unstable();
+            let picks: Vec<String> = best
+                .iter()
+                .take(3)
+                .map(|(d, c)| format!("{c} (d={d})"))
+                .collect();
+            println!("  user {u}: recommend {}", picks.join(", "));
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! # batchhl
+//!
+//! Facade crate re-exporting the whole BatchHL workspace: a from-scratch
+//! Rust reproduction of *"BatchHL: Answering Distance Queries on
+//! Batch-Dynamic Networks at Scale"* (SIGMOD 2022).
+
+pub use batchhl_baselines as baselines;
+pub use batchhl_common as common;
+pub use batchhl_core as core;
+pub use batchhl_graph as graph;
+pub use batchhl_hcl as hcl;

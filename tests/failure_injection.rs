@@ -1,0 +1,178 @@
+//! Failure injection: hostile and degenerate inputs that exercised
+//! every guard in the update pipeline during development.
+
+use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::graph::generators::{complete, path, star};
+use batchhl::graph::{Batch, DynamicGraph, Update};
+use batchhl::hcl::{oracle, LandmarkSelection};
+
+fn index(g: DynamicGraph, k: usize) -> BatchIndex {
+    BatchIndex::build(
+        g,
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(k),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        },
+    )
+}
+
+fn assert_minimal(idx: &BatchIndex) {
+    oracle::check_minimal(idx.graph(), idx.labelling()).unwrap();
+}
+
+#[test]
+fn empty_graph_and_empty_batches() {
+    let mut idx = index(DynamicGraph::new(0), 4);
+    assert_eq!(idx.apply_batch(&Batch::new()).applied, 0);
+    assert_eq!(idx.query(0, 0), None, "out-of-range is None, not panic");
+
+    let mut idx = index(DynamicGraph::new(5), 4); // edgeless
+    assert_eq!(idx.query(1, 2), None);
+    assert_eq!(idx.query(3, 3), Some(0));
+    let mut b = Batch::new();
+    b.insert(0, 1);
+    idx.apply_batch(&b);
+    assert_eq!(idx.query(0, 1), Some(1));
+    assert_minimal(&idx);
+}
+
+#[test]
+fn garbage_batches_are_inert() {
+    let g = path(8);
+    let mut idx = index(g.clone(), 3);
+    let before = idx.labelling().clone();
+    let mut b = Batch::new();
+    b.push(Update::Insert(3, 3)); // self loop
+    b.push(Update::Insert(0, 1)); // duplicate of existing edge
+    b.push(Update::Delete(0, 5)); // non-edge
+    b.push(Update::Insert(2, 6)); // valid …
+    b.push(Update::Delete(2, 6)); // … but cancelled in the same batch
+    b.push(Update::Delete(6, 2)); // cancelled pair, reversed endpoints
+    let stats = idx.apply_batch(&b);
+    assert_eq!(stats.applied, 0);
+    assert_eq!(idx.graph(), &g);
+    assert_eq!(idx.labelling(), &before);
+}
+
+#[test]
+fn repeated_updates_within_batch_collapse() {
+    let mut idx = index(path(6), 2);
+    let mut b = Batch::new();
+    for _ in 0..10 {
+        b.insert(0, 3);
+    }
+    let stats = idx.apply_batch(&b);
+    assert_eq!(stats.applied, 1);
+    assert_eq!(idx.query(0, 3), Some(1));
+    assert_minimal(&idx);
+}
+
+#[test]
+fn total_destruction_and_rebirth() {
+    let g = complete(10);
+    let mut idx = index(g.clone(), 4);
+    // Delete every edge in one batch.
+    let mut wipe = Batch::new();
+    for (a, b) in g.edges() {
+        wipe.delete(a, b);
+    }
+    let stats = idx.apply_batch(&wipe);
+    assert_eq!(stats.applied, 45);
+    for s in 0..10u32 {
+        for t in 0..10u32 {
+            assert_eq!(idx.query(s, t), (s == t).then_some(0));
+        }
+    }
+    assert_minimal(&idx);
+    assert_eq!(idx.labelling().size_entries(), 0, "empty graph ⇒ no labels");
+    // Re-create everything in one batch.
+    let mut rebuild = Batch::new();
+    for (a, b) in g.edges() {
+        rebuild.insert(a, b);
+    }
+    idx.apply_batch(&rebuild);
+    assert_eq!(idx.graph(), &g);
+    assert_minimal(&idx);
+}
+
+#[test]
+fn landmark_isolation() {
+    // Cut off the top-degree landmark (star centre) entirely.
+    let g = star(12);
+    let mut idx = index(g.clone(), 3);
+    let mut b = Batch::new();
+    for (a, c) in g.edges() {
+        b.delete(a, c);
+    }
+    b.insert(1, 2); // leave one ordinary edge
+    idx.apply_batch(&b);
+    assert_eq!(idx.query(0, 1), None);
+    assert_eq!(idx.query(1, 2), Some(1));
+    assert_minimal(&idx);
+}
+
+#[test]
+fn growth_via_batches() {
+    let mut idx = index(path(3), 2);
+    let mut b = Batch::new();
+    b.insert(2, 3);
+    b.insert(3, 4);
+    b.insert(4, 5);
+    idx.apply_batch(&b);
+    assert_eq!(idx.num_vertices(), 6);
+    assert_eq!(idx.query(0, 5), Some(5));
+    assert_minimal(&idx);
+    // New vertices can immediately appear in follow-up batches.
+    let mut b = Batch::new();
+    b.delete(4, 5);
+    b.insert(0, 5);
+    idx.apply_batch(&b);
+    assert_eq!(idx.query(4, 5), Some(5)); // 4-3-2-1-0-5
+    assert_minimal(&idx);
+}
+
+#[test]
+fn oscillating_edge_stays_consistent() {
+    // The same edge toggled across many batches: labels must be
+    // identical whenever the graph state repeats (uniqueness).
+    let mut idx = index(path(7), 3);
+    let with_shortcut = {
+        let mut b = Batch::new();
+        b.insert(0, 6);
+        idx.apply_batch(&b);
+        idx.labelling().clone()
+    };
+    let without_shortcut = {
+        let mut b = Batch::new();
+        b.delete(0, 6);
+        idx.apply_batch(&b);
+        idx.labelling().clone()
+    };
+    for _ in 0..5 {
+        let mut b = Batch::new();
+        b.insert(0, 6);
+        idx.apply_batch(&b);
+        assert_eq!(idx.labelling(), &with_shortcut);
+        let mut b = Batch::new();
+        b.delete(0, 6);
+        idx.apply_batch(&b);
+        assert_eq!(idx.labelling(), &without_shortcut);
+    }
+}
+
+#[test]
+fn parallel_variant_survives_degenerate_inputs() {
+    let mut cfg = IndexConfig {
+        selection: LandmarkSelection::TopDegree(4),
+        algorithm: Algorithm::BhlPlus,
+        threads: 8, // more threads than landmarks
+    };
+    cfg.selection = LandmarkSelection::TopDegree(2);
+    let mut idx = BatchIndex::build(path(5), cfg);
+    let mut b = Batch::new();
+    b.delete(1, 2);
+    b.insert(0, 4);
+    idx.apply_batch(&b);
+    assert_minimal(&idx);
+}

@@ -1,0 +1,115 @@
+//! All published variants (BHL, BHL⁺, BHLₛ, UHL, UHL⁺, BHLₚ) converge
+//! to the identical labelling — uniqueness of the minimal highway cover
+//! labelling makes this an exact, entry-level comparison — and their
+//! affected-vertex counts obey the paper's Figure 2 ordering.
+
+use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::graph::generators::{barabasi_albert, rmat, RmatParams};
+use batchhl::graph::{Batch, DynamicGraph, Vertex};
+use batchhl::hcl::LandmarkSelection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mixed_batch(g: &DynamicGraph, size: usize, seed: u64) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_vertices() as Vertex;
+    let mut b = Batch::new();
+    for _ in 0..size {
+        let a = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if a == c {
+            continue;
+        }
+        if g.has_edge(a, c) {
+            b.delete(a, c);
+        } else {
+            b.insert(a, c);
+        }
+    }
+    b
+}
+
+fn build(g: &DynamicGraph, algorithm: Algorithm, threads: usize) -> BatchIndex {
+    BatchIndex::build(
+        g.clone(),
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(8),
+            algorithm,
+            threads,
+        },
+    )
+}
+
+#[test]
+fn all_variants_identical_labellings() {
+    for (g, seed) in [
+        (barabasi_albert(200, 3, 5), 1u64),
+        (rmat(8, 900, RmatParams::graph500(), 6), 2),
+    ] {
+        let batch = mixed_batch(&g, 30, seed);
+        let mut reference = build(&g, Algorithm::BhlPlus, 1);
+        reference.apply_batch(&batch);
+        for (alg, threads) in [
+            (Algorithm::Bhl, 1),
+            (Algorithm::BhlS, 1),
+            (Algorithm::Uhl, 1),
+            (Algorithm::UhlPlus, 1),
+            (Algorithm::BhlPlus, 4), // BHLp
+            (Algorithm::Bhl, 3),
+        ] {
+            let mut idx = build(&g, alg, threads);
+            idx.apply_batch(&batch);
+            assert_eq!(
+                idx.labelling(),
+                reference.labelling(),
+                "{alg:?}/threads={threads} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure2_ordering_of_affected_counts() {
+    // UHL ≥ BHLs ≥ BHL ≥ BHL+ on mixed batches (Figure 2's gap).
+    let g = barabasi_albert(400, 4, 9);
+    let batch = mixed_batch(&g, 60, 3);
+    let mut counts = Vec::new();
+    for alg in [
+        Algorithm::Uhl,
+        Algorithm::BhlS,
+        Algorithm::Bhl,
+        Algorithm::BhlPlus,
+    ] {
+        let mut idx = build(&g, alg, 1);
+        counts.push((alg, idx.apply_batch(&batch).affected_total));
+    }
+    for w in counts.windows(2) {
+        assert!(
+            w[0].1 >= w[1].1,
+            "{:?}={} should be ≥ {:?}={}",
+            w[0].0,
+            w[0].1,
+            w[1].0,
+            w[1].1
+        );
+    }
+    // And the batch effect must be real: UHL strictly above BHL+.
+    assert!(counts[0].1 > counts[3].1);
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let g = barabasi_albert(150, 3, 2);
+    let batch = mixed_batch(&g, 25, 8);
+    let mut idx = build(&g, Algorithm::BhlPlus, 1);
+    let stats = idx.apply_batch(&batch);
+    assert_eq!(stats.insertions + stats.deletions, stats.applied);
+    assert_eq!(
+        stats.affected_per_landmark.iter().sum::<usize>(),
+        stats.affected_total
+    );
+    assert_eq!(stats.affected_per_landmark.len(), 8);
+    assert_eq!(stats.passes, 1);
+    let stats_uhl = build(&g, Algorithm::UhlPlus, 1).apply_batch(&batch);
+    assert_eq!(stats_uhl.passes, batch.len());
+}
