@@ -111,7 +111,11 @@ impl FulFd {
     /// updates).
     pub fn size_bytes(&self) -> usize {
         self.roots.len() * self.graph.num_vertices() * std::mem::size_of::<Dist>()
-            + self.bp.iter().map(BitParallelTree::size_bytes).sum::<usize>()
+            + self
+                .bp
+                .iter()
+                .map(BitParallelTree::size_bytes)
+                .sum::<usize>()
     }
 
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
@@ -149,8 +153,7 @@ impl FulFd {
     }
 
     fn root_index(&self, v: Vertex) -> Option<usize> {
-        self.is_root[v as usize]
-            .then(|| self.roots.iter().position(|&r| r == v).expect("root map"))
+        self.is_root[v as usize].then(|| self.roots.iter().position(|&r| r == v).expect("root map"))
     }
 
     /// Apply one update (FulFD's native granularity). Returns `false`
@@ -173,8 +176,7 @@ impl FulFd {
                 true
             }
             Update::Delete(..) => {
-                if (a.max(b) as usize) >= self.graph.num_vertices()
-                    || !self.graph.remove_edge(a, b)
+                if (a.max(b) as usize) >= self.graph.num_vertices() || !self.graph.remove_edge(a, b)
                 {
                     return false;
                 }

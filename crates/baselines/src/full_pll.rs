@@ -56,8 +56,7 @@ impl FulPll {
         let (a, b) = u.endpoints();
         match u {
             Update::Insert(..) => {
-                self.graph
-                    .ensure_vertices(a.max(b) as usize + 1);
+                self.graph.ensure_vertices(a.max(b) as usize + 1);
                 if !self.graph.insert_edge(a, b) {
                     return false;
                 }
@@ -65,8 +64,7 @@ impl FulPll {
                 true
             }
             Update::Delete(..) => {
-                if (a.max(b) as usize) >= self.graph.num_vertices()
-                    || !self.graph.remove_edge(a, b)
+                if (a.max(b) as usize) >= self.graph.num_vertices() || !self.graph.remove_edge(a, b)
                 {
                     return false;
                 }

@@ -21,14 +21,14 @@
 pub mod bibfs;
 pub mod bit_parallel;
 pub mod dec_pll;
-pub mod full_pll;
 pub mod fulfd;
+pub mod full_pll;
 pub mod inc_pll;
 pub mod pll;
 pub mod psl;
 
 pub use bibfs::OnlineBiBfs;
-pub use full_pll::FulPll;
 pub use fulfd::FulFd;
+pub use full_pll::FulPll;
 pub use pll::{PllIndex, TwoHopLabels};
 pub use psl::{build_psl, build_psl_with_deadline};

@@ -271,7 +271,7 @@ mod tests {
         let g = barabasi_albert(300, 3, 4);
         let pll = PllIndex::build(&g);
         let lms = batchhl_hcl::LandmarkSelection::TopDegree(20).select(&g);
-        let hcl = batchhl_hcl::build_labelling(&g, lms);
+        let hcl = batchhl_hcl::build_labelling(&g, lms).unwrap();
         assert!(
             pll.labels.size_entries() > 2 * hcl.size_entries(),
             "PLL {} vs HCL {}",

@@ -32,9 +32,7 @@ pub fn build_psl_with_deadline(
     let n = g.num_vertices();
     let mut labels = TwoHopLabels::empty(g);
     // Round 0: every vertex is its own hub at distance 0.
-    let mut added_prev: Vec<Vec<u32>> = (0..n)
-        .map(|v| vec![labels.rank[v]])
-        .collect();
+    let mut added_prev: Vec<Vec<u32>> = (0..n).map(|v| vec![labels.rank[v]]).collect();
     for v in 0..n as Vertex {
         let r = labels.rank[v as usize];
         labels.upsert(v, r, 0);

@@ -12,7 +12,8 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let g = bench_graph();
-    let lab = build_labelling(&g, LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g));
+    let lab =
+        build_labelling(&g, LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g)).unwrap();
     let n = g.num_vertices() as u32;
     // Access pattern shaped like repair: every vertex a handful of
     // times (once per incident edge).

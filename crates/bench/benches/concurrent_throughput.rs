@@ -1,0 +1,109 @@
+//! Mixed read/write throughput: queries/sec sustained by N reader
+//! threads over `Reader` handles while the writer applies batches.
+//!
+//! This is the serving scenario the generation store exists for — the
+//! paper's Table 3/4 benches measure update and query latency in
+//! isolation; here they contend. Three series:
+//!
+//! * `read_only/N` — N reader threads, idle writer (baseline);
+//! * `mixed/N` — N reader threads while the writer applies a batch and
+//!   its inverse per round (the graph round-trips, so every iteration
+//!   measures the same workload);
+//! * `write_only` — the writer alone, for the update-cost baseline.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_queries, BENCH_LANDMARKS};
+use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl_hcl::LandmarkSelection;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const QUERIES_PER_THREAD: usize = 256;
+const BATCH_SIZE: usize = 100;
+
+fn build_index() -> BatchIndex {
+    BatchIndex::build(
+        bench_graph(),
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(BENCH_LANDMARKS),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        },
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut index = build_index();
+    let pairs = bench_queries(index.graph(), QUERIES_PER_THREAD);
+    let batch = bench_batch(index.graph(), BATCH_SIZE);
+    let inverse = batch.normalize(index.graph()).inverse();
+
+    let mut group = c.benchmark_group("concurrent_throughput");
+
+    for readers in [1, 2, 4] {
+        group.throughput(Throughput::Elements((readers * pairs.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("read_only", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..readers {
+                            let mut reader = index.reader();
+                            let pairs = &pairs;
+                            scope.spawn(move || {
+                                for &(s, t) in pairs {
+                                    black_box(reader.query_dist(s, t));
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+
+    for readers in [1, 2, 4] {
+        group.throughput(Throughput::Elements((readers * pairs.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mixed", readers),
+            &readers,
+            |b, &readers| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for _ in 0..readers {
+                            let mut reader = index.reader();
+                            let pairs = &pairs;
+                            scope.spawn(move || {
+                                for &(s, t) in pairs {
+                                    black_box(reader.query_dist(s, t));
+                                }
+                            });
+                        }
+                        // Writer churns on the scope's main thread: one
+                        // batch out, one batch back.
+                        index.apply_batch(&batch);
+                        index.apply_batch(&inverse);
+                    });
+                });
+            },
+        );
+    }
+
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("write_only", |b| {
+        b.iter(|| {
+            black_box(index.apply_batch(&batch));
+            black_box(index.apply_batch(&inverse));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -13,7 +13,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let g0 = bench_graph_dense();
-    let lab = build_labelling(&g0, LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g0));
+    let lab = build_labelling(
+        &g0,
+        LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g0),
+    )
+    .unwrap();
     let batch = bench_batch(&g0, 100).normalize(&g0);
     let mut g1 = g0.clone();
     g1.apply_batch(&batch);

@@ -3,7 +3,9 @@
 
 use batchhl_baselines::{FulFd, OnlineBiBfs};
 use batchhl_bench::bench_config;
-use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_index, bench_queries, BENCH_LANDMARKS};
+use batchhl_bench::bench_support::{
+    bench_batch, bench_graph, bench_index, bench_queries, BENCH_LANDMARKS,
+};
 use batchhl_core::index::Algorithm;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;

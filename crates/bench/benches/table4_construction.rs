@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
     let landmarks = LandmarkSelection::TopDegree(BENCH_LANDMARKS).select(&g);
     let mut group = c.benchmark_group("table4_construction");
     group.bench_function("BHL+ (highway cover)", |b| {
-        b.iter(|| build_labelling(&g, landmarks.clone()))
+        b.iter(|| build_labelling(&g, landmarks.clone()).unwrap())
     });
     group.bench_function("FulFD (BP trees)", |b| {
         b.iter(|| FulFd::build(g.clone(), BENCH_LANDMARKS))

@@ -117,8 +117,8 @@ pub const PLL_FRIENDLY: &[&str] = &["youtube", "skitter", "flickr", "wikitalk"];
 /// Domain tag shown in Table 2.
 pub fn dataset_kind(name: &str) -> &'static str {
     match name {
-        "youtube" | "flickr" | "hollywood" | "orkut" | "livejournal" | "twitter"
-        | "friendster" | "enwiki" | "italianwiki" | "frenchwiki" => "social",
+        "youtube" | "flickr" | "hollywood" | "orkut" | "livejournal" | "twitter" | "friendster"
+        | "enwiki" | "italianwiki" | "frenchwiki" => "social",
         "skitter" => "comp",
         "wikitalk" => "comm",
         "indochina" | "uk" => "web",
@@ -144,7 +144,12 @@ pub fn dataset(name: &str, scale: Scale) -> DynamicGraph {
         "youtube" => barabasi_albert(scale.n(8_000), 3, 0xA001),
         "skitter" => barabasi_albert(scale.n(8_000), 7, 0xA002),
         "flickr" => barabasi_albert(scale.n(8_000), 9, 0xA003),
-        "wikitalk" => rmat(scale.rmat_scale(13), scale.n(16_000), RmatParams::graph500(), 0xA004),
+        "wikitalk" => rmat(
+            scale.rmat_scale(13),
+            scale.n(16_000),
+            RmatParams::graph500(),
+            0xA004,
+        ),
         "hollywood" => barabasi_albert(scale.n(6_000), 49, 0xA005),
         "orkut" => barabasi_albert(scale.n(8_000), 38, 0xA006),
         "enwiki" => barabasi_albert(scale.n(8_000), 22, 0xA007),

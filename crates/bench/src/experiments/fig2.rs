@@ -26,7 +26,15 @@ pub fn run(ctx: &ExpContext) {
             ctx.landmarks
         );
         let mut table = Table::new(&[
-            "BatchSize", "BHL+", "BHL+%", "BHL", "BHL%", "BHLs", "BHLs%", "UHL", "UHL%",
+            "BatchSize",
+            "BHL+",
+            "BHL+%",
+            "BHL",
+            "BHL%",
+            "BHLs",
+            "BHLs%",
+            "UHL",
+            "UHL%",
         ]);
         for &f in SIZE_FACTORS {
             let size = ((ctx.scale.batch_size() as f64 * f) as usize).max(2);

@@ -73,9 +73,8 @@ pub fn run(ctx: &ExpContext) {
                 fd_total += t;
             }
 
-            let per_query = |total: Duration| {
-                fmt_duration(total / (NUM_BATCHES * QUERIES_PER_BATCH) as u32)
-            };
+            let per_query =
+                |total: Duration| fmt_duration(total / (NUM_BATCHES * QUERIES_PER_BATCH) as u32);
             table.row(vec![
                 size.to_string(),
                 per_query(bib_total),

@@ -5,7 +5,10 @@ use crate::datasets::{dataset, dataset_kind};
 use crate::measure::Table;
 
 pub fn run(ctx: &ExpContext) {
-    println!("== Table 2: summary of datasets (stand-ins, scale {:?}) ==", ctx.scale);
+    println!(
+        "== Table 2: summary of datasets (stand-ins, scale {:?}) ==",
+        ctx.scale
+    );
     let mut table = Table::new(&["Dataset", "Type", "|V|", "|E|", "avg. deg", "max. deg"]);
     for name in ctx
         .static_datasets()

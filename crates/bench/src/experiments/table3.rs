@@ -182,7 +182,9 @@ fn dynamic_streams(ctx: &ExpContext) {
             .collect();
         let mut cells = vec![name.to_string()];
         for (_, alg, par) in variant_columns() {
-            cells.push(fmt_duration(run_variant(ctx, &s.initial, alg, par, &batches)));
+            cells.push(fmt_duration(run_variant(
+                ctx, &s.initial, alg, par, &batches,
+            )));
         }
         cells.push(fmt_duration(run_fulfd(ctx, &s.initial, &batches)));
         table.row(cells);

@@ -17,8 +17,19 @@ pub fn run(ctx: &ExpContext) {
         ctx.scale.query_count()
     );
     let mut table = Table::new(&[
-        "Dataset", "CT BHL+", "CT FulFD", "CT FulPLL", "CT PSL*", "QT BHL+", "QT FulFD",
-        "QT FulPLL", "QT PSL*", "LS BHL+", "LS FulFD", "LS FulPLL", "LS PSL*",
+        "Dataset",
+        "CT BHL+",
+        "CT FulFD",
+        "CT FulPLL",
+        "CT PSL*",
+        "QT BHL+",
+        "QT FulFD",
+        "QT FulPLL",
+        "QT PSL*",
+        "LS BHL+",
+        "LS FulFD",
+        "LS FulPLL",
+        "LS PSL*",
     ]);
     for name in ctx.static_datasets() {
         let g = dataset(name, ctx.scale);
@@ -50,7 +61,8 @@ pub fn run(ctx: &ExpContext) {
         let ls_fd = fd.size_bytes();
 
         // FulPLL (budgeted; applies batches single-update).
-        let (pll_res, ct_pll) = time(|| FulPll::build_with_deadline(g.clone(), Some(ctx.deadline())));
+        let (pll_res, ct_pll) =
+            time(|| FulPll::build_with_deadline(g.clone(), Some(ctx.deadline())));
         let mut qt_pll = None;
         let mut ls_pll = None;
         let ct_pll_str = match pll_res {

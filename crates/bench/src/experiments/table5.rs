@@ -26,13 +26,7 @@ fn avg_affected(
 
 pub fn run(ctx: &ExpContext) {
     println!("== Table 5: average affected vertices per batch ==");
-    let mut table = Table::new(&[
-        "Dataset",
-        "BHL+ Delete",
-        "BHL+ Add",
-        "BHL+ Mix",
-        "BHL Mix",
-    ]);
+    let mut table = Table::new(&["Dataset", "BHL+ Delete", "BHL+ Add", "BHL+ Mix", "BHL Mix"]);
     for name in ctx.static_datasets() {
         let g = dataset(name, ctx.scale);
         let dels = decremental_batches(&g, ctx.workload());

@@ -19,12 +19,7 @@ pub const DIRECTED_DATASETS: &[&str] = &["wikitalk", "enwiki", "livejournal", "t
 
 /// Fully-dynamic directed batches: 50% deletions of existing arcs, 50%
 /// fresh arcs, valid in sequence.
-fn directed_batches(
-    g: &DynamicDiGraph,
-    num: usize,
-    size: usize,
-    seed: u64,
-) -> Vec<Batch> {
+fn directed_batches(g: &DynamicDiGraph, num: usize, size: usize, seed: u64) -> Vec<Batch> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1D1);
     let mut shadow = g.clone();
     let n = g.num_vertices() as Vertex;
@@ -81,7 +76,8 @@ pub fn run(ctx: &ExpContext) {
             cells.push(fmt_duration(total / batches.len() as u32));
         }
         // CT / QT / LS on the BHL+ sequential index.
-        let (mut index, ct) = time(|| DirectedBatchIndex::build(g.clone(), cfg(Algorithm::BhlPlus, 1)));
+        let (mut index, ct) =
+            time(|| DirectedBatchIndex::build(g.clone(), cfg(Algorithm::BhlPlus, 1)));
         for b in &batches {
             index.apply_batch(b);
         }

@@ -236,7 +236,10 @@ mod tests {
     fn workloads_are_deterministic() {
         let g = graph();
         let cfg = WorkloadConfig::new(2, 30, 4);
-        assert_eq!(fully_dynamic_batches(&g, cfg), fully_dynamic_batches(&g, cfg));
+        assert_eq!(
+            fully_dynamic_batches(&g, cfg),
+            fully_dynamic_batches(&g, cfg)
+        );
         assert_eq!(query_pairs(&g, 10, 1), query_pairs(&g, 10, 1));
     }
 }

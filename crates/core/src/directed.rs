@@ -3,9 +3,10 @@
 //! Directed graphs keep **two** labellings: a forward one on `G`
 //! (entries `(r, d(r→v))`, highway `δ_Hf(r_i, r_j) = d(r_i→r_j)`) and a
 //! backward one that is simply the forward structure of the *reversed*
-//! graph (entries `(r, d(v→r))`). Batch search and batch repair run
-//! twice per update — once per direction — reusing the exact undirected
-//! machinery through the [`AdjacencyView`] abstraction:
+//! graph (entries `(r, d(v→r))`). Both passes run through the unified
+//! update engine ([`crate::engine`]) with the same BFS kernel the
+//! undirected index uses — the backward pass just hands it the
+//! [`ReversedView`] and arc-reversed updates:
 //!
 //! * the search anchors only arc *heads* (`directed = true`): an arc
 //!   `a→b` can only carry `r`-paths through it in its own direction;
@@ -16,31 +17,59 @@
 //! `δ_Hf(r_i, r_j)` and `d(r_j→t)` (forward labels of `t`) into the
 //! upper bound of Eq. 3, then refines with a directed bounded
 //! bidirectional BFS on `G[V \ R]`.
+//!
+//! Like the undirected index, the directed index publishes immutable
+//! `(graph, forward, backward)` generations; [`DirectedBatchIndex::reader`]
+//! hands out concurrent [`DirectedReader`] query handles.
 
-use crate::index::run_landmarks_parallel;
-use crate::repair::batch_repair;
-use crate::search::batch_search;
-use crate::search_improved::batch_search_improved;
+use crate::engine::{self, BfsKernel};
+use crate::reader::DirectedReader;
 use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::digraph::ReversedView;
-use batchhl_graph::{AdjacencyView, Batch, DynamicDiGraph, Update};
-use batchhl_hcl::{build_labelling_parallel, Labelling, NO_LABEL};
+use batchhl_graph::{Batch, DynamicDiGraph, Update};
+use batchhl_hcl::{build_labelling_parallel, LabelStore, Labelling, Versioned, NO_LABEL};
+use std::sync::Arc;
 use std::time::Instant;
 
 pub use crate::index::{Algorithm, IndexConfig};
 
+/// One immutable generation of the directed index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectedSnapshot {
+    pub graph: DynamicDiGraph,
+    /// Forward labelling on `G` — answers `d(r → v)`.
+    pub fwd: Labelling,
+    /// Backward labelling (forward labelling of `Gᵀ`) — answers `d(v → r)`.
+    pub bwd: Labelling,
+}
+
+impl DirectedSnapshot {
+    fn placeholder() -> Self {
+        let lab = Labelling::empty(0, Vec::new()).expect("empty labelling is valid");
+        DirectedSnapshot {
+            graph: DynamicDiGraph::new(0),
+            fwd: lab.clone(),
+            bwd: lab,
+        }
+    }
+}
+
+/// What one pass changed — enough to replay it onto a recycled buffer.
+#[derive(Debug)]
+struct PassLog {
+    norm: Batch,
+    fwd_aff: engine::AffectedLists,
+    bwd_aff: engine::AffectedLists,
+}
+
 /// Batch-dynamic distance index over a directed graph.
 pub struct DirectedBatchIndex {
-    graph: DynamicDiGraph,
-    /// Forward labelling on `G` — answers `d(r → v)`.
-    fwd: Labelling,
-    /// Backward labelling (forward labelling of `Gᵀ`) — answers `d(v → r)`.
-    bwd: Labelling,
-    fwd_shadow: Labelling,
-    bwd_shadow: Labelling,
+    work: DirectedSnapshot,
+    store: LabelStore<DirectedSnapshot>,
+    recycler: engine::Recycler<DirectedSnapshot, PassLog>,
     config: IndexConfig,
     ws: UpdateWorkspace,
     bibfs: BiBfs,
@@ -48,13 +77,11 @@ pub struct DirectedBatchIndex {
 
 impl Clone for DirectedBatchIndex {
     fn clone(&self) -> Self {
-        let n = self.graph.num_vertices();
+        let n = self.work.graph.num_vertices();
         DirectedBatchIndex {
-            graph: self.graph.clone(),
-            fwd: self.fwd.clone(),
-            bwd: self.bwd.clone(),
-            fwd_shadow: self.fwd_shadow.clone(),
-            bwd_shadow: self.bwd_shadow.clone(),
+            work: self.work.clone(),
+            store: LabelStore::new(self.work.clone()),
+            recycler: engine::Recycler::new(),
             config: self.config.clone(),
             ws: UpdateWorkspace::new(n),
             bibfs: BiBfs::new(n),
@@ -66,15 +93,16 @@ impl DirectedBatchIndex {
     pub fn build(graph: DynamicDiGraph, config: IndexConfig) -> Self {
         let landmarks = config.selection.select_directed(&graph);
         let threads = config.threads.max(1);
-        let fwd = build_labelling_parallel(&graph, landmarks.clone(), threads);
-        let bwd = build_labelling_parallel(&ReversedView(&graph), landmarks, threads);
+        let fwd = build_labelling_parallel(&graph, landmarks.clone(), threads)
+            .expect("selected landmarks are valid");
+        let bwd = build_labelling_parallel(&ReversedView(&graph), landmarks, threads)
+            .expect("selected landmarks are valid");
         let n = graph.num_vertices();
+        let work = DirectedSnapshot { graph, fwd, bwd };
         DirectedBatchIndex {
-            fwd_shadow: fwd.clone(),
-            bwd_shadow: bwd.clone(),
-            graph,
-            fwd,
-            bwd,
+            store: LabelStore::new(work.clone()),
+            work,
+            recycler: engine::Recycler::new(),
             config,
             ws: UpdateWorkspace::new(n),
             bibfs: BiBfs::new(n),
@@ -86,24 +114,39 @@ impl DirectedBatchIndex {
     }
 
     pub fn graph(&self) -> &DynamicDiGraph {
-        &self.graph
+        &self.work.graph
     }
 
     pub fn forward_labelling(&self) -> &Labelling {
-        &self.fwd
+        &self.work.fwd
     }
 
     pub fn backward_labelling(&self) -> &Labelling {
-        &self.bwd
+        &self.work.bwd
     }
 
     pub fn num_vertices(&self) -> usize {
-        self.graph.num_vertices()
+        self.work.graph.num_vertices()
     }
 
     /// Combined logical size of both labellings in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.fwd.size_bytes() + self.bwd.size_bytes()
+        self.work.fwd.size_bytes() + self.work.bwd.size_bytes()
+    }
+
+    /// The most recently published generation (what readers see).
+    pub fn published(&self) -> Arc<Versioned<DirectedSnapshot>> {
+        self.store.snapshot()
+    }
+
+    /// The version number of the published generation.
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// A `Send + Sync` query handle over the published generations.
+    pub fn reader(&self) -> DirectedReader {
+        DirectedReader::new(self.store.reader())
     }
 
     /// Exact directed distance `d(s → t)`; `None` if unreachable.
@@ -114,59 +157,28 @@ impl DirectedBatchIndex {
 
     /// As [`DirectedBatchIndex::query`] with `INF` for unreachable.
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
-        let n = self.graph.num_vertices();
-        if (s as usize) >= n || (t as usize) >= n {
-            return INF;
-        }
-        if s == t {
-            return 0;
-        }
-        // Landmark endpoints: exact via the highway cover property.
-        if let Some(i) = self.fwd.landmark_index(s) {
-            return self.fwd.landmark_to_vertex(i, t);
-        }
-        if let Some(j) = self.bwd.landmark_index(t) {
-            return self.bwd.landmark_to_vertex(j, s);
-        }
-        let bound = self.upper_bound(s, t);
-        let fwd = &self.fwd;
-        let found = self
-            .bibfs
-            .run(&self.graph, s, t, bound, |v| !fwd.is_landmark(v));
-        found.unwrap_or(bound)
+        directed_query_dist(
+            &self.work.graph,
+            &self.work.fwd,
+            &self.work.bwd,
+            &mut self.bibfs,
+            s,
+            t,
+        )
     }
 
     /// Eq. 3 for directed graphs: `min_{i,j} d(s→r_i) + δ_Hf(r_i, r_j)
     /// + d(r_j→t)` over the backward labels of `s` and forward labels
     /// of `t`.
     pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
-        let r = self.fwd.num_landmarks();
-        let mut best = u64::from(INF);
-        for i in 0..r {
-            let ls = self.bwd.label(i, s);
-            if ls == NO_LABEL {
-                continue;
-            }
-            for j in 0..r {
-                let h = self.fwd.highway(i, j);
-                if h == INF {
-                    continue;
-                }
-                let lt = self.fwd.label(j, t);
-                if lt == NO_LABEL {
-                    continue;
-                }
-                best = best.min(ls as u64 + h as u64 + lt as u64);
-            }
-        }
-        best.min(u64::from(INF)) as Dist
+        directed_upper_bound(&self.work.fwd, &self.work.bwd, s, t)
     }
 
     /// Apply a batch of *directed* updates (Algorithm 1, run once per
-    /// direction).
+    /// direction through the unified engine).
     pub fn apply_batch(&mut self, batch: &Batch) -> UpdateStats {
         let start = Instant::now();
-        let norm = batch.normalize_directed(&self.graph);
+        let norm = batch.normalize_directed(&self.work.graph);
         let mut stats = UpdateStats {
             passes: 1,
             ..Default::default()
@@ -175,19 +187,15 @@ impl DirectedBatchIndex {
             stats.elapsed = start.elapsed();
             return stats;
         }
-        stats.applied = self.graph.apply_batch(&norm);
+        let old = self.store.snapshot();
+
+        stats.applied = self.work.graph.apply_batch(&norm);
         stats.insertions = norm.num_insertions();
         stats.deletions = norm.num_deletions();
 
-        let n = self.graph.num_vertices();
-        for lab in [
-            &mut self.fwd,
-            &mut self.bwd,
-            &mut self.fwd_shadow,
-            &mut self.bwd_shadow,
-        ] {
-            lab.ensure_vertices(n);
-        }
+        let n = self.work.graph.num_vertices();
+        self.work.fwd.ensure_vertices(n);
+        self.work.bwd.ensure_vertices(n);
         self.ws.grow(n);
 
         // Backward pass sees every arc reversed.
@@ -200,90 +208,129 @@ impl DirectedBatchIndex {
             })
             .collect();
 
-        let improved = self.config.algorithm.improved_search();
-        let threads = self.config.threads.max(1);
+        let kernel = BfsKernel {
+            improved: self.config.algorithm.improved_search(),
+            directed: true,
+        };
+        let threads = self.config.threads;
 
-        let fwd_aff = run_direction(
-            &self.fwd_shadow,
-            &self.graph,
+        let mut grown_fwd = None;
+        let oracle_fwd = engine::oracle_for(&old.fwd, n, &mut grown_fwd);
+        let fwd_aff = engine::run_landmarks(
+            &kernel,
+            oracle_fwd,
+            &self.work.graph,
             norm.updates(),
-            improved,
+            &mut self.work.fwd,
             threads,
-            &mut self.fwd,
             &mut self.ws,
         );
-        sync_shadow(&mut self.fwd_shadow, &self.fwd, &fwd_aff);
-        let rev = ReversedView(&self.graph);
-        let bwd_aff = run_direction(
-            &self.bwd_shadow,
-            &rev,
+        let mut grown_bwd = None;
+        let oracle_bwd = engine::oracle_for(&old.bwd, n, &mut grown_bwd);
+        let bwd_aff = engine::run_landmarks(
+            &kernel,
+            oracle_bwd,
+            &ReversedView(&self.work.graph),
             &rev_updates,
-            improved,
+            &mut self.work.bwd,
             threads,
-            &mut self.bwd,
             &mut self.ws,
         );
-        sync_shadow(&mut self.bwd_shadow, &self.bwd, &bwd_aff);
 
-        let r = self.fwd.num_landmarks();
+        let r = self.work.fwd.num_landmarks();
         stats.affected_per_landmark = (0..r)
             .map(|i| fwd_aff[i].len() + bwd_aff[i].len())
             .collect();
         stats.affected_total = stats.affected_per_landmark.iter().sum();
+
+        // Publish and recycle a retired generation's buffers.
+        engine::publish_pass(
+            &self.store,
+            &mut self.recycler,
+            &mut self.work,
+            DirectedSnapshot::placeholder(),
+            old,
+            PassLog {
+                norm,
+                fwd_aff,
+                bwd_aff,
+            },
+            |buf, fresh, log| {
+                buf.graph.apply_batch(&log.norm);
+                engine::sync_affected(&fresh.fwd, &mut buf.fwd, &log.fwd_aff);
+                engine::sync_affected(&fresh.bwd, &mut buf.bwd, &log.bwd_aff);
+            },
+        );
+
         stats.elapsed = start.elapsed();
         stats
     }
 
-    /// Rebuild both labellings from scratch.
+    /// Rebuild both labellings from scratch and publish the result.
     pub fn rebuild(&mut self) {
-        let landmarks = self.fwd.landmarks().to_vec();
+        let landmarks = self.work.fwd.landmarks().to_vec();
         let threads = self.config.threads.max(1);
-        self.fwd = build_labelling_parallel(&self.graph, landmarks.clone(), threads);
-        self.bwd = build_labelling_parallel(&ReversedView(&self.graph), landmarks, threads);
-        self.fwd_shadow = self.fwd.clone();
-        self.bwd_shadow = self.bwd.clone();
+        self.work.fwd = build_labelling_parallel(&self.work.graph, landmarks.clone(), threads)
+            .expect("existing landmarks are valid");
+        self.work.bwd =
+            build_labelling_parallel(&ReversedView(&self.work.graph), landmarks, threads)
+                .expect("existing landmarks are valid");
+        self.store.publish(self.work.clone());
+        // Retained retired buffers predate the rebuild.
+        self.recycler.clear();
     }
 }
 
-/// Search + repair for one direction over all landmarks.
-fn run_direction<A: AdjacencyView + Sync>(
-    old: &Labelling,
-    g: &A,
-    updates: &[Update],
-    improved: bool,
-    threads: usize,
-    new_lab: &mut Labelling,
-    ws: &mut UpdateWorkspace,
-) -> Vec<Vec<Vertex>> {
-    let r = new_lab.num_landmarks();
-    if threads > 1 && r > 1 {
-        return run_landmarks_parallel(old, g, updates, improved, true, threads, new_lab);
+/// The directed query path, shared by the owning index and its readers.
+pub(crate) fn directed_query_dist(
+    graph: &DynamicDiGraph,
+    fwd: &Labelling,
+    bwd: &Labelling,
+    bibfs: &mut BiBfs,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let n = graph.num_vertices();
+    if (s as usize) >= n || (t as usize) >= n {
+        return INF;
     }
-    let mut affected = Vec::with_capacity(r);
+    if s == t {
+        return 0;
+    }
+    // Landmark endpoints: exact via the highway cover property.
+    if let Some(i) = fwd.landmark_index(s) {
+        return fwd.landmark_to_vertex(i, t);
+    }
+    if let Some(j) = bwd.landmark_index(t) {
+        return bwd.landmark_to_vertex(j, s);
+    }
+    let bound = directed_upper_bound(fwd, bwd, s, t);
+    let found = bibfs.run(graph, s, t, bound, |v| !fwd.is_landmark(v));
+    found.unwrap_or(bound)
+}
+
+/// Eq. 3 over a backward/forward labelling pair.
+pub(crate) fn directed_upper_bound(fwd: &Labelling, bwd: &Labelling, s: Vertex, t: Vertex) -> Dist {
+    let r = fwd.num_landmarks();
+    let mut best = u64::from(INF);
     for i in 0..r {
-        ws.reset();
-        if improved {
-            batch_search_improved(old, g, updates, i, true, ws);
-        } else {
-            batch_search(old, g, updates, i, true, ws);
-        }
-        let (label_row, highway_row) = new_lab.row_mut(i);
-        batch_repair(old, g, i, label_row, highway_row, ws);
-        affected.push(ws.aff.inserted().to_vec());
-    }
-    affected
-}
-
-fn sync_shadow(shadow: &mut Labelling, lab: &Labelling, affected: &[Vec<Vertex>]) {
-    let r = lab.num_landmarks();
-    for (i, aff) in affected.iter().enumerate() {
-        for &v in aff {
-            shadow.set_label(i, v, lab.label(i, v));
+        let ls = bwd.label(i, s);
+        if ls == NO_LABEL {
+            continue;
         }
         for j in 0..r {
-            shadow.set_highway_row(i, j, lab.highway(i, j));
+            let h = fwd.highway(i, j);
+            if h == INF {
+                continue;
+            }
+            let lt = fwd.label(j, t);
+            if lt == NO_LABEL {
+                continue;
+            }
+            best = best.min(ls as u64 + h as u64 + lt as u64);
         }
     }
+    best.min(u64::from(INF)) as Dist
 }
 
 #[cfg(test)]
@@ -380,6 +427,10 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{alg:?}/{seed} fwd round {round}: {e}"));
                 oracle::check_minimal(&ReversedView(index.graph()), index.backward_labelling())
                     .unwrap_or_else(|e| panic!("{alg:?}/{seed} bwd round {round}: {e}"));
+                let published = index.published();
+                assert_eq!(&published.fwd, index.forward_labelling());
+                assert_eq!(&published.bwd, index.backward_labelling());
+                assert_eq!(&published.graph, index.graph());
             }
         }
     }
@@ -412,8 +463,8 @@ mod tests {
         cfg.threads = 4;
         let mut par = DirectedBatchIndex::build(g, cfg);
         par.apply_batch(&batch);
-        assert_eq!(seq.fwd, par.fwd);
-        assert_eq!(seq.bwd, par.bwd);
+        assert_eq!(seq.work.fwd, par.work.fwd);
+        assert_eq!(seq.work.bwd, par.work.bwd);
     }
 
     #[test]
@@ -429,5 +480,23 @@ mod tests {
         index.apply_batch(&b);
         assert_eq!(index.query(2, 0), Some(1));
         assert_both_minimal(&index);
+    }
+
+    #[test]
+    fn directed_reader_follows_and_matches_owner() {
+        let g = random_digraph(50, 150, 21);
+        let mut index = DirectedBatchIndex::build(g, config(Algorithm::BhlPlus, 4));
+        let mut reader = index.reader();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..3 {
+            let batch = random_batch(index.graph(), 8, &mut rng);
+            index.apply_batch(&batch);
+            for s in (0..50u32).step_by(7) {
+                for t in (0..50u32).step_by(9) {
+                    assert_eq!(reader.query_dist(s, t), index.query_dist(s, t));
+                }
+            }
+        }
+        assert_eq!(reader.version(), index.version());
     }
 }

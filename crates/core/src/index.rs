@@ -1,24 +1,36 @@
 //! The public batch-dynamic index (Algorithm 1 and its variants).
 //!
-//! [`BatchIndex`] owns the graph, the current labelling `Γ` and a
-//! *shadow* copy of it. During an update the shadow plays the role of
-//! the read-only old labelling `Γ` of Algorithm 1 while the current
-//! labelling is repaired in place into `Γ′`; afterwards only the entries
-//! that repair actually touched are copied into the shadow (O(affected)
-//! instead of an O(|R|·|V|) clone per batch). Reads during the update
-//! go exclusively through the shadow, so per-landmark work is
-//! independent — which is also exactly what makes the landmark-level
-//! parallel variant (BHLₚ, Section 6) safe: each worker thread reads the
-//! shared shadow and writes its own disjoint label/highway rows.
+//! [`BatchIndex`] separates the two roles a production index serves:
+//!
+//! * **Writer** — the index owns a mutable working snapshot (graph +
+//!   labelling `Γ′`) that [`BatchIndex::apply_batch`] repairs in place,
+//!   reading the immutable published generation `Γ` as the
+//!   old-labelling oracle of Algorithm 1.
+//! * **Readers** — [`BatchIndex::reader`] hands out cheap
+//!   `Send + Sync` [`Reader`] handles that answer queries against the
+//!   published generation without locks, even while a batch is being
+//!   applied on another thread.
+//!
+//! After repair the working snapshot is published with a single atomic
+//! swap and the previous generation's buffers are recycled (only the
+//! affected entries are re-synced), so the steady-state cost per batch
+//! is `O(affected + batch)`, not `O(|R|·|V|)`.
+//!
+//! The per-landmark search→repair loop itself lives in
+//! [`crate::engine`], shared with the directed and weighted variants;
+//! `threads > 1` in the config runs it with landmark-level parallelism
+//! (BHLₚ, Section 6).
 
-use crate::repair::batch_repair;
-use crate::search::batch_search;
-use crate::search_improved::batch_search_improved;
+use crate::engine::{self, BfsKernel};
+use crate::reader::Reader;
 use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex};
-use batchhl_graph::{Batch, DynamicGraph, Update};
-use batchhl_hcl::{build_labelling_parallel, Labelling, LandmarkSelection, QueryEngine};
+use batchhl_graph::{Batch, DynamicGraph};
+use batchhl_hcl::{
+    build_labelling_parallel, LabelStore, Labelling, LandmarkSelection, QueryEngine, Versioned,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which published variant performs the update.
@@ -86,17 +98,44 @@ impl IndexConfig {
     }
 }
 
+/// One immutable generation of the undirected index: the graph and the
+/// labelling that describes it. Readers always see a whole snapshot —
+/// never a labelling paired with a graph from a different generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSnapshot {
+    pub graph: DynamicGraph,
+    pub lab: Labelling,
+}
+
+impl IndexSnapshot {
+    fn placeholder() -> Self {
+        IndexSnapshot {
+            graph: DynamicGraph::new(0),
+            lab: Labelling::empty(0, Vec::new()).expect("empty labelling is valid"),
+        }
+    }
+}
+
+/// What one pass changed — enough to replay it onto a recycled buffer.
+#[derive(Debug)]
+struct PassLog {
+    norm: Batch,
+    affected: engine::AffectedLists,
+}
+
 /// Batch-dynamic distance index over an undirected graph.
 ///
-/// Cloning copies the graph and both labelling buffers; the scratch
-/// workspaces start fresh (they hold no semantic state).
+/// Cloning copies the working snapshot into an independent index with
+/// its own (single-generation) store; reader handles of the original
+/// keep following the original.
 pub struct BatchIndex {
-    graph: DynamicGraph,
-    /// Current labelling `Γ` (post all applied batches).
-    lab: Labelling,
-    /// Copy of `Γ` used as the old-labelling oracle during updates.
-    /// Invariant outside [`BatchIndex::apply_batch`]: `shadow == lab`.
-    shadow: Labelling,
+    /// The writer's working snapshot: the current graph and `Γ′`.
+    work: IndexSnapshot,
+    /// Published generations; outside `apply_batch` the newest one has
+    /// the same content as `work`.
+    store: LabelStore<IndexSnapshot>,
+    /// Retired-buffer recycling (see [`engine::Recycler`]).
+    recycler: engine::Recycler<IndexSnapshot, PassLog>,
     config: IndexConfig,
     ws: UpdateWorkspace,
     engine: QueryEngine,
@@ -104,13 +143,14 @@ pub struct BatchIndex {
 
 impl Clone for BatchIndex {
     fn clone(&self) -> Self {
+        let n = self.work.graph.num_vertices();
         BatchIndex {
-            graph: self.graph.clone(),
-            lab: self.lab.clone(),
-            shadow: self.shadow.clone(),
+            work: self.work.clone(),
+            store: LabelStore::new(self.work.clone()),
+            recycler: engine::Recycler::new(),
             config: self.config.clone(),
-            ws: UpdateWorkspace::new(self.graph.num_vertices()),
-            engine: QueryEngine::new(self.graph.num_vertices()),
+            ws: UpdateWorkspace::new(n),
+            engine: QueryEngine::new(n),
         }
     }
 }
@@ -120,17 +160,9 @@ impl BatchIndex {
     /// labelling (`O(|R|·(|V|+|E|))`).
     pub fn build(graph: DynamicGraph, config: IndexConfig) -> Self {
         let landmarks = config.selection.select(&graph);
-        let lab = build_labelling_parallel(&graph, landmarks, config.threads.max(1));
-        let shadow = lab.clone();
-        let n = graph.num_vertices();
-        BatchIndex {
-            graph,
-            lab,
-            shadow,
-            config,
-            ws: UpdateWorkspace::new(n),
-            engine: QueryEngine::new(n),
-        }
+        let lab = build_labelling_parallel(&graph, landmarks, config.threads.max(1))
+            .expect("selected landmarks are valid");
+        Self::assemble(graph, lab, config)
     }
 
     /// Convenience: build with the default configuration.
@@ -141,10 +173,11 @@ impl BatchIndex {
     /// Assemble from pre-validated parts (see `snapshot` module).
     pub(crate) fn assemble(graph: DynamicGraph, lab: Labelling, config: IndexConfig) -> Self {
         let n = graph.num_vertices();
+        let work = IndexSnapshot { graph, lab };
         BatchIndex {
-            graph,
-            shadow: lab.clone(),
-            lab,
+            store: LabelStore::new(work.clone()),
+            work,
+            recycler: engine::Recycler::new(),
             config,
             ws: UpdateWorkspace::new(n),
             engine: QueryEngine::new(n),
@@ -152,11 +185,11 @@ impl BatchIndex {
     }
 
     pub fn graph(&self) -> &DynamicGraph {
-        &self.graph
+        &self.work.graph
     }
 
     pub fn labelling(&self) -> &Labelling {
-        &self.lab
+        &self.work.lab
     }
 
     pub fn config(&self) -> &IndexConfig {
@@ -164,22 +197,46 @@ impl BatchIndex {
     }
 
     pub fn num_vertices(&self) -> usize {
-        self.graph.num_vertices()
+        self.work.graph.num_vertices()
+    }
+
+    /// The most recently published generation (what readers see).
+    pub fn published(&self) -> Arc<Versioned<IndexSnapshot>> {
+        self.store.snapshot()
+    }
+
+    /// The version number of the published generation. Bumps once per
+    /// search→repair pass (so once per batch for BHL/BHL⁺, once per
+    /// sub-batch for BHLₛ, once per update for UHL/UHL⁺).
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// A `Send + Sync` query handle over the published generations.
+    ///
+    /// Readers are independent of the index value: they can be moved to
+    /// other threads and keep answering (against the freshest published
+    /// generation) while [`BatchIndex::apply_batch`] runs.
+    pub fn reader(&self) -> Reader {
+        Reader::new(self.store.reader())
     }
 
     /// Exact distance, `None` when disconnected (Section 4: labelling
-    /// upper bound + bounded bidirectional BFS on `G[V\R]`).
+    /// upper bound + bounded bidirectional BFS on `G[V\R]`). Answers
+    /// against the *working* snapshot — the owner always sees its own
+    /// latest batch.
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
-        let n = self.graph.num_vertices();
+        let n = self.work.graph.num_vertices();
         if (s as usize) >= n || (t as usize) >= n {
             return None;
         }
-        self.engine.query(&self.lab, &self.graph, s, t)
+        self.engine.query(&self.work.lab, &self.work.graph, s, t)
     }
 
     /// As [`BatchIndex::query`], returning `INF` for disconnected pairs.
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
-        self.engine.query_dist(&self.lab, &self.graph, s, t)
+        self.engine
+            .query_dist(&self.work.lab, &self.work.graph, s, t)
     }
 
     /// Apply a batch of updates and repair the labelling (Algorithm 1,
@@ -188,11 +245,11 @@ impl BatchIndex {
         let start = Instant::now();
         let mut stats = match self.config.algorithm {
             Algorithm::Bhl | Algorithm::BhlPlus => {
-                let norm = batch.normalize(&self.graph);
+                let norm = batch.normalize(&self.work.graph);
                 self.run_pass(&norm)
             }
             Algorithm::BhlS => {
-                let norm = batch.normalize(&self.graph);
+                let norm = batch.normalize(&self.work.graph);
                 let (deletions, insertions) = norm.split();
                 let mut s = self.run_pass(&deletions);
                 s.absorb(self.run_pass(&insertions));
@@ -201,7 +258,7 @@ impl BatchIndex {
             Algorithm::Uhl | Algorithm::UhlPlus => {
                 let mut s = UpdateStats::default();
                 for &u in batch.updates() {
-                    let single = Batch::from_updates(vec![u]).normalize(&self.graph);
+                    let single = Batch::from_updates(vec![u]).normalize(&self.work.graph);
                     s.absorb(self.run_pass(&single));
                 }
                 s
@@ -212,14 +269,21 @@ impl BatchIndex {
     }
 
     /// Rebuild the labelling from scratch (used by tests and the
-    /// construction benchmarks).
+    /// construction benchmarks) and publish it as a new generation.
     pub fn rebuild(&mut self) {
-        let landmarks = self.lab.landmarks().to_vec();
-        self.lab = build_labelling_parallel(&self.graph, landmarks, self.config.threads.max(1));
-        self.shadow = self.lab.clone();
+        let landmarks = self.work.lab.landmarks().to_vec();
+        self.work.lab =
+            build_labelling_parallel(&self.work.graph, landmarks, self.config.threads.max(1))
+                .expect("existing landmarks are valid");
+        self.store.publish(self.work.clone());
+        // Retained retired buffers predate the rebuild; replaying pass
+        // logs over them would skip the rebuild's changes.
+        self.recycler.clear();
     }
 
-    /// One search+repair pass over a normalized, conflict-free batch.
+    /// One search+repair pass over a normalized, conflict-free batch:
+    /// mutate the working graph, repair `Γ′` against the published `Γ`,
+    /// publish, and recycle the previous generation's buffers.
     fn run_pass(&mut self, norm: &Batch) -> UpdateStats {
         let mut stats = UpdateStats {
             passes: 1,
@@ -228,120 +292,55 @@ impl BatchIndex {
         if norm.is_empty() {
             return stats;
         }
-        stats.applied = self.graph.apply_batch(norm);
+        let old = self.store.snapshot();
+
+        stats.applied = self.work.graph.apply_batch(norm);
         debug_assert_eq!(stats.applied, norm.len(), "normalized batches are valid");
         stats.insertions = norm.num_insertions();
         stats.deletions = norm.num_deletions();
 
-        let n = self.graph.num_vertices();
-        self.lab.ensure_vertices(n);
-        self.shadow.ensure_vertices(n);
+        let n = self.work.graph.num_vertices();
+        self.work.lab.ensure_vertices(n);
         self.ws.grow(n);
+        let mut grown = None;
+        let oracle = engine::oracle_for(&old.lab, n, &mut grown);
 
-        let improved = self.config.algorithm.improved_search();
-        let r = self.lab.num_landmarks();
-        let threads = self.config.threads.max(1).min(r.max(1));
-
-        let affected: Vec<Vec<Vertex>> = if threads <= 1 {
-            let mut affected = Vec::with_capacity(r);
-            for i in 0..r {
-                self.ws.reset();
-                if improved {
-                    batch_search_improved(
-                        &self.shadow,
-                        &self.graph,
-                        norm.updates(),
-                        i,
-                        false,
-                        &mut self.ws,
-                    );
-                } else {
-                    batch_search(&self.shadow, &self.graph, norm.updates(), i, false, &mut self.ws);
-                }
-                let (label_row, highway_row) = self.lab.row_mut(i);
-                batch_repair(&self.shadow, &self.graph, i, label_row, highway_row, &mut self.ws);
-                affected.push(self.ws.aff.inserted().to_vec());
-            }
-            affected
-        } else {
-            run_landmarks_parallel(
-                &self.shadow,
-                &self.graph,
-                norm.updates(),
-                improved,
-                false,
-                threads,
-                &mut self.lab,
-            )
+        let kernel = BfsKernel {
+            improved: self.config.algorithm.improved_search(),
+            directed: false,
         };
-
-        // Sync the shadow: only entries repair may have written.
-        for (i, aff) in affected.iter().enumerate() {
-            for &v in aff {
-                let d = self.lab.label(i, v);
-                self.shadow.set_label(i, v, d);
-            }
-            for j in 0..r {
-                self.shadow.set_highway_row(i, j, self.lab.highway(i, j));
-            }
-        }
+        let affected = engine::run_landmarks(
+            &kernel,
+            oracle,
+            &self.work.graph,
+            norm.updates(),
+            &mut self.work.lab,
+            self.config.threads,
+            &mut self.ws,
+        );
         stats.affected_per_landmark = affected.iter().map(Vec::len).collect();
         stats.affected_total = stats.affected_per_landmark.iter().sum();
+
+        // Publish Γ′ and rebuild the working buffer from a retired
+        // generation: replay the logged batch(es) on its graph and copy
+        // back only the entries the logged passes repaired.
+        engine::publish_pass(
+            &self.store,
+            &mut self.recycler,
+            &mut self.work,
+            IndexSnapshot::placeholder(),
+            old,
+            PassLog {
+                norm: norm.clone(),
+                affected,
+            },
+            |buf, fresh, log| {
+                buf.graph.apply_batch(&log.norm);
+                engine::sync_affected(&fresh.lab, &mut buf.lab, &log.affected);
+            },
+        );
         stats
     }
-}
-
-/// Landmark-level parallel search + repair (BHLₚ): distribute landmark
-/// rows over `threads` scoped threads; every thread owns its rows and a
-/// private workspace and reads the shared old labelling and graph.
-/// Returns the per-landmark affected lists for shadow syncing and stats.
-pub(crate) fn run_landmarks_parallel<A>(
-    old: &Labelling,
-    g: &A,
-    updates: &[Update],
-    improved: bool,
-    directed: bool,
-    threads: usize,
-    new_lab: &mut Labelling,
-) -> Vec<Vec<Vertex>>
-where
-    A: batchhl_graph::AdjacencyView + Sync,
-{
-    let n = g.num_vertices();
-    let r = new_lab.num_landmarks();
-    let (rows, _) = new_lab.rows_mut();
-    let mut work: Vec<(usize, batchhl_hcl::labelling::RowPair<'_>)> =
-        rows.into_iter().enumerate().collect();
-    let per = r.div_ceil(threads.max(1));
-    let mut results: Vec<Vec<Vertex>> = vec![Vec::new(); r];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        while !work.is_empty() {
-            let take = per.min(work.len());
-            let chunk: Vec<_> = work.drain(..take).collect();
-            handles.push(scope.spawn(move || {
-                let mut ws = UpdateWorkspace::new(n);
-                let mut out = Vec::with_capacity(chunk.len());
-                for (i, (label_row, highway_row)) in chunk {
-                    ws.reset();
-                    if improved {
-                        batch_search_improved(old, g, updates, i, directed, &mut ws);
-                    } else {
-                        batch_search(old, g, updates, i, directed, &mut ws);
-                    }
-                    batch_repair(old, g, i, label_row, highway_row, &mut ws);
-                    out.push((i, ws.aff.inserted().to_vec()));
-                }
-                out
-            }));
-        }
-        for h in handles {
-            for (i, aff) in h.join().expect("landmark worker panicked") {
-                results[i] = aff;
-            }
-        }
-    });
-    results
 }
 
 #[cfg(test)]
@@ -389,11 +388,13 @@ mod tests {
             index.apply_batch(&batch);
             oracle::check_minimal(index.graph(), index.labelling())
                 .unwrap_or_else(|e| panic!("{algorithm:?} seed {seed} round {round}: {e}"));
+            let published = index.published();
             assert_eq!(
+                &published.lab,
                 index.labelling(),
-                &index.shadow,
-                "shadow out of sync after round {round}"
+                "published generation out of sync after round {round}"
             );
+            assert_eq!(&published.graph, index.graph());
         }
     }
 
@@ -460,14 +461,10 @@ mod tests {
         ] {
             let mut index = BatchIndex::build(g0.clone(), config(alg, 6));
             index.apply_batch(&batch);
-            labellings.push((alg, index.lab));
+            labellings.push((alg, index.work.lab));
         }
         for w in labellings.windows(2) {
-            assert_eq!(
-                w[0].1, w[1].1,
-                "{:?} and {:?} disagree",
-                w[0].0, w[1].0
-            );
+            assert_eq!(w[0].1, w[1].1, "{:?} and {:?} disagree", w[0].0, w[1].0);
         }
     }
 
@@ -483,8 +480,12 @@ mod tests {
             cfg.threads = threads;
             let mut par = BatchIndex::build(g0.clone(), cfg);
             let stats = par.apply_batch(&batch);
-            assert_eq!(seq.lab, par.lab, "threads={threads}");
-            assert_eq!(par.lab, par.shadow, "shadow sync, threads={threads}");
+            assert_eq!(seq.work.lab, par.work.lab, "threads={threads}");
+            assert_eq!(
+                &par.published().lab,
+                par.labelling(),
+                "published sync, threads={threads}"
+            );
             assert!(stats.affected_total > 0);
         }
     }
@@ -510,7 +511,7 @@ mod tests {
     fn empty_and_invalid_batches_are_noops() {
         let g0 = path(10);
         let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 2));
-        let before = index.lab.clone();
+        let before = index.work.lab.clone();
         let stats = index.apply_batch(&Batch::new());
         assert_eq!(stats.applied, 0);
         let mut b = Batch::new();
@@ -519,7 +520,7 @@ mod tests {
         b.insert(3, 3); // self-loop
         let stats = index.apply_batch(&b);
         assert_eq!(stats.applied, 0);
-        assert_eq!(index.lab, before);
+        assert_eq!(index.work.lab, before);
     }
 
     #[test]
@@ -533,13 +534,14 @@ mod tests {
         assert_eq!(index.query(0, 9), Some(5));
         assert_eq!(index.query(0, 7), None, "7 is isolated");
         oracle::check_minimal(index.graph(), index.labelling()).unwrap();
+        assert_eq!(index.published().lab, index.work.lab);
     }
 
     #[test]
     fn insert_then_delete_round_trips() {
         let g0 = barabasi_albert(100, 2, 17);
         let mut index = BatchIndex::build(g0.clone(), config(Algorithm::BhlPlus, 4));
-        let baseline = index.lab.clone();
+        let baseline = index.work.lab.clone();
         let mut ins = Batch::new();
         ins.insert(0, 50);
         ins.insert(13, 77);
@@ -547,7 +549,10 @@ mod tests {
         index.apply_batch(&ins);
         index.apply_batch(&del);
         assert_eq!(index.graph(), &g0);
-        assert_eq!(index.lab, baseline, "labelling must round-trip (uniqueness)");
+        assert_eq!(
+            index.work.lab, baseline,
+            "labelling must round-trip (uniqueness)"
+        );
     }
 
     #[test]
@@ -557,8 +562,55 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let batch = random_batch(index.graph(), 20, &mut rng);
         index.apply_batch(&batch);
-        let incremental = index.lab.clone();
+        let incremental = index.work.lab.clone();
         index.rebuild();
-        assert_eq!(index.lab, incremental);
+        assert_eq!(index.work.lab, incremental);
+    }
+
+    #[test]
+    fn versions_advance_per_pass() {
+        let g0 = path(8);
+        let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 2));
+        assert_eq!(index.version(), 0);
+        let mut b = Batch::new();
+        b.insert(0, 5);
+        index.apply_batch(&b);
+        assert_eq!(index.version(), 1);
+        // UHL publishes one generation per update.
+        let g1 = path(8);
+        let mut single = BatchIndex::build(g1, config(Algorithm::Uhl, 2));
+        let mut b = Batch::new();
+        b.insert(0, 4);
+        b.insert(1, 6);
+        single.apply_batch(&b);
+        assert_eq!(single.version(), 2);
+    }
+
+    #[test]
+    fn pinned_reader_forces_clone_fallback_without_corruption() {
+        let g0 = erdos_renyi_gnm(60, 130, 41);
+        let mut index = BatchIndex::build(g0, config(Algorithm::BhlPlus, 4));
+        let mut reader = index.reader();
+        let mut rng = StdRng::seed_from_u64(43);
+        // The reader never refreshes, pinning generation after
+        // generation; the writer must stay correct through the clone
+        // fallback path.
+        let pinned = reader.pin();
+        let frozen_truth = oracle::all_pairs_bfs(&pinned.graph);
+        for round in 0..4 {
+            let batch = random_batch(index.graph(), 10, &mut rng);
+            index.apply_batch(&batch);
+            oracle::check_minimal(index.graph(), index.labelling())
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        // The pinned generation still answers its own (stale) truth.
+        for s in (0..60u32).step_by(11) {
+            for t in (0..60u32).step_by(7) {
+                assert_eq!(
+                    reader.query_dist_pinned(s, t),
+                    frozen_truth[s as usize][t as usize]
+                );
+            }
+        }
     }
 }

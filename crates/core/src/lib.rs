@@ -29,6 +29,38 @@
 //! landmark-level parallelism (BHLₚ, Section 6): label rows of distinct
 //! landmarks are disjoint, so threads share nothing but read-only state.
 //!
+//! # Architecture: generations, readers and the unified engine
+//!
+//! Serving distance queries *at scale* means queries must not contend
+//! with `apply_batch`. The crate is built around two ideas:
+//!
+//! **Generations.** Every index owns a mutable *working snapshot*
+//! (graph + labelling) and a [`batchhl_hcl::LabelStore`] of published,
+//! immutable generations. `apply_batch` plays Algorithm 1 against that
+//! split: the published generation is the read-only old labelling `Γ`,
+//! the working snapshot is repaired in place into `Γ′`, and a single
+//! atomic swap publishes it. The retired generation's buffers are
+//! recycled when no reader holds them (`Arc::try_unwrap`), with only
+//! the affected entries re-synced — `O(affected + batch)` per pass, the
+//! same asymptotics the paper's in-place variant has.
+//!
+//! **Readers.** [`BatchIndex::reader`] (and the directed/weighted
+//! counterparts) returns a `Send + Sync` [`reader::Reader`]: a handle
+//! that pins a generation and answers queries lock-free against it,
+//! re-pinning with one atomic version check when the writer publishes.
+//! A reader never sees a half-applied batch; pinned readers can serve a
+//! consistent stale view for as long as they need it.
+//!
+//! **One engine.** The per-landmark search→repair orchestration —
+//! sequential or landmark-parallel — is implemented once in
+//! [`engine`], generic over an [`engine::UpdateKernel`] describing the
+//! search space: BFS over an adjacency view (undirected, and both
+//! directions of the directed index through `ReversedView`) or Dijkstra
+//! over the weighted graph. The undirected, directed and weighted
+//! indexes are thin compositions of the store, the engine and their
+//! query path; the weighted index inherits landmark-parallel updates
+//! from the shared engine.
+//!
 //! ```
 //! use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
 //! use batchhl_graph::{generators, Batch};
@@ -46,8 +78,10 @@
 //! ```
 
 pub mod directed;
+pub mod engine;
 pub mod index;
 pub mod paths;
+pub mod reader;
 pub mod repair;
 pub mod search;
 pub mod search_improved;
@@ -56,7 +90,8 @@ pub mod stats;
 pub mod weighted;
 pub mod workspace;
 
-pub use directed::DirectedBatchIndex;
-pub use index::{Algorithm, BatchIndex, IndexConfig};
+pub use directed::{DirectedBatchIndex, DirectedSnapshot};
+pub use index::{Algorithm, BatchIndex, IndexConfig, IndexSnapshot};
+pub use reader::{DirectedReader, Reader, WeightedReader};
 pub use stats::UpdateStats;
-pub use weighted::WeightedBatchIndex;
+pub use weighted::{WeightedBatchIndex, WeightedSnapshot};

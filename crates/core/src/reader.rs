@@ -1,0 +1,225 @@
+//! Concurrent query handles over published index generations.
+//!
+//! A reader is a `Send + Sync` value obtained from an index
+//! (`BatchIndex::reader` and the directed/weighted counterparts). It
+//! owns a [`ReaderHandle`] onto the index's
+//! [`LabelStore`](batchhl_hcl::LabelStore) plus its private search
+//! workspace, so any number of readers can run queries on their own
+//! threads, lock-free in steady state, while the single writer applies
+//! batches and publishes new generations.
+//!
+//! One generic [`GenReader`] serves every index variant: a snapshot
+//! type describes how to answer a query against itself (the
+//! [`SnapshotQuery`] trait — which search engine it needs and which
+//! query path to run), and the reader supplies the pin/refresh
+//! machinery once. [`Reader`], [`DirectedReader`] and
+//! [`WeightedReader`] are aliases.
+//!
+//! Two query modes:
+//!
+//! * [`GenReader::query`] / [`GenReader::query_dist`] — follow
+//!   publications: each call re-pins the freshest generation (one
+//!   atomic version load when nothing changed).
+//! * [`GenReader::pin`] + [`GenReader::query_dist_pinned`] — freeze one
+//!   generation and answer a whole batch of queries against it, for
+//!   workloads that need cross-query consistency.
+//!
+//! Every answer is exact for the generation it was computed on: a
+//! reader never observes a half-applied batch, because generations are
+//! immutable snapshots swapped in atomically.
+
+use crate::directed::{directed_query_dist, DirectedSnapshot};
+use crate::index::IndexSnapshot;
+use crate::weighted::{weighted_query_dist, WeightedSnapshot};
+use batchhl_common::{Dist, Vertex, INF};
+use batchhl_graph::bfs::BiBfs;
+use batchhl_graph::weighted::BiDijkstra;
+use batchhl_hcl::{QueryEngine, ReaderHandle, Versioned};
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// How a snapshot type answers distance queries against itself.
+pub trait SnapshotQuery {
+    /// The reusable search workspace a reader keeps per handle.
+    type Engine: Default + Debug + Send + Sync;
+
+    /// Exact distance on this snapshot, `INF` when disconnected or out
+    /// of this generation's vertex range.
+    fn snapshot_query_dist(&self, engine: &mut Self::Engine, s: Vertex, t: Vertex) -> Dist;
+}
+
+impl SnapshotQuery for IndexSnapshot {
+    type Engine = QueryEngine;
+
+    fn snapshot_query_dist(&self, engine: &mut QueryEngine, s: Vertex, t: Vertex) -> Dist {
+        let n = self.graph.num_vertices();
+        if (s as usize) >= n || (t as usize) >= n {
+            return INF;
+        }
+        engine.query_dist(&self.lab, &self.graph, s, t)
+    }
+}
+
+impl SnapshotQuery for DirectedSnapshot {
+    type Engine = BiBfs;
+
+    fn snapshot_query_dist(&self, engine: &mut BiBfs, s: Vertex, t: Vertex) -> Dist {
+        directed_query_dist(&self.graph, &self.fwd, &self.bwd, engine, s, t)
+    }
+}
+
+impl SnapshotQuery for WeightedSnapshot {
+    type Engine = BiDijkstra;
+
+    fn snapshot_query_dist(&self, engine: &mut BiDijkstra, s: Vertex, t: Vertex) -> Dist {
+        weighted_query_dist(&self.graph, &self.lab, engine, s, t)
+    }
+}
+
+/// Concurrent query handle over published generations of snapshot type
+/// `S`.
+#[derive(Debug)]
+pub struct GenReader<S: SnapshotQuery> {
+    handle: ReaderHandle<S>,
+    engine: S::Engine,
+}
+
+/// Concurrent query handle over an undirected [`crate::BatchIndex`].
+pub type Reader = GenReader<IndexSnapshot>;
+
+/// Concurrent query handle over a [`crate::DirectedBatchIndex`].
+pub type DirectedReader = GenReader<DirectedSnapshot>;
+
+/// Concurrent query handle over a [`crate::WeightedBatchIndex`].
+pub type WeightedReader = GenReader<WeightedSnapshot>;
+
+impl<S: SnapshotQuery> Clone for GenReader<S> {
+    fn clone(&self) -> Self {
+        GenReader {
+            handle: self.handle.clone(),
+            engine: S::Engine::default(),
+        }
+    }
+}
+
+impl<S: SnapshotQuery> GenReader<S> {
+    pub(crate) fn new(handle: ReaderHandle<S>) -> Self {
+        GenReader {
+            handle,
+            engine: S::Engine::default(),
+        }
+    }
+
+    /// Version of the generation the last query ran against.
+    pub fn version(&self) -> u64 {
+        self.handle.pinned().version()
+    }
+
+    /// Re-pin the freshest generation and return it.
+    pub fn pin(&mut self) -> Arc<Versioned<S>> {
+        Arc::clone(self.handle.current())
+    }
+
+    /// Exact distance on the freshest published generation; `None` when
+    /// disconnected (or out of range for that generation).
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        let d = self.query_dist(s, t);
+        (d != INF).then_some(d)
+    }
+
+    /// As [`GenReader::query`], returning `INF` for disconnected pairs.
+    pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
+        self.handle.current();
+        self.query_dist_pinned(s, t)
+    }
+
+    /// Query the pinned generation without refreshing (see
+    /// [`GenReader::pin`]).
+    pub fn query_dist_pinned(&mut self, s: Vertex, t: Vertex) -> Dist {
+        let snap = self.handle.pinned();
+        snap.value().snapshot_query_dist(&mut self.engine, s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Algorithm, BatchIndex, IndexConfig};
+    use batchhl_graph::generators::{barabasi_albert, path};
+    use batchhl_graph::Batch;
+    use batchhl_hcl::{oracle, LandmarkSelection};
+
+    fn config(k: usize) -> IndexConfig {
+        IndexConfig {
+            selection: LandmarkSelection::TopDegree(k),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn reader_is_send_sync_and_matches_owner() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Reader>();
+        assert_send_sync::<DirectedReader>();
+        assert_send_sync::<WeightedReader>();
+
+        let g = barabasi_albert(80, 2, 3);
+        let mut index = BatchIndex::build(g, config(4));
+        let mut reader = index.reader();
+        for s in (0..80u32).step_by(9) {
+            for t in (0..80u32).step_by(5) {
+                assert_eq!(reader.query_dist(s, t), index.query_dist(s, t));
+            }
+        }
+    }
+
+    #[test]
+    fn reader_follows_batches_and_pins() {
+        let g = path(6);
+        let mut index = BatchIndex::build(g, config(1));
+        let mut live = index.reader();
+        let mut frozen = index.reader();
+        frozen.pin();
+        assert_eq!(live.query(0, 5), Some(5));
+
+        let mut b = Batch::new();
+        b.insert(0, 5);
+        index.apply_batch(&b);
+
+        assert_eq!(live.query(0, 5), Some(1), "follows the publication");
+        assert_eq!(live.version(), 1);
+        assert_eq!(frozen.query_dist_pinned(0, 5), 5, "pinned stays stale");
+        assert_eq!(frozen.version(), 0);
+        assert_eq!(frozen.query(0, 5), Some(1), "query() re-pins");
+    }
+
+    #[test]
+    fn reader_handles_vertex_growth_and_range() {
+        let g = path(4);
+        let mut index = BatchIndex::build(g, config(1));
+        let mut reader = index.reader();
+        assert_eq!(reader.query(0, 9), None, "out of range is disconnected");
+        let mut b = Batch::new();
+        b.insert(3, 9);
+        index.apply_batch(&b);
+        oracle::check_minimal(index.graph(), index.labelling()).unwrap();
+        assert_eq!(reader.query(0, 9), Some(4), "0-1-2-3-9");
+    }
+
+    #[test]
+    fn cloned_readers_are_independent() {
+        let g = path(5);
+        let mut index = BatchIndex::build(g, config(1));
+        let mut a = index.reader();
+        let b_reader = a.clone();
+        let mut b = b_reader;
+        let mut batch = Batch::new();
+        batch.insert(0, 4);
+        index.apply_batch(&batch);
+        assert_eq!(a.query(0, 4), Some(1));
+        // The clone still works and refreshes on its own schedule.
+        assert_eq!(b.query_dist_pinned(0, 4), 4);
+        assert_eq!(b.query(0, 4), Some(1));
+    }
+}

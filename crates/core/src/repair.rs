@@ -117,8 +117,10 @@ pub fn batch_repair<A: AdjacencyView>(
 }
 
 /// Write the final landmark distance of `v` into Γ′ (lines 8–13).
+/// Shared with the weighted kernel, whose finalization rule (Lemma
+/// 5.14) is identical.
 #[inline]
-fn finalize(
+pub(crate) fn finalize(
     lab: &Labelling,
     i: usize,
     v: Vertex,
@@ -158,7 +160,7 @@ mod tests {
         batch: &Batch,
         improved: bool,
     ) -> (Labelling, DynamicGraph) {
-        let lab = build_labelling(g0, landmarks);
+        let lab = build_labelling(g0, landmarks).unwrap();
         let norm = batch.normalize(g0);
         let mut g1 = g0.clone();
         g1.apply_batch(&norm);

@@ -83,7 +83,7 @@ mod tests {
         landmarks: Vec<Vertex>,
         batch: Batch,
     ) -> (Labelling, DynamicGraph, Batch) {
-        let lab = build_labelling(g0, landmarks);
+        let lab = build_labelling(g0, landmarks).unwrap();
         let norm = batch.normalize(g0);
         let mut g1 = g0.clone();
         g1.apply_batch(&norm);
@@ -181,7 +181,7 @@ mod tests {
         // so nothing is pushed: the new arc 2→0 cannot shorten paths
         // *from* 0.
         let g0 = DynamicDiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let lab = build_labelling(&g0, vec![0]);
+        let lab = build_labelling(&g0, vec![0]).unwrap();
         let mut g1 = g0.clone();
         g1.insert_edge(2, 0);
         let mut ws = UpdateWorkspace::new(4);

@@ -94,7 +94,7 @@ mod tests {
         landmarks: Vec<Vertex>,
         batch: Batch,
     ) -> (Labelling, DynamicGraph, Batch) {
-        let lab = build_labelling(g0, landmarks);
+        let lab = build_labelling(g0, landmarks).unwrap();
         let norm = batch.normalize(g0);
         let mut g1 = g0.clone();
         g1.apply_batch(&norm);
@@ -185,7 +185,7 @@ mod tests {
         for seed in 0..10 {
             let g0 = erdos_renyi_gnm(60, 140, seed);
             let lms = LandmarkSelection::TopDegree(4).select(&g0);
-            let lab = build_labelling(&g0, lms);
+            let lab = build_labelling(&g0, lms).unwrap();
             let mut batch = Batch::new();
             // Mixed batch derived from the seed.
             for k in 0..10u32 {
@@ -236,7 +236,7 @@ mod tests {
         // a two-landmark graph instead.
         let g0 = erdos_renyi_gnm(40, 80, 99);
         let lms = LandmarkSelection::TopDegree(2).select(&g0);
-        let lab = build_labelling(&g0, lms.clone());
+        let lab = build_labelling(&g0, lms.clone()).unwrap();
         let mut batch = Batch::new();
         batch.delete(lms[0], *g0.neighbors(lms[0]).first().unwrap());
         batch.insert(5, 23);
@@ -260,7 +260,7 @@ mod tests {
         use batchhl_graph::bfs::bfs_distances;
         for seed in 0..10u64 {
             let g0 = erdos_renyi_gnm(50, 100, seed);
-            let lab = build_labelling(&g0, vec![0]);
+            let lab = build_labelling(&g0, vec![0]).unwrap();
             let mut batch = Batch::new();
             for k in 0..8u32 {
                 let a = (seed as u32 * 3 + k * 19) % 50;

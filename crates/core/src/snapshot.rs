@@ -10,7 +10,7 @@
 
 use crate::index::{BatchIndex, IndexConfig};
 use batchhl_graph::DynamicGraph;
-use batchhl_hcl::{oracle, Labelling};
+use batchhl_hcl::{oracle, LabelError, Labelling};
 
 impl BatchIndex {
     /// Assemble an index from a graph and a previously constructed
@@ -23,22 +23,24 @@ impl BatchIndex {
         graph: DynamicGraph,
         labelling: Labelling,
         config: IndexConfig,
-    ) -> Result<BatchIndex, String> {
+    ) -> Result<BatchIndex, LabelError> {
         if labelling.num_vertices() != graph.num_vertices() {
-            return Err(format!(
-                "labelling covers {} vertices, graph has {}",
-                labelling.num_vertices(),
-                graph.num_vertices()
-            ));
+            return Err(LabelError::VertexCountMismatch {
+                labelling: labelling.num_vertices(),
+                graph: graph.num_vertices(),
+            });
         }
         for &lm in labelling.landmarks() {
             if (lm as usize) >= graph.num_vertices() {
-                return Err(format!("landmark {lm} out of bounds"));
+                return Err(LabelError::LandmarkOutOfBounds {
+                    landmark: lm,
+                    num_vertices: graph.num_vertices(),
+                });
             }
         }
         for i in 0..labelling.num_landmarks() {
             if labelling.highway(i, i) != 0 {
-                return Err(format!("highway diagonal {i} is nonzero"));
+                return Err(LabelError::CorruptHighwayDiagonal { index: i });
             }
         }
         Ok(BatchIndex::assemble(graph, labelling, config))
@@ -94,12 +96,18 @@ mod tests {
     fn from_parts_rejects_mismatches() {
         let g = barabasi_albert(50, 2, 1);
         let other = barabasi_albert(60, 2, 1);
-        let lab = batchhl_hcl::build_labelling(&other, vec![0, 1]);
+        let lab = batchhl_hcl::build_labelling(&other, vec![0, 1]).unwrap();
         let err = match BatchIndex::from_parts(g, lab, config()) {
             Err(e) => e,
             Ok(_) => panic!("mismatched parts must be rejected"),
         };
-        assert!(err.contains("vertices"), "{err}");
+        assert_eq!(
+            err,
+            LabelError::VertexCountMismatch {
+                labelling: 60,
+                graph: 50
+            }
+        );
     }
 
     #[test]
@@ -109,8 +117,7 @@ mod tests {
         index.verify().unwrap();
         // Same labelling, different graph: must fail.
         let other = barabasi_albert(80, 2, 6);
-        let stale =
-            BatchIndex::from_parts(other, index.labelling().clone(), config()).unwrap();
+        let stale = BatchIndex::from_parts(other, index.labelling().clone(), config()).unwrap();
         assert!(stale.verify().is_err());
     }
 }

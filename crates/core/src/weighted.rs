@@ -21,40 +21,255 @@
 //!   the unit-bucket argument; the Dijkstra exchange argument of
 //!   Lemma 5.20 still applies verbatim).
 //!
+//! Both phases plug into the unified update engine as the
+//! [`DijkstraKernel`]: the per-landmark orchestration (sequential or
+//! landmark-parallel) and the generation publish/recycle cycle are the
+//! exact same code the unweighted indexes run. That unification also
+//! gives the weighted index landmark-parallel updates
+//! ([`WeightedBatchIndex::with_threads`]) and concurrent readers
+//! ([`WeightedBatchIndex::reader`]) for free.
+//!
 //! The paper reports no weighted experiments, so the harness claims
 //! none either; correctness is pinned the same way as the unweighted
 //! index — the maintained labelling must equal the (unique) minimal
 //! labelling rebuilt from scratch.
 
+use crate::engine::{self, UpdateKernel};
+use crate::reader::WeightedReader;
 use crate::stats::UpdateStats;
-use batchhl_common::{
-    Dist, EpochCache, FxHashMap, LandmarkLength, SparseBitSet, Vertex, INF,
-};
+use crate::workspace::dl_old;
+use batchhl_common::{Dist, EpochCache, FxHashMap, LandmarkLength, SparseBitSet, Vertex, INF};
 use batchhl_graph::weighted::{BiDijkstra, Weight, WeightedGraph, WeightedUpdate};
-use batchhl_hcl::Labelling;
+use batchhl_hcl::{LabelError, LabelStore, Labelling, Versioned};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A normalized weighted update: the edge plus its old/new weight
 /// (`None` = absent on that side).
 #[derive(Debug, Clone, Copy)]
-struct Effect {
+pub(crate) struct Effect {
     a: Vertex,
     b: Vertex,
     w_old: Option<Weight>,
     w_new: Option<Weight>,
 }
 
-/// Batch-dynamic distance index over a positively weighted graph.
-pub struct WeightedBatchIndex {
-    graph: WeightedGraph,
-    lab: Labelling,
-    shadow: Labelling,
+/// One immutable generation of the weighted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedSnapshot {
+    pub graph: WeightedGraph,
+    pub lab: Labelling,
+}
+
+impl WeightedSnapshot {
+    fn placeholder() -> Self {
+        WeightedSnapshot {
+            graph: WeightedGraph::new(0),
+            lab: Labelling::empty(0, Vec::new()).expect("empty labelling is valid"),
+        }
+    }
+}
+
+/// What one pass changed — enough to replay it onto a recycled buffer.
+#[derive(Debug)]
+struct PassLog {
+    effects: Vec<Effect>,
+    affected: engine::AffectedLists,
+}
+
+/// Scratch state for one weighted search→repair pass.
+#[derive(Debug, Default)]
+pub(crate) struct DijkstraWorkspace {
     aff: SparseBitSet,
     dl_cache: EpochCache,
     bounds: EpochCache,
+    heap: BinaryHeap<Reverse<(u64, Vertex)>>,
+}
+
+impl DijkstraWorkspace {
+    fn new(n: usize) -> Self {
+        DijkstraWorkspace {
+            aff: SparseBitSet::new(n),
+            dl_cache: EpochCache::new(n),
+            bounds: EpochCache::new(n),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        self.aff.grow(n);
+        self.dl_cache.grow(n);
+        self.bounds.grow(n);
+    }
+
+    fn reset(&mut self) {
+        self.aff.clear();
+        self.dl_cache.clear();
+        self.bounds.clear();
+        self.heap.clear();
+    }
+}
+
+/// The weighted search space for the unified engine: pruned Dijkstra
+/// search plus heap-ordered repair.
+pub(crate) struct DijkstraKernel;
+
+impl UpdateKernel<WeightedGraph> for DijkstraKernel {
+    type Update = Effect;
+    type Workspace = DijkstraWorkspace;
+
+    fn workspace(&self, n: usize) -> DijkstraWorkspace {
+        DijkstraWorkspace::new(n)
+    }
+
+    fn process_landmark(
+        &self,
+        old: &Labelling,
+        g: &WeightedGraph,
+        updates: &[Effect],
+        i: usize,
+        label_row: &mut [Dist],
+        highway_row: &mut [Dist],
+        ws: &mut DijkstraWorkspace,
+    ) -> Vec<Vertex> {
+        ws.reset();
+        weighted_search(old, g, updates, i, ws);
+        weighted_repair(old, g, i, label_row, highway_row, ws);
+        ws.aff.inserted().to_vec()
+    }
+}
+
+/// Weighted batch search for landmark `i` (Algorithm 2 analogue).
+fn weighted_search(
+    old: &Labelling,
+    g: &WeightedGraph,
+    effects: &[Effect],
+    i: usize,
+    ws: &mut DijkstraWorkspace,
+) {
+    // All seed/expansion sums are taken in u64: distances saturate at
+    // the `INF` sentinel, and a path of length ≥ INF is unrepresentable
+    // (= unreachable), so such candidates are dropped rather than let a
+    // u32 sum wrap around.
+    for e in effects {
+        let min_w = e
+            .w_old
+            .unwrap_or(Weight::MAX)
+            .min(e.w_new.unwrap_or(Weight::MAX)) as u64;
+        let da = dl_old(old, i, e.a, &mut ws.dl_cache).dist() as u64;
+        let db = dl_old(old, i, e.b, &mut ws.dl_cache).dist() as u64;
+        let inf = INF as u64;
+        if da + min_w < inf && da + min_w <= db {
+            ws.heap.push(Reverse((da + min_w, e.b)));
+        }
+        if db + min_w < inf && db + min_w <= da {
+            ws.heap.push(Reverse((db + min_w, e.a)));
+        }
+    }
+    while let Some(Reverse((d, v))) = ws.heap.pop() {
+        if !ws.aff.insert(v) {
+            continue;
+        }
+        for &(w, wt) in g.neighbors(v) {
+            let nd = d + wt as u64;
+            if nd < INF as u64 && nd <= dl_old(old, i, w, &mut ws.dl_cache).dist() as u64 {
+                ws.heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+}
+
+/// Weighted batch repair for landmark `i` (Algorithm 4 analogue,
+/// heap-ordered by the packed landmark-length key).
+fn weighted_repair(
+    old: &Labelling,
+    g: &WeightedGraph,
+    i: usize,
+    label_row: &mut [Dist],
+    highway_row: &mut [Dist],
+    ws: &mut DijkstraWorkspace,
+) {
+    ws.heap.clear();
+    ws.bounds.clear();
+    for idx in 0..ws.aff.inserted().len() {
+        let v = ws.aff.inserted()[idx];
+        let v_is_lm = old.is_landmark(v);
+        let mut best = LandmarkLength::INFINITE;
+        for &(w, wt) in g.neighbors(v) {
+            if ws.aff.contains(w) {
+                continue;
+            }
+            let cand = dl_old(old, i, w, &mut ws.dl_cache).extend_by(wt, v_is_lm);
+            if cand < best {
+                best = cand;
+            }
+        }
+        ws.bounds.set(v as usize, best.key());
+        if !best.is_infinite() {
+            ws.heap.push(Reverse((best.key(), v)));
+        }
+    }
+    while let Some(Reverse((key, v))) = ws.heap.pop() {
+        if !ws.aff.contains(v) {
+            continue;
+        }
+        let bound = LandmarkLength::from_key(ws.bounds.get(v as usize).expect("queued ⇒ bounded"));
+        if bound.key() != key {
+            continue; // stale
+        }
+        ws.aff.remove(v);
+        crate::repair::finalize(old, i, v, bound, label_row, highway_row);
+        for &(w, wt) in g.neighbors(v) {
+            if !ws.aff.contains(w) {
+                continue;
+            }
+            let cand = bound.extend_by(wt, old.is_landmark(w));
+            let cur = ws
+                .bounds
+                .get(w as usize)
+                .map(LandmarkLength::from_key)
+                .unwrap_or(LandmarkLength::INFINITE);
+            if cand < cur {
+                ws.bounds.set(w as usize, cand.key());
+                if !cand.is_infinite() {
+                    ws.heap.push(Reverse((cand.key(), w)));
+                }
+            }
+        }
+    }
+    for idx in 0..ws.aff.inserted().len() {
+        let v = ws.aff.inserted()[idx];
+        if ws.aff.contains(v) {
+            ws.aff.remove(v);
+            crate::repair::finalize(old, i, v, LandmarkLength::INFINITE, label_row, highway_row);
+        }
+    }
+}
+
+/// Batch-dynamic distance index over a positively weighted graph.
+pub struct WeightedBatchIndex {
+    work: WeightedSnapshot,
+    store: LabelStore<WeightedSnapshot>,
+    recycler: engine::Recycler<WeightedSnapshot, PassLog>,
+    threads: usize,
+    ws: DijkstraWorkspace,
     engine: BiDijkstra,
+}
+
+impl Clone for WeightedBatchIndex {
+    fn clone(&self) -> Self {
+        let n = self.work.graph.num_vertices();
+        WeightedBatchIndex {
+            work: self.work.clone(),
+            store: LabelStore::new(self.work.clone()),
+            recycler: engine::Recycler::new(),
+            threads: self.threads,
+            ws: DijkstraWorkspace::new(n),
+            engine: BiDijkstra::new(n),
+        }
+    }
 }
 
 impl WeightedBatchIndex {
@@ -62,39 +277,65 @@ impl WeightedBatchIndex {
     pub fn build(graph: WeightedGraph, k: usize) -> Self {
         let mut order = graph.vertices_by_degree();
         order.truncate(k.min(graph.num_vertices()));
-        Self::build_with_landmarks(graph, order)
+        Self::build_with_landmarks(graph, order).expect("top-degree landmarks are valid")
     }
 
-    pub fn build_with_landmarks(graph: WeightedGraph, landmarks: Vec<Vertex>) -> Self {
+    /// Build over an explicit landmark set; fails on invalid landmarks
+    /// (out of range or duplicated).
+    pub fn build_with_landmarks(
+        graph: WeightedGraph,
+        landmarks: Vec<Vertex>,
+    ) -> Result<Self, LabelError> {
         let n = graph.num_vertices();
-        let mut lab = Labelling::empty(n, landmarks.clone());
+        let mut lab = Labelling::empty(n, landmarks.clone())?;
         for i in 0..landmarks.len() {
-            flagged_dijkstra(&graph, &lab, i, &mut Vec::new())
+            flagged_dijkstra(&graph, &lab, i)
                 .into_iter()
                 .for_each(|(v, ll)| write_entry(&mut lab, i, v, ll));
         }
-        let shadow = lab.clone();
-        WeightedBatchIndex {
-            graph,
-            lab,
-            shadow,
-            aff: SparseBitSet::new(n),
-            dl_cache: EpochCache::new(n),
-            bounds: EpochCache::new(n),
+        let work = WeightedSnapshot { graph, lab };
+        Ok(WeightedBatchIndex {
+            store: LabelStore::new(work.clone()),
+            work,
+            recycler: engine::Recycler::new(),
+            threads: 1,
+            ws: DijkstraWorkspace::new(n),
             engine: BiDijkstra::new(n),
-        }
+        })
+    }
+
+    /// Use landmark-level parallelism for updates (the weighted BHLₚ —
+    /// a capability the unified engine provides to every variant).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     pub fn graph(&self) -> &WeightedGraph {
-        &self.graph
+        &self.work.graph
     }
 
     pub fn labelling(&self) -> &Labelling {
-        &self.lab
+        &self.work.lab
     }
 
     pub fn num_vertices(&self) -> usize {
-        self.graph.num_vertices()
+        self.work.graph.num_vertices()
+    }
+
+    /// The most recently published generation (what readers see).
+    pub fn published(&self) -> Arc<Versioned<WeightedSnapshot>> {
+        self.store.snapshot()
+    }
+
+    /// The version number of the published generation.
+    pub fn version(&self) -> u64 {
+        self.store.version()
+    }
+
+    /// A `Send + Sync` query handle over the published generations.
+    pub fn reader(&self) -> WeightedReader {
+        WeightedReader::new(self.store.reader())
     }
 
     /// Exact weighted distance; `None` when disconnected.
@@ -104,25 +345,7 @@ impl WeightedBatchIndex {
     }
 
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
-        let n = self.graph.num_vertices();
-        if (s as usize) >= n || (t as usize) >= n {
-            return INF;
-        }
-        if s == t {
-            return 0;
-        }
-        match (self.lab.landmark_index(s), self.lab.landmark_index(t)) {
-            (Some(i), Some(j)) => self.lab.highway(i, j),
-            (Some(i), None) => self.lab.landmark_to_vertex(i, t),
-            (None, Some(j)) => self.lab.landmark_to_vertex(j, s),
-            (None, None) => {
-                let bound = self.lab.upper_bound(s, t);
-                let lab = &self.lab;
-                self.engine
-                    .run(&self.graph, s, t, bound, |v| !lab.is_landmark(v))
-                    .unwrap_or(bound)
-            }
-        }
+        weighted_query_dist(&self.work.graph, &self.work.lab, &mut self.engine, s, t)
     }
 
     /// Apply a batch of weighted updates. Self-loops, invalid updates
@@ -139,57 +362,42 @@ impl WeightedBatchIndex {
             stats.elapsed = start.elapsed();
             return stats;
         }
-        // Apply to the graph.
-        for e in &effects {
-            match (e.w_old, e.w_new) {
-                (None, Some(w)) => {
-                    self.graph.ensure_vertices(e.a.max(e.b) as usize + 1);
-                    self.graph.insert_edge(e.a, e.b, w);
-                    stats.insertions += 1;
-                }
-                (Some(_), None) => {
-                    self.graph.remove_edge(e.a, e.b);
-                    stats.deletions += 1;
-                }
-                (Some(_), Some(w)) => {
-                    self.graph.set_weight(e.a, e.b, w);
-                    // Weight changes count toward the kind they mimic.
-                    if Some(w) < e.w_old {
-                        stats.insertions += 1;
-                    } else {
-                        stats.deletions += 1;
-                    }
-                }
-                (None, None) => unreachable!("normalization keeps valid effects only"),
-            }
-        }
+        let old = self.store.snapshot();
+        apply_effects(&mut self.work.graph, &effects, Some(&mut stats));
         stats.applied = effects.len();
 
-        let n = self.graph.num_vertices();
-        self.lab.ensure_vertices(n);
-        self.shadow.ensure_vertices(n);
-        self.aff.grow(n);
-        self.dl_cache.grow(n);
-        self.bounds.grow(n);
+        let n = self.work.graph.num_vertices();
+        self.work.lab.ensure_vertices(n);
+        self.ws.grow(n);
+        let mut grown = None;
+        let oracle = engine::oracle_for(&old.lab, n, &mut grown);
 
-        let r = self.lab.num_landmarks();
-        let mut affected = Vec::with_capacity(r);
-        for i in 0..r {
-            self.search(i, &effects);
-            self.repair(i);
-            affected.push(self.aff.inserted().to_vec());
-        }
-        for (i, aff) in affected.iter().enumerate() {
-            for &v in aff {
-                let d = self.lab.label(i, v);
-                self.shadow.set_label(i, v, d);
-            }
-            for j in 0..r {
-                self.shadow.set_highway_row(i, j, self.lab.highway(i, j));
-            }
-        }
+        let affected = engine::run_landmarks(
+            &DijkstraKernel,
+            oracle,
+            &self.work.graph,
+            &effects,
+            &mut self.work.lab,
+            self.threads,
+            &mut self.ws,
+        );
         stats.affected_per_landmark = affected.iter().map(Vec::len).collect();
         stats.affected_total = stats.affected_per_landmark.iter().sum();
+
+        // Publish and recycle, exactly as the unweighted indexes do.
+        engine::publish_pass(
+            &self.store,
+            &mut self.recycler,
+            &mut self.work,
+            WeightedSnapshot::placeholder(),
+            old,
+            PassLog { effects, affected },
+            |buf, fresh, log| {
+                apply_effects(&mut buf.graph, &log.effects, None);
+                engine::sync_affected(&fresh.lab, &mut buf.lab, &log.affected);
+            },
+        );
+
         stats.elapsed = start.elapsed();
         stats
     }
@@ -203,8 +411,12 @@ impl WeightedBatchIndex {
             if a == b || seen.contains_key(&(a, b)) {
                 continue;
             }
-            let in_range = (b as usize) < self.graph.num_vertices();
-            let w_old = if in_range { self.graph.weight(a, b) } else { None };
+            let in_range = (b as usize) < self.work.graph.num_vertices();
+            let w_old = if in_range {
+                self.work.graph.weight(a, b)
+            } else {
+                None
+            };
             let effect = match u {
                 WeightedUpdate::Insert(_, _, w) if w_old.is_none() => Effect {
                     a,
@@ -233,130 +445,79 @@ impl WeightedBatchIndex {
         }
         out
     }
+}
 
-    /// Weighted batch search for landmark `i` (Algorithm 2 analogue).
-    fn search(&mut self, i: usize, effects: &[Effect]) {
-        self.aff.clear();
-        self.dl_cache.clear();
-        let mut heap: BinaryHeap<Reverse<(Dist, Vertex)>> = BinaryHeap::new();
-        for e in effects {
-            let min_w = e.w_old.unwrap_or(Weight::MAX).min(e.w_new.unwrap_or(Weight::MAX));
-            let da = self.dl_old(i, e.a).dist();
-            let db = self.dl_old(i, e.b).dist();
-            if da != INF && da.saturating_add(min_w) <= db {
-                heap.push(Reverse((da + min_w, e.b)));
-            }
-            if db != INF && db.saturating_add(min_w) <= da {
-                heap.push(Reverse((db + min_w, e.a)));
-            }
-        }
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if !self.aff.insert(v) {
-                continue;
-            }
-            for k in 0..self.graph.neighbors(v).len() {
-                let (w, wt) = self.graph.neighbors(v)[k];
-                let nd = d.saturating_add(wt);
-                if nd <= self.dl_old(i, w).dist() {
-                    heap.push(Reverse((nd, w)));
-                }
-            }
+/// The weighted query path, shared by the owning index and its readers
+/// (mirrors `directed_query_dist`).
+pub(crate) fn weighted_query_dist(
+    graph: &WeightedGraph,
+    lab: &Labelling,
+    engine: &mut BiDijkstra,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let n = graph.num_vertices();
+    if (s as usize) >= n || (t as usize) >= n {
+        return INF;
+    }
+    if s == t {
+        return 0;
+    }
+    match (lab.landmark_index(s), lab.landmark_index(t)) {
+        (Some(i), Some(j)) => lab.highway(i, j),
+        (Some(i), None) => lab.landmark_to_vertex(i, t),
+        (None, Some(j)) => lab.landmark_to_vertex(j, s),
+        (None, None) => {
+            let bound = lab.upper_bound(s, t);
+            engine
+                .run(graph, s, t, bound, |v| !lab.is_landmark(v))
+                .unwrap_or(bound)
         }
     }
+}
 
-    /// Weighted batch repair for landmark `i` (Algorithm 4 analogue,
-    /// heap-ordered by the packed landmark-length key).
-    fn repair(&mut self, i: usize) {
-        self.bounds.clear();
-        let mut heap: BinaryHeap<Reverse<(u64, Vertex)>> = BinaryHeap::new();
-        for idx in 0..self.aff.inserted().len() {
-            let v = self.aff.inserted()[idx];
-            let v_is_lm = self.lab.is_landmark(v);
-            let mut best = LandmarkLength::INFINITE;
-            for k in 0..self.graph.neighbors(v).len() {
-                let (w, wt) = self.graph.neighbors(v)[k];
-                if self.aff.contains(w) {
-                    continue;
-                }
-                let cand = self.dl_old(i, w).extend_by(wt, v_is_lm);
-                if cand < best {
-                    best = cand;
+/// Apply normalized effects to a graph (and optionally count them) —
+/// used both for the working graph and when replaying the batch onto a
+/// recycled generation buffer.
+fn apply_effects(
+    graph: &mut WeightedGraph,
+    effects: &[Effect],
+    mut stats: Option<&mut UpdateStats>,
+) {
+    for e in effects {
+        match (e.w_old, e.w_new) {
+            (None, Some(w)) => {
+                graph.ensure_vertices(e.a.max(e.b) as usize + 1);
+                graph.insert_edge(e.a, e.b, w);
+                if let Some(s) = stats.as_deref_mut() {
+                    s.insertions += 1;
                 }
             }
-            self.bounds.set(v as usize, best.key());
-            if !best.is_infinite() {
-                heap.push(Reverse((best.key(), v)));
-            }
-        }
-        while let Some(Reverse((key, v))) = heap.pop() {
-            if !self.aff.contains(v) {
-                continue;
-            }
-            let bound = LandmarkLength::from_key(self.bounds.get(v as usize).expect("bounded"));
-            if bound.key() != key {
-                continue; // stale
-            }
-            self.aff.remove(v);
-            self.finalize(i, v, bound);
-            for k in 0..self.graph.neighbors(v).len() {
-                let (w, wt) = self.graph.neighbors(v)[k];
-                if !self.aff.contains(w) {
-                    continue;
+            (Some(_), None) => {
+                graph.remove_edge(e.a, e.b);
+                if let Some(s) = stats.as_deref_mut() {
+                    s.deletions += 1;
                 }
-                let cand = bound.extend_by(wt, self.lab.is_landmark(w));
-                let cur = self
-                    .bounds
-                    .get(w as usize)
-                    .map(LandmarkLength::from_key)
-                    .unwrap_or(LandmarkLength::INFINITE);
-                if cand < cur {
-                    self.bounds.set(w as usize, cand.key());
-                    if !cand.is_infinite() {
-                        heap.push(Reverse((cand.key(), w)));
+            }
+            (Some(_), Some(w)) => {
+                graph.set_weight(e.a, e.b, w);
+                // Weight changes count toward the kind they mimic.
+                if let Some(s) = stats.as_deref_mut() {
+                    if Some(w) < e.w_old {
+                        s.insertions += 1;
+                    } else {
+                        s.deletions += 1;
                     }
                 }
             }
+            (None, None) => unreachable!("normalization keeps valid effects only"),
         }
-        for idx in 0..self.aff.inserted().len() {
-            let v = self.aff.inserted()[idx];
-            if self.aff.contains(v) {
-                self.aff.remove(v);
-                self.finalize(i, v, LandmarkLength::INFINITE);
-            }
-        }
-    }
-
-    fn finalize(&mut self, i: usize, v: Vertex, dl: LandmarkLength) {
-        if let Some(j) = self.lab.landmark_index(v) {
-            let d = if dl.is_infinite() { INF } else { dl.dist() };
-            self.lab.set_highway_row(i, j, d);
-            self.lab.remove_label(i, v);
-        } else if dl.is_infinite() || dl.through_landmark() {
-            self.lab.remove_label(i, v);
-        } else {
-            self.lab.set_label(i, v, dl.dist());
-        }
-    }
-
-    fn dl_old(&mut self, i: usize, v: Vertex) -> LandmarkLength {
-        if let Some(key) = self.dl_cache.get(v as usize) {
-            return LandmarkLength::from_key(key);
-        }
-        let ll = self.shadow.landmark_dist(i, v);
-        self.dl_cache.set(v as usize, ll.key());
-        ll
     }
 }
 
 /// Flagged Dijkstra from landmark `i`: `(vertex, d^L)` for all reached
 /// vertices, flags as in the flagged BFS of the unweighted build.
-fn flagged_dijkstra(
-    g: &WeightedGraph,
-    lab: &Labelling,
-    i: usize,
-    scratch: &mut Vec<(Vertex, LandmarkLength)>,
-) -> Vec<(Vertex, LandmarkLength)> {
-    scratch.clear();
+fn flagged_dijkstra(g: &WeightedGraph, lab: &Labelling, i: usize) -> Vec<(Vertex, LandmarkLength)> {
     let n = g.num_vertices();
     let root = lab.landmark_vertex(i);
     let mut best: Vec<u64> = vec![LandmarkLength::INFINITE.key(); n];
@@ -400,7 +561,7 @@ mod tests {
     /// Brute-force minimal weighted labelling via Dijkstra matrices.
     fn bruteforce(g: &WeightedGraph, landmarks: Vec<Vertex>) -> Labelling {
         let dists: Vec<Vec<Dist>> = landmarks.iter().map(|&r| dijkstra(g, r)).collect();
-        let mut lab = Labelling::empty(g.num_vertices(), landmarks);
+        let mut lab = Labelling::empty(g.num_vertices(), landmarks).expect("valid landmark set");
         let r = lab.num_landmarks();
         for (i, row) in dists.iter().enumerate() {
             for j in 0..r {
@@ -442,6 +603,36 @@ mod tests {
         g
     }
 
+    fn random_mixed_batch(
+        idx: &WeightedBatchIndex,
+        rng: &mut SplitMix64,
+        n: u64,
+    ) -> Vec<WeightedUpdate> {
+        let mut batch = Vec::new();
+        let edges: Vec<_> = idx.graph().edges().collect();
+        for k in 0..8 {
+            match k % 3 {
+                0 => {
+                    let (a, b, w) = edges[rng.below(edges.len() as u64) as usize];
+                    let nw = 1 + ((w as u64 + rng.below(6)) % 9) as Weight;
+                    batch.push(WeightedUpdate::SetWeight(a, b, nw));
+                }
+                1 => {
+                    let (a, b, _) = edges[rng.below(edges.len() as u64) as usize];
+                    batch.push(WeightedUpdate::Delete(a, b));
+                }
+                _ => {
+                    let a = rng.below(n) as Vertex;
+                    let b = rng.below(n) as Vertex;
+                    if a != b {
+                        batch.push(WeightedUpdate::Insert(a, b, 1 + rng.below(9) as Weight));
+                    }
+                }
+            }
+        }
+        batch
+    }
+
     #[test]
     fn construction_is_minimal() {
         for seed in 0..6 {
@@ -471,39 +662,18 @@ mod tests {
             let mut idx = WeightedBatchIndex::build(g, 4);
             let mut rng = SplitMix64::new(seed ^ 0xAB);
             for round in 0..4 {
-                let mut batch = Vec::new();
-                // Mixed batch: weight bumps, cuts and fresh edges.
-                let edges: Vec<_> = idx.graph().edges().collect();
-                for k in 0..8 {
-                    match k % 3 {
-                        0 => {
-                            let (a, b, w) = edges[rng.below(edges.len() as u64) as usize];
-                            let nw = 1 + ((w as u64 + rng.below(6)) % 9) as Weight;
-                            batch.push(WeightedUpdate::SetWeight(a, b, nw));
-                        }
-                        1 => {
-                            let (a, b, _) = edges[rng.below(edges.len() as u64) as usize];
-                            batch.push(WeightedUpdate::Delete(a, b));
-                        }
-                        _ => {
-                            let a = rng.below(35) as Vertex;
-                            let b = rng.below(35) as Vertex;
-                            if a != b {
-                                batch.push(WeightedUpdate::Insert(
-                                    a,
-                                    b,
-                                    1 + rng.below(9) as Weight,
-                                ));
-                            }
-                        }
-                    }
-                }
+                let batch = random_mixed_batch(&idx, &mut rng, 35);
                 idx.apply_batch(&batch);
                 let want = bruteforce(idx.graph(), idx.labelling().landmarks().to_vec());
                 assert_eq!(
                     idx.labelling(),
                     &want,
                     "seed {seed} round {round}: labelling diverged from rebuild"
+                );
+                assert_eq!(
+                    &idx.published().lab,
+                    idx.labelling(),
+                    "published generation out of sync"
                 );
             }
             // Queries stay exact at the end.
@@ -518,11 +688,41 @@ mod tests {
     }
 
     #[test]
+    fn parallel_weighted_updates_match_sequential() {
+        let g = random_weighted(40, 100, 9);
+        let mut seq = WeightedBatchIndex::build(g.clone(), 5);
+        let mut par = WeightedBatchIndex::build(g, 5).with_threads(4);
+        let mut rng = SplitMix64::new(0xBEEF);
+        for _ in 0..3 {
+            let batch = random_mixed_batch(&seq, &mut rng, 40);
+            seq.apply_batch(&batch);
+            par.apply_batch(&batch);
+            assert_eq!(seq.labelling(), par.labelling());
+        }
+    }
+
+    #[test]
+    fn weighted_reader_matches_owner() {
+        let g = random_weighted(40, 90, 15);
+        let mut idx = WeightedBatchIndex::build(g, 5);
+        let mut reader = idx.reader();
+        let mut rng = SplitMix64::new(0xCAFE);
+        let batch = random_mixed_batch(&idx, &mut rng, 40);
+        idx.apply_batch(&batch);
+        for s in (0..40u32).step_by(3) {
+            for t in (0..40u32).step_by(7) {
+                assert_eq!(reader.query_dist(s, t), idx.query_dist(s, t), "({s},{t})");
+            }
+        }
+        assert_eq!(reader.version(), 1);
+    }
+
+    #[test]
     fn weight_increase_behaves_like_deletion() {
         // Path 0 -1- 1 -1- 2; landmark 0. Bumping (0,1) to 5 must
         // raise d(0,2) to 6 and keep labels minimal.
         let g = WeightedGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
-        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]);
+        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]).unwrap();
         assert_eq!(idx.query(0, 2), Some(2));
         idx.apply_batch(&[WeightedUpdate::SetWeight(0, 1, 5)]);
         assert_eq!(idx.query(0, 2), Some(6));
@@ -532,10 +732,17 @@ mod tests {
     #[test]
     fn weight_decrease_behaves_like_insertion() {
         let g = WeightedGraph::from_edges(3, &[(0, 1, 9), (1, 2, 1)]);
-        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]);
+        let mut idx = WeightedBatchIndex::build_with_landmarks(g, vec![0]).unwrap();
         assert_eq!(idx.query(0, 2), Some(10));
         idx.apply_batch(&[WeightedUpdate::SetWeight(0, 1, 2)]);
         assert_eq!(idx.query(0, 2), Some(3));
+    }
+
+    #[test]
+    fn constructor_rejects_bad_landmarks() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 2)]);
+        assert!(WeightedBatchIndex::build_with_landmarks(g.clone(), vec![7]).is_err());
+        assert!(WeightedBatchIndex::build_with_landmarks(g, vec![0, 0]).is_err());
     }
 
     #[test]

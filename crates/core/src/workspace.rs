@@ -5,9 +5,7 @@
 //! steady-state update path performs no allocation. Parallel updates
 //! (BHLₚ) give each thread its own workspace.
 
-use batchhl_common::{
-    DialQueue, EpochCache, LandmarkLength, LexDialQueue, SparseBitSet, Vertex,
-};
+use batchhl_common::{DialQueue, EpochCache, LandmarkLength, LexDialQueue, SparseBitSet, Vertex};
 use batchhl_hcl::Labelling;
 
 /// Scratch state shared by Algorithms 2, 3 and 4.
@@ -65,12 +63,7 @@ impl UpdateWorkspace {
 /// with this oracle; batch repair then re-reads exactly those vertices,
 /// hitting the cache.
 #[inline]
-pub fn dl_old(
-    lab: &Labelling,
-    i: usize,
-    v: Vertex,
-    cache: &mut EpochCache,
-) -> LandmarkLength {
+pub fn dl_old(lab: &Labelling, i: usize, v: Vertex, cache: &mut EpochCache) -> LandmarkLength {
     if let Some(key) = cache.get(v as usize) {
         return LandmarkLength::from_key(key);
     }
@@ -88,7 +81,7 @@ mod tests {
     #[test]
     fn dl_old_caches_correctly() {
         let g = path(6);
-        let lab = build_labelling(&g, vec![0, 3]);
+        let lab = build_labelling(&g, vec![0, 3]).unwrap();
         let mut cache = EpochCache::new(6);
         for v in 0..6u32 {
             let fresh = lab.landmark_dist(0, v);

@@ -152,7 +152,14 @@ impl BiBfs {
     ///
     /// `s` and `t` must themselves be allowed. `bound = INF` turns this
     /// into an unbounded bidirectional search.
-    pub fn run<A, F>(&mut self, g: &A, s: Vertex, t: Vertex, bound: Dist, allowed: F) -> Option<Dist>
+    pub fn run<A, F>(
+        &mut self,
+        g: &A,
+        s: Vertex,
+        t: Vertex,
+        bound: Dist,
+        allowed: F,
+    ) -> Option<Dist>
     where
         A: AdjacencyView,
         F: Fn(Vertex) -> bool,
@@ -255,8 +262,7 @@ mod tests {
     use crate::graph::DynamicGraph;
 
     fn path(n: usize) -> DynamicGraph {
-        let edges: Vec<(Vertex, Vertex)> =
-            (0..n as Vertex - 1).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(Vertex, Vertex)> = (0..n as Vertex - 1).map(|i| (i, i + 1)).collect();
         DynamicGraph::from_edges(n, &edges)
     }
 
@@ -301,10 +307,8 @@ mod tests {
 
     #[test]
     fn bibfs_matches_bfs_exhaustively() {
-        let g = DynamicGraph::from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5), (5, 6)],
-        );
+        let g =
+            DynamicGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5), (5, 6)]);
         let mut bi = BiBfs::new(8);
         for s in 0..8u32 {
             let d = bfs_distances(&g, s);

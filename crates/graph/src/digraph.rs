@@ -133,9 +133,10 @@ impl DynamicDiGraph {
 
     /// All arcs `(u, v)` meaning `u → v`.
     pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter().copied().map(move |v| (u as Vertex, v))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().copied().map(move |v| (u as Vertex, v)))
     }
 
     /// The reversed graph (every arc flipped). O(m).

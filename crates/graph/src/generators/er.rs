@@ -104,7 +104,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, 4);
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < 0.25 * expected, "m={m} expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m={m} expected≈{expected}"
+        );
         g.validate().unwrap();
     }
 

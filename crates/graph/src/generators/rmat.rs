@@ -101,6 +101,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceed 1")]
     fn rejects_bad_params() {
-        rmat(4, 10, RmatParams { a: 0.6, b: 0.3, c: 0.3 }, 1);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.6,
+                b: 0.3,
+                c: 0.3,
+            },
+            1,
+        );
     }
 }

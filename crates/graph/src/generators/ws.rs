@@ -60,7 +60,11 @@ mod tests {
     fn rewiring_keeps_edge_count_close() {
         let g = watts_strogatz(200, 3, 0.2, 7);
         // Rewiring can occasionally fall back / collide; stay close.
-        assert!(g.num_edges() >= 550 && g.num_edges() <= 600, "m={}", g.num_edges());
+        assert!(
+            g.num_edges() >= 550 && g.num_edges() <= 600,
+            "m={}",
+            g.num_edges()
+        );
         g.validate().unwrap();
     }
 

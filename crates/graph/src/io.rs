@@ -69,7 +69,12 @@ pub fn read_digraph<P: AsRef<Path>>(path: P) -> io::Result<DynamicDiGraph> {
 /// per line), buffered.
 pub fn write_graph<W: Write>(g: &DynamicGraph, writer: W) -> io::Result<()> {
     let mut out = BufWriter::new(writer);
-    writeln!(out, "# undirected, {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        out,
+        "# undirected, {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(out, "{u}\t{v}")?;
     }

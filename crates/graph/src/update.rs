@@ -149,16 +149,26 @@ impl Batch {
     /// Normalize against an undirected graph (see module docs). The
     /// result contains only *valid, conflict-free* canonical updates.
     pub fn normalize(&self, g: &DynamicGraph) -> Batch {
-        self.normalize_with(|a, b| {
-            (a as usize) < g.num_vertices() && (b as usize) < g.num_vertices() && g.has_edge(a, b)
-        }, true)
+        self.normalize_with(
+            |a, b| {
+                (a as usize) < g.num_vertices()
+                    && (b as usize) < g.num_vertices()
+                    && g.has_edge(a, b)
+            },
+            true,
+        )
     }
 
     /// Normalize against a directed graph: endpoints keep their order.
     pub fn normalize_directed(&self, g: &DynamicDiGraph) -> Batch {
-        self.normalize_with(|a, b| {
-            (a as usize) < g.num_vertices() && (b as usize) < g.num_vertices() && g.has_edge(a, b)
-        }, false)
+        self.normalize_with(
+            |a, b| {
+                (a as usize) < g.num_vertices()
+                    && (b as usize) < g.num_vertices()
+                    && g.has_edge(a, b)
+            },
+            false,
+        )
     }
 
     fn normalize_with(&self, has_edge: impl Fn(Vertex, Vertex) -> bool, canonical: bool) -> Batch {

@@ -15,7 +15,7 @@
 //! `O(|R| · (|V| + |E|))` total — the paper's construction bound — and
 //! embarrassingly parallel over landmarks ([`build_labelling_parallel`]).
 
-use crate::labelling::{Labelling, NO_LABEL};
+use crate::labelling::{LabelError, Labelling, NO_LABEL};
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::AdjacencyView;
 use std::collections::VecDeque;
@@ -101,38 +101,62 @@ fn flagged_bfs<A: AdjacencyView>(
 }
 
 /// Build the minimal highway cover labelling for `g` over `landmarks`.
-pub fn build_labelling<A: AdjacencyView>(g: &A, landmarks: Vec<Vertex>) -> Labelling {
+///
+/// Fails with [`LabelError`] when the landmark set is invalid (out of
+/// range, duplicated, or too large).
+pub fn build_labelling<A: AdjacencyView>(
+    g: &A,
+    landmarks: Vec<Vertex>,
+) -> Result<Labelling, LabelError> {
     let n = g.num_vertices();
-    let mut lab = Labelling::empty(n, landmarks);
+    let mut lab = Labelling::empty(n, landmarks)?;
     let lm_index = lm_index_copy(&lab);
     let mut scratch = Scratch::new(n);
     let (rows, lms) = lab.rows_mut();
     let lms = lms.to_vec();
     for (i, (label_row, highway_row)) in rows.into_iter().enumerate() {
-        flagged_bfs(g, i, lms[i], &lm_index, label_row, highway_row, &mut scratch);
+        flagged_bfs(
+            g,
+            i,
+            lms[i],
+            &lm_index,
+            label_row,
+            highway_row,
+            &mut scratch,
+        );
     }
-    lab
+    Ok(lab)
 }
 
 /// Parallel construction: landmarks are distributed over `threads` OS
 /// threads, each owning disjoint label/highway rows (no locks).
+///
+/// Fails with [`LabelError`] when the landmark set is invalid.
 pub fn build_labelling_parallel<A: AdjacencyView + Sync>(
     g: &A,
     landmarks: Vec<Vertex>,
     threads: usize,
-) -> Labelling {
+) -> Result<Labelling, LabelError> {
     let threads = threads.max(1);
     let n = g.num_vertices();
-    let mut lab = Labelling::empty(n, landmarks);
+    let mut lab = Labelling::empty(n, landmarks)?;
     if threads == 1 || lab.num_landmarks() <= 1 {
         let lm_index = lm_index_copy(&lab);
         let mut scratch = Scratch::new(n);
         let (rows, lms) = lab.rows_mut();
         let lms = lms.to_vec();
         for (i, (label_row, highway_row)) in rows.into_iter().enumerate() {
-            flagged_bfs(g, i, lms[i], &lm_index, label_row, highway_row, &mut scratch);
+            flagged_bfs(
+                g,
+                i,
+                lms[i],
+                &lm_index,
+                label_row,
+                highway_row,
+                &mut scratch,
+            );
         }
-        return lab;
+        return Ok(lab);
     }
     let lm_index = lm_index_copy(&lab);
     {
@@ -156,7 +180,7 @@ pub fn build_labelling_parallel<A: AdjacencyView + Sync>(
             }
         });
     }
-    lab
+    Ok(lab)
 }
 
 fn lm_index_copy(lab: &Labelling) -> Vec<u16> {
@@ -177,7 +201,7 @@ mod tests {
     #[test]
     fn path_with_one_landmark() {
         let g = path(5);
-        let lab = build_labelling(&g, vec![0]);
+        let lab = build_labelling(&g, vec![0]).unwrap();
         for v in 1..5u32 {
             assert_eq!(lab.label(0, v), v, "label of {v}");
         }
@@ -191,7 +215,7 @@ mod tests {
         // landmark 2 on every shortest path from 0, so they carry no
         // 0-label; vertex 1 keeps labels to both.
         let g = path(5);
-        let lab = build_labelling(&g, vec![0, 2]);
+        let lab = build_labelling(&g, vec![0, 2]).unwrap();
         assert_eq!(lab.label(0, 1), 1);
         assert_eq!(lab.label(1, 1), 1);
         assert_eq!(lab.label(0, 3), NO_LABEL);
@@ -208,7 +232,7 @@ mod tests {
         // shortest path through landmark 1, so no 0-label even though
         // another shortest path (via 2) avoids landmarks.
         let g = DynamicGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
-        let lab = build_labelling(&g, vec![0, 1]);
+        let lab = build_labelling(&g, vec![0, 1]).unwrap();
         assert_eq!(lab.label(0, 3), NO_LABEL);
         assert_eq!(lab.label(1, 3), 1);
         assert_eq!(lab.label(0, 2), 1);
@@ -217,7 +241,7 @@ mod tests {
     #[test]
     fn disconnected_vertices_get_no_labels() {
         let g = DynamicGraph::from_edges(4, &[(0, 1)]);
-        let lab = build_labelling(&g, vec![0]);
+        let lab = build_labelling(&g, vec![0]).unwrap();
         assert_eq!(lab.label(0, 2), NO_LABEL);
         assert_eq!(lab.label(0, 3), NO_LABEL);
         assert_eq!(lab.landmark_to_vertex(0, 2), INF);
@@ -233,7 +257,7 @@ mod tests {
             (batchhl_graph::generators::grid(4, 4), 4),
         ] {
             let lms = crate::LandmarkSelection::TopDegree(k).select(&g);
-            let built = build_labelling(&g, lms.clone());
+            let built = build_labelling(&g, lms.clone()).unwrap();
             let want = oracle::minimal_labelling_bruteforce(&g, lms);
             assert_eq!(built, want);
         }
@@ -244,7 +268,7 @@ mod tests {
         for seed in 0..8 {
             let g = erdos_renyi_gnm(60, 120, seed);
             let lms = crate::LandmarkSelection::TopDegree(5).select(&g);
-            let built = build_labelling(&g, lms.clone());
+            let built = build_labelling(&g, lms.clone()).unwrap();
             let want = oracle::minimal_labelling_bruteforce(&g, lms);
             assert_eq!(built, want, "seed {seed}");
         }
@@ -254,9 +278,9 @@ mod tests {
     fn parallel_equals_sequential() {
         let g = barabasi_albert(400, 3, 7);
         let lms = crate::LandmarkSelection::TopDegree(8).select(&g);
-        let seq = build_labelling(&g, lms.clone());
+        let seq = build_labelling(&g, lms.clone()).unwrap();
         for threads in [1, 2, 3, 8] {
-            let par = build_labelling_parallel(&g, lms.clone(), threads);
+            let par = build_labelling_parallel(&g, lms.clone(), threads).unwrap();
             assert_eq!(seq, par, "threads={threads}");
         }
     }
@@ -264,7 +288,7 @@ mod tests {
     #[test]
     fn highway_is_symmetric_on_undirected() {
         let g = barabasi_albert(200, 3, 9);
-        let lab = build_labelling(&g, crate::LandmarkSelection::TopDegree(6).select(&g));
+        let lab = build_labelling(&g, crate::LandmarkSelection::TopDegree(6).select(&g)).unwrap();
         for i in 0..6 {
             for j in 0..6 {
                 assert_eq!(lab.highway(i, j), lab.highway(j, i));

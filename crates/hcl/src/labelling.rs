@@ -1,17 +1,24 @@
 //! Labelling storage and the landmark-distance oracle.
 //!
-//! Layout (see DESIGN.md "Key design decisions"): one dense `Box<[Dist]>`
-//! row per landmark holding either the label distance or the [`NO_LABEL`]
-//! sentinel, plus a dense `|R| × |R|` highway matrix. Landmark-major rows
-//! make (a) per-landmark repair a contiguous-row affair, (b) the
-//! landmark-level parallelism of BHLₚ lock-free (threads own disjoint
-//! rows), and (c) the Γ → Γ′ double buffer a `memcpy`-speed clone.
+//! Layout: one dense `Box<[Dist]>` row per landmark holding either the
+//! label distance or the [`NO_LABEL`] sentinel, plus a dense
+//! `|R| × |R|` highway matrix. Landmark-major rows make (a) per-landmark
+//! repair a contiguous-row affair, and (b) the landmark-level
+//! parallelism of BHLₚ lock-free (threads own disjoint rows).
+//!
+//! A `Labelling` is one *buffer*. The live system keeps two: the
+//! published generation `Γ` (immutable, shared with readers through
+//! [`crate::store::LabelStore`]) and the writer's working buffer `Γ′`
+//! that batch repair mutates row-by-row before it is published in turn.
+//! See the `batchhl-core` crate docs for the full generation/reader
+//! architecture.
 //!
 //! The *logical* labelling — the set of `(landmark, dist)` pairs at
 //! non-sentinel slots — is exactly the paper's minimal highway cover
 //! labelling; sizes are reported over logical entries.
 
 use batchhl_common::{Dist, LandmarkLength, Vertex, INF};
+use std::fmt;
 
 /// Sentinel stored in a label row when the vertex holds no label for
 /// that landmark (either unreachable or covered via another landmark).
@@ -22,6 +29,54 @@ const NOT_LANDMARK: u16 = u16::MAX;
 
 /// One landmark's mutable label row paired with its highway row.
 pub type RowPair<'a> = (&'a mut [Dist], &'a mut [Dist]);
+
+/// Why a labelling could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelError {
+    /// More landmarks than the `u16` landmark index can address.
+    TooManyLandmarks { count: usize, max: usize },
+    /// A landmark id is not a vertex of the graph.
+    LandmarkOutOfBounds {
+        landmark: Vertex,
+        num_vertices: usize,
+    },
+    /// The same vertex appears twice in the landmark list.
+    DuplicateLandmark { landmark: Vertex },
+    /// A labelling loaded from external parts covers a different vertex
+    /// set than the graph it is paired with.
+    VertexCountMismatch { labelling: usize, graph: usize },
+    /// A loaded highway matrix has a nonzero diagonal entry.
+    CorruptHighwayDiagonal { index: usize },
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LabelError::TooManyLandmarks { count, max } => {
+                write!(f, "too many landmarks: {count} (max {max})")
+            }
+            LabelError::LandmarkOutOfBounds {
+                landmark,
+                num_vertices,
+            } => write!(
+                f,
+                "landmark {landmark} out of bounds (graph has {num_vertices} vertices)"
+            ),
+            LabelError::DuplicateLandmark { landmark } => {
+                write!(f, "duplicate landmark {landmark}")
+            }
+            LabelError::VertexCountMismatch { labelling, graph } => write!(
+                f,
+                "labelling covers {labelling} vertices, graph has {graph}"
+            ),
+            LabelError::CorruptHighwayDiagonal { index } => {
+                write!(f, "highway diagonal {index} is nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
 
 /// A highway cover labelling `Γ = (H, L)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,28 +95,42 @@ pub struct Labelling {
 impl Labelling {
     /// An empty labelling (no labels, infinite highway) over `n`
     /// vertices with the given landmarks. Construction fills it in.
-    pub fn empty(n: usize, landmarks: Vec<Vertex>) -> Self {
+    ///
+    /// Fails if there are more landmarks than the `u16` index can
+    /// address, a landmark id is `>= n`, or a landmark repeats.
+    pub fn empty(n: usize, landmarks: Vec<Vertex>) -> Result<Self, LabelError> {
         let r = landmarks.len();
-        assert!(r < NOT_LANDMARK as usize, "too many landmarks");
+        if r >= NOT_LANDMARK as usize {
+            return Err(LabelError::TooManyLandmarks {
+                count: r,
+                max: NOT_LANDMARK as usize - 1,
+            });
+        }
         let mut lm_index = vec![NOT_LANDMARK; n];
         for (i, &v) in landmarks.iter().enumerate() {
-            assert!((v as usize) < n, "landmark {v} out of bounds");
-            assert_eq!(
-                lm_index[v as usize], NOT_LANDMARK,
-                "duplicate landmark {v}"
-            );
+            if (v as usize) >= n {
+                return Err(LabelError::LandmarkOutOfBounds {
+                    landmark: v,
+                    num_vertices: n,
+                });
+            }
+            if lm_index[v as usize] != NOT_LANDMARK {
+                return Err(LabelError::DuplicateLandmark { landmark: v });
+            }
             lm_index[v as usize] = i as u16;
         }
         let mut highway = vec![INF; r * r];
         for i in 0..r {
             highway[i * r + i] = 0;
         }
-        Labelling {
+        Ok(Labelling {
             landmarks,
             lm_index,
-            labels: (0..r).map(|_| vec![NO_LABEL; n].into_boxed_slice()).collect(),
+            labels: (0..r)
+                .map(|_| vec![NO_LABEL; n].into_boxed_slice())
+                .collect(),
             highway,
-        }
+        })
     }
 
     #[inline]
@@ -227,13 +296,10 @@ impl Labelling {
 
     /// Logical label entries of one vertex, `(landmark index, dist)`.
     pub fn label_entries(&self, v: Vertex) -> impl Iterator<Item = (usize, Dist)> + '_ {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, row)| {
-                let d = row[v as usize];
-                (d != NO_LABEL).then_some((i, d))
-            })
+        self.labels.iter().enumerate().filter_map(move |(i, row)| {
+            let d = row[v as usize];
+            (d != NO_LABEL).then_some((i, d))
+        })
     }
 
     /// Total number of logical label entries, `Σ_v |L(v)|`.
@@ -304,7 +370,7 @@ mod tests {
 
     fn sample() -> Labelling {
         // 6 vertices, landmarks 0 and 3.
-        let mut l = Labelling::empty(6, vec![0, 3]);
+        let mut l = Labelling::empty(6, vec![0, 3]).unwrap();
         l.set_highway_sym(0, 1, 2);
         l.set_label(0, 1, 1); // d(0,1)=1, not covered
         l.set_label(0, 2, 1);
@@ -325,9 +391,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate landmark")]
-    fn rejects_duplicate_landmarks() {
-        Labelling::empty(4, vec![1, 1]);
+    fn constructor_rejects_invalid_landmark_sets() {
+        assert_eq!(
+            Labelling::empty(4, vec![1, 1]),
+            Err(LabelError::DuplicateLandmark { landmark: 1 })
+        );
+        assert_eq!(
+            Labelling::empty(4, vec![9]),
+            Err(LabelError::LandmarkOutOfBounds {
+                landmark: 9,
+                num_vertices: 4
+            })
+        );
+        let too_many: Vec<Vertex> = (0..u16::MAX as u32).collect();
+        assert_eq!(
+            Labelling::empty(u16::MAX as usize, too_many),
+            Err(LabelError::TooManyLandmarks {
+                count: u16::MAX as usize,
+                max: u16::MAX as usize - 1
+            })
+        );
+        assert!(Labelling::empty(4, vec![1, 3]).is_ok());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`landmarks`] — landmark-selection strategies,
 //! * [`build`] — construction by flagged BFS (sequential and parallel),
 //! * [`query`] — the combined labelling + bounded-search query engine,
+//! * [`store`] — the generation-based shared label store: immutable
+//!   published snapshots, lock-free reader handles, atomic-swap
+//!   publication (the substrate of concurrent query serving),
 //! * [`oracle`] — brute-force reference implementations used by tests.
 
 pub mod build;
@@ -30,8 +33,10 @@ pub mod landmarks;
 pub mod oracle;
 pub mod query;
 pub mod serde_io;
+pub mod store;
 
 pub use build::{build_labelling, build_labelling_parallel};
-pub use labelling::{Labelling, NO_LABEL};
+pub use labelling::{LabelError, Labelling, NO_LABEL};
 pub use landmarks::LandmarkSelection;
 pub use query::QueryEngine;
+pub use store::{LabelStore, ReaderHandle, Versioned};

@@ -27,7 +27,7 @@ pub fn all_pairs_bfs<A: AdjacencyView>(g: &A) -> Vec<Vec<Dist>> {
 /// convention automatically).
 pub fn minimal_labelling_bruteforce<A: AdjacencyView>(g: &A, landmarks: Vec<Vertex>) -> Labelling {
     let dists: Vec<Vec<Dist>> = landmarks.iter().map(|&r| bfs_distances(g, r)).collect();
-    let mut lab = Labelling::empty(g.num_vertices(), landmarks);
+    let mut lab = Labelling::empty(g.num_vertices(), landmarks).expect("invalid landmark set");
     let r = lab.num_landmarks();
     for (i, row) in dists.iter().enumerate() {
         for j in 0..r {

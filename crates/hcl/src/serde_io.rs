@@ -74,7 +74,8 @@ pub fn read_labelling<R: Read>(reader: R) -> io::Result<Labelling> {
         }
         landmarks.push(v as Vertex);
     }
-    let mut lab = Labelling::empty(n, landmarks);
+    let mut lab = Labelling::empty(n, landmarks)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     for i in 0..r {
         for j in 0..r {
             lab.set_highway_row(i, j, read_u32(&mut inp)?);
@@ -114,7 +115,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         for g in [path(20), barabasi_albert(200, 3, 7)] {
-            let lab = build_labelling(&g, LandmarkSelection::TopDegree(6).select(&g));
+            let lab = build_labelling(&g, LandmarkSelection::TopDegree(6).select(&g)).unwrap();
             let mut buf = Vec::new();
             write_labelling(&lab, &mut buf).unwrap();
             let back = read_labelling(buf.as_slice()).unwrap();
@@ -138,7 +139,7 @@ mod tests {
     #[test]
     fn snapshot_is_deterministic() {
         let g = barabasi_albert(100, 2, 3);
-        let lab = build_labelling(&g, LandmarkSelection::TopDegree(4).select(&g));
+        let lab = build_labelling(&g, LandmarkSelection::TopDegree(4).select(&g)).unwrap();
         let mut a = Vec::new();
         let mut b = Vec::new();
         write_labelling(&lab, &mut a).unwrap();

@@ -35,7 +35,12 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(2);
     let probes: Vec<(Vertex, Vertex)> = (0..8)
-        .map(|i| (i * 577 % ROUTERS as Vertex, (i * 911 + 2500) % ROUTERS as Vertex))
+        .map(|i| {
+            (
+                i * 577 % ROUTERS as Vertex,
+                (i * 911 + 2500) % ROUTERS as Vertex,
+            )
+        })
         .collect();
 
     for wave in 1..=4 {
