@@ -10,12 +10,20 @@
 //!   its inverse per round (the graph round-trips, so every iteration
 //!   measures the same workload);
 //! * `write_only` — the writer alone, for the update-cost baseline.
+//!
+//! The `csr_ablation` group isolates the representation change behind
+//! those numbers: the same labelling and query pairs are answered over
+//! the published CSR view and over the dynamic `Vec<Vec<_>>` adjacency,
+//! and the two publication-path costs — freezing one batch into the
+//! delta overlay vs compacting the whole graph into a fresh base CSR —
+//! are measured rather than asserted.
 
 use batchhl_bench::bench_config;
 use batchhl_bench::bench_support::{bench_batch, bench_graph, bench_queries, BENCH_LANDMARKS};
 use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};
-use batchhl_hcl::LandmarkSelection;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use batchhl_graph::csr::CsrGraph;
+use batchhl_hcl::{LandmarkSelection, QueryEngine};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 const QUERIES_PER_THREAD: usize = 256;
@@ -98,6 +106,49 @@ fn bench(c: &mut Criterion) {
         });
     });
 
+    group.finish();
+
+    // CSR vs dynamic-adjacency ablation: identical labelling and query
+    // pairs, only the traversal representation differs.
+    let published = index.published();
+    let n = published.graph.num_vertices();
+    let mut group = c.benchmark_group("csr_ablation");
+    group.throughput(Throughput::Elements(pairs.len() as u64));
+    group.bench_function("query_csr_view", |b| {
+        let mut engine = QueryEngine::new(n);
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(engine.query_dist(&published.lab, &published.view, s, t));
+            }
+        });
+    });
+    group.bench_function("query_dynamic_adjacency", |b| {
+        let mut engine = QueryEngine::new(n);
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(engine.query_dist(&published.lab, &published.graph, s, t));
+            }
+        });
+    });
+
+    // Publication-path costs. `overlay_absorb` is what every batch
+    // pays; `compact_full` is the amortized worst case the compaction
+    // threshold schedules.
+    let norm = batch.normalize(&published.graph);
+    let touched = norm.touched_vertices();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("overlay_absorb", |b| {
+        b.iter_batched_ref(
+            || published.view.clone(),
+            |view| {
+                view.absorb(n, touched.iter().copied(), |v| published.graph.neighbors(v));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("compact_full", |b| {
+        b.iter(|| black_box(CsrGraph::from_adjacency(&published.graph)));
+    });
     group.finish();
 }
 

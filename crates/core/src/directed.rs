@@ -6,7 +6,7 @@
 //! graph (entries `(r, d(v→r))`). Both passes run through the unified
 //! update engine ([`crate::engine`]) with the same BFS kernel the
 //! undirected index uses — the backward pass just hands it the
-//! [`ReversedView`] and arc-reversed updates:
+//! generic `Reversed` adapter and arc-reversed updates:
 //!
 //! * the search anchors only arc *heads* (`directed = true`): an arc
 //!   `a→b` can only carry `r`-paths through it in its own direction;
@@ -28,15 +28,16 @@ use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
-use batchhl_graph::digraph::ReversedView;
-use batchhl_graph::{Batch, DynamicDiGraph, Update};
+use batchhl_graph::{AdjacencyView, Batch, CsrDiDelta, DynamicDiGraph, Reversed, Update};
 use batchhl_hcl::{build_labelling_parallel, LabelStore, Labelling, Versioned, NO_LABEL};
 use std::sync::Arc;
 use std::time::Instant;
 
 pub use crate::index::{Algorithm, IndexConfig};
 
-/// One immutable generation of the directed index.
+/// One immutable generation of the directed index. `graph` is the
+/// writer's mutation substrate; `view` is the frozen two-direction CSR
+/// (+ overlay) that queries and both update passes traverse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DirectedSnapshot {
     pub graph: DynamicDiGraph,
@@ -44,13 +45,16 @@ pub struct DirectedSnapshot {
     pub fwd: Labelling,
     /// Backward labelling (forward labelling of `Gᵀ`) — answers `d(v → r)`.
     pub bwd: Labelling,
+    pub view: CsrDiDelta,
 }
 
 impl DirectedSnapshot {
     fn placeholder() -> Self {
         let lab = Labelling::empty(0, Vec::new()).expect("empty labelling is valid");
+        let graph = DynamicDiGraph::new(0);
         DirectedSnapshot {
-            graph: DynamicDiGraph::new(0),
+            view: CsrDiDelta::from_adjacency(&graph),
+            graph,
             fwd: lab.clone(),
             bwd: lab,
         }
@@ -93,12 +97,19 @@ impl DirectedBatchIndex {
     pub fn build(graph: DynamicDiGraph, config: IndexConfig) -> Self {
         let landmarks = config.selection.select_directed(&graph);
         let threads = config.threads.max(1);
-        let fwd = build_labelling_parallel(&graph, landmarks.clone(), threads)
+        // Both construction passes run over the frozen CSR snapshot.
+        let view = CsrDiDelta::from_adjacency(&graph);
+        let fwd = build_labelling_parallel(&view, landmarks.clone(), threads)
             .expect("selected landmarks are valid");
-        let bwd = build_labelling_parallel(&ReversedView(&graph), landmarks, threads)
+        let bwd = build_labelling_parallel(&Reversed(&view), landmarks, threads)
             .expect("selected landmarks are valid");
         let n = graph.num_vertices();
-        let work = DirectedSnapshot { graph, fwd, bwd };
+        let work = DirectedSnapshot {
+            graph,
+            fwd,
+            bwd,
+            view,
+        };
         DirectedBatchIndex {
             store: LabelStore::new(work.clone()),
             work,
@@ -158,7 +169,7 @@ impl DirectedBatchIndex {
     /// As [`DirectedBatchIndex::query`] with `INF` for unreachable.
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
         directed_query_dist(
-            &self.work.graph,
+            &self.work.view,
             &self.work.fwd,
             &self.work.bwd,
             &mut self.bibfs,
@@ -198,6 +209,11 @@ impl DirectedBatchIndex {
         self.work.bwd.ensure_vertices(n);
         self.ws.grow(n);
 
+        // Freeze the batch's arcs into the two-direction CSR view; the
+        // forward and backward searches below traverse it.
+        let graph = &self.work.graph;
+        self.work.view.absorb_arcs(graph, &arc_list(&norm));
+
         // Backward pass sees every arc reversed.
         let rev_updates: Vec<Update> = norm
             .updates()
@@ -219,7 +235,7 @@ impl DirectedBatchIndex {
         let fwd_aff = engine::run_landmarks(
             &kernel,
             oracle_fwd,
-            &self.work.graph,
+            &self.work.view,
             norm.updates(),
             &mut self.work.fwd,
             threads,
@@ -230,7 +246,7 @@ impl DirectedBatchIndex {
         let bwd_aff = engine::run_landmarks(
             &kernel,
             oracle_bwd,
-            &ReversedView(&self.work.graph),
+            &Reversed(&self.work.view),
             &rev_updates,
             &mut self.work.bwd,
             threads,
@@ -257,6 +273,8 @@ impl DirectedBatchIndex {
             },
             |buf, fresh, log| {
                 buf.graph.apply_batch(&log.norm);
+                let graph = &buf.graph;
+                buf.view.absorb_arcs(graph, &arc_list(&log.norm));
                 engine::sync_affected(&fresh.fwd, &mut buf.fwd, &log.fwd_aff);
                 engine::sync_affected(&fresh.bwd, &mut buf.bwd, &log.bwd_aff);
             },
@@ -270,20 +288,26 @@ impl DirectedBatchIndex {
     pub fn rebuild(&mut self) {
         let landmarks = self.work.fwd.landmarks().to_vec();
         let threads = self.config.threads.max(1);
-        self.work.fwd = build_labelling_parallel(&self.work.graph, landmarks.clone(), threads)
+        self.work.fwd = build_labelling_parallel(&self.work.view, landmarks.clone(), threads)
             .expect("existing landmarks are valid");
-        self.work.bwd =
-            build_labelling_parallel(&ReversedView(&self.work.graph), landmarks, threads)
-                .expect("existing landmarks are valid");
+        self.work.bwd = build_labelling_parallel(&Reversed(&self.work.view), landmarks, threads)
+            .expect("existing landmarks are valid");
         self.store.publish(self.work.clone());
         // Retained retired buffers predate the rebuild.
         self.recycler.clear();
     }
 }
 
-/// The directed query path, shared by the owning index and its readers.
-pub(crate) fn directed_query_dist(
-    graph: &DynamicDiGraph,
+/// The arcs of a normalized batch as `(tail, head)` pairs — what the
+/// CSR view's absorption re-freezes.
+fn arc_list(norm: &Batch) -> Vec<(Vertex, Vertex)> {
+    norm.updates().iter().map(|u| u.endpoints()).collect()
+}
+
+/// The directed query path, shared by the owning index and its readers
+/// (generic so readers traverse the published CSR view).
+pub(crate) fn directed_query_dist<A: AdjacencyView>(
+    graph: &A,
     fwd: &Labelling,
     bwd: &Labelling,
     bibfs: &mut BiBfs,
@@ -382,7 +406,7 @@ mod tests {
     fn assert_both_minimal(index: &DirectedBatchIndex) {
         oracle::check_minimal(index.graph(), index.forward_labelling())
             .unwrap_or_else(|e| panic!("forward: {e}"));
-        oracle::check_minimal(&ReversedView(index.graph()), index.backward_labelling())
+        oracle::check_minimal(&Reversed(index.graph()), index.backward_labelling())
             .unwrap_or_else(|e| panic!("backward: {e}"));
     }
 
@@ -425,7 +449,7 @@ mod tests {
                 index.apply_batch(&batch);
                 oracle::check_minimal(index.graph(), index.forward_labelling())
                     .unwrap_or_else(|e| panic!("{alg:?}/{seed} fwd round {round}: {e}"));
-                oracle::check_minimal(&ReversedView(index.graph()), index.backward_labelling())
+                oracle::check_minimal(&Reversed(index.graph()), index.backward_labelling())
                     .unwrap_or_else(|e| panic!("{alg:?}/{seed} bwd round {round}: {e}"));
                 let published = index.published();
                 assert_eq!(&published.fwd, index.forward_labelling());

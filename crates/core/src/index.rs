@@ -26,7 +26,7 @@ use crate::reader::Reader;
 use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex};
-use batchhl_graph::{Batch, DynamicGraph};
+use batchhl_graph::{Batch, CsrDelta, DynamicGraph, VertexRemap};
 use batchhl_hcl::{
     build_labelling_parallel, LabelStore, Labelling, LandmarkSelection, QueryEngine, Versioned,
 };
@@ -98,21 +98,34 @@ impl IndexConfig {
     }
 }
 
-/// One immutable generation of the undirected index: the graph and the
-/// labelling that describes it. Readers always see a whole snapshot —
-/// never a labelling paired with a graph from a different generation.
+/// One immutable generation of the undirected index: the graph, the
+/// labelling that describes it, and the frozen CSR view of the graph
+/// that queries and landmark searches traverse. Readers always see a
+/// whole snapshot — never a labelling paired with a graph from a
+/// different generation.
+///
+/// `graph` is the writer's mutation substrate (and the replay source
+/// for buffer recycling); `view` is the publication format: a flat CSR
+/// base shared across generations plus the delta overlay of the
+/// batches since the last compaction (see [`batchhl_graph::csr`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexSnapshot {
     pub graph: DynamicGraph,
     pub lab: Labelling,
+    pub view: CsrDelta,
 }
 
 impl IndexSnapshot {
+    fn new(graph: DynamicGraph, lab: Labelling) -> Self {
+        let view = CsrDelta::from_adjacency(&graph);
+        IndexSnapshot { graph, lab, view }
+    }
+
     fn placeholder() -> Self {
-        IndexSnapshot {
-            graph: DynamicGraph::new(0),
-            lab: Labelling::empty(0, Vec::new()).expect("empty labelling is valid"),
-        }
+        IndexSnapshot::new(
+            DynamicGraph::new(0),
+            Labelling::empty(0, Vec::new()).expect("empty labelling is valid"),
+        )
     }
 }
 
@@ -120,6 +133,9 @@ impl IndexSnapshot {
 #[derive(Debug)]
 struct PassLog {
     norm: Batch,
+    /// Distinct endpoints of `norm` — the vertices the CSR overlay
+    /// must re-freeze after replaying the batch.
+    touched: Vec<Vertex>,
     affected: engine::AffectedLists,
 }
 
@@ -137,6 +153,11 @@ pub struct BatchIndex {
     /// Retired-buffer recycling (see [`engine::Recycler`]).
     recycler: engine::Recycler<IndexSnapshot, PassLog>,
     config: IndexConfig,
+    /// CSR compaction knobs `(fraction, min_entries)` — kept on the
+    /// index (not only on the view) because publish/recycle swaps the
+    /// working snapshot for a buffer that predates any setter call;
+    /// `run_pass` re-applies them every pass.
+    compaction: (f32, usize),
     ws: UpdateWorkspace,
     engine: QueryEngine,
 }
@@ -149,6 +170,7 @@ impl Clone for BatchIndex {
             store: LabelStore::new(self.work.clone()),
             recycler: engine::Recycler::new(),
             config: self.config.clone(),
+            compaction: self.compaction,
             ws: UpdateWorkspace::new(n),
             engine: QueryEngine::new(n),
         }
@@ -157,12 +179,27 @@ impl Clone for BatchIndex {
 
 impl BatchIndex {
     /// Build the index: select landmarks, construct the minimal
-    /// labelling (`O(|R|·(|V|+|E|))`).
+    /// labelling (`O(|R|·(|V|+|E|))`). The graph is frozen into a CSR
+    /// snapshot first, so every per-landmark construction BFS runs over
+    /// flat arrays.
     pub fn build(graph: DynamicGraph, config: IndexConfig) -> Self {
         let landmarks = config.selection.select(&graph);
-        let lab = build_labelling_parallel(&graph, landmarks, config.threads.max(1))
+        let view = CsrDelta::from_adjacency(&graph);
+        let lab = build_labelling_parallel(&view, landmarks, config.threads.max(1))
             .expect("selected landmarks are valid");
-        Self::assemble(graph, lab, config)
+        Self::assemble_snapshot(IndexSnapshot { graph, lab, view }, config)
+    }
+
+    /// Build over a degree-descending relabeling of `graph`: vertices
+    /// are renumbered so hubs get the smallest ids, packing the hottest
+    /// neighbourhoods into the front of the CSR arrays. The returned
+    /// [`VertexRemap`] translates between original and index ids
+    /// (`remap.to_new` for query endpoints, `remap.map_batch` for
+    /// updates).
+    pub fn new_reordered(graph: DynamicGraph, config: IndexConfig) -> (Self, VertexRemap) {
+        let remap = VertexRemap::degree_descending(&graph);
+        let relabeled = graph.relabeled(&remap);
+        (Self::build(relabeled, config), remap)
     }
 
     /// Convenience: build with the default configuration.
@@ -172,16 +209,39 @@ impl BatchIndex {
 
     /// Assemble from pre-validated parts (see `snapshot` module).
     pub(crate) fn assemble(graph: DynamicGraph, lab: Labelling, config: IndexConfig) -> Self {
-        let n = graph.num_vertices();
-        let work = IndexSnapshot { graph, lab };
+        Self::assemble_snapshot(IndexSnapshot::new(graph, lab), config)
+    }
+
+    fn assemble_snapshot(work: IndexSnapshot, config: IndexConfig) -> Self {
+        let n = work.graph.num_vertices();
         BatchIndex {
             store: LabelStore::new(work.clone()),
             work,
             recycler: engine::Recycler::new(),
             config,
+            compaction: (
+                batchhl_graph::csr::DEFAULT_COMPACTION_FRACTION,
+                batchhl_graph::csr::MIN_COMPACTION_ENTRIES,
+            ),
             ws: UpdateWorkspace::new(n),
             engine: QueryEngine::new(n),
         }
+    }
+
+    /// Tune when the published CSR view compacts its delta overlay into
+    /// a fresh base snapshot (fraction of the base's adjacency entries;
+    /// default [`batchhl_graph::csr::DEFAULT_COMPACTION_FRACTION`]).
+    pub fn set_compaction_fraction(&mut self, fraction: f32) {
+        self.set_compaction_policy(fraction, self.compaction.1);
+    }
+
+    /// As [`BatchIndex::set_compaction_fraction`], additionally setting
+    /// the absolute overlay-entry floor below which compaction never
+    /// triggers (tests drive it to 0 to force compactions on tiny
+    /// graphs).
+    pub fn set_compaction_policy(&mut self, fraction: f32, min_entries: usize) {
+        self.compaction = (fraction, min_entries);
+        self.work.view.set_compaction_policy(fraction, min_entries);
     }
 
     pub fn graph(&self) -> &DynamicGraph {
@@ -222,21 +282,21 @@ impl BatchIndex {
     }
 
     /// Exact distance, `None` when disconnected (Section 4: labelling
-    /// upper bound + bounded bidirectional BFS on `G[V\R]`). Answers
-    /// against the *working* snapshot — the owner always sees its own
-    /// latest batch.
+    /// upper bound + bounded bidirectional BFS on `G[V\R]`, run over
+    /// the CSR view). Answers against the *working* snapshot — the
+    /// owner always sees its own latest batch.
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
-        let n = self.work.graph.num_vertices();
+        let n = self.work.view.num_vertices();
         if (s as usize) >= n || (t as usize) >= n {
             return None;
         }
-        self.engine.query(&self.work.lab, &self.work.graph, s, t)
+        self.engine.query(&self.work.lab, &self.work.view, s, t)
     }
 
     /// As [`BatchIndex::query`], returning `INF` for disconnected pairs.
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
         self.engine
-            .query_dist(&self.work.lab, &self.work.graph, s, t)
+            .query_dist(&self.work.lab, &self.work.view, s, t)
     }
 
     /// Apply a batch of updates and repair the labelling (Algorithm 1,
@@ -273,7 +333,7 @@ impl BatchIndex {
     pub fn rebuild(&mut self) {
         let landmarks = self.work.lab.landmarks().to_vec();
         self.work.lab =
-            build_labelling_parallel(&self.work.graph, landmarks, self.config.threads.max(1))
+            build_labelling_parallel(&self.work.view, landmarks, self.config.threads.max(1))
                 .expect("existing landmarks are valid");
         self.store.publish(self.work.clone());
         // Retained retired buffers predate the rebuild; replaying pass
@@ -302,6 +362,19 @@ impl BatchIndex {
         let n = self.work.graph.num_vertices();
         self.work.lab.ensure_vertices(n);
         self.ws.grow(n);
+
+        // Freeze the batch's endpoints into the CSR view (and compact
+        // when the overlay crossed its threshold): everything below —
+        // landmark searches, repair relaxation, owner and reader
+        // queries — traverses this view, never the Vec<Vec<_>> graph.
+        let touched = norm.touched_vertices();
+        let (fraction, min_entries) = self.compaction;
+        self.work.view.set_compaction_policy(fraction, min_entries);
+        let graph = &self.work.graph;
+        self.work
+            .view
+            .absorb(n, touched.iter().copied(), |v| graph.neighbors(v));
+
         let mut grown = None;
         let oracle = engine::oracle_for(&old.lab, n, &mut grown);
 
@@ -312,7 +385,7 @@ impl BatchIndex {
         let affected = engine::run_landmarks(
             &kernel,
             oracle,
-            &self.work.graph,
+            &self.work.view,
             norm.updates(),
             &mut self.work.lab,
             self.config.threads,
@@ -322,7 +395,8 @@ impl BatchIndex {
         stats.affected_total = stats.affected_per_landmark.iter().sum();
 
         // Publish Γ′ and rebuild the working buffer from a retired
-        // generation: replay the logged batch(es) on its graph and copy
+        // generation: replay the logged batch(es) on its graph, re-
+        // freeze the replayed endpoints into its CSR view, and copy
         // back only the entries the logged passes repaired.
         engine::publish_pass(
             &self.store,
@@ -332,10 +406,16 @@ impl BatchIndex {
             old,
             PassLog {
                 norm: norm.clone(),
+                touched,
                 affected,
             },
             |buf, fresh, log| {
                 buf.graph.apply_batch(&log.norm);
+                let graph = &buf.graph;
+                buf.view
+                    .absorb(graph.num_vertices(), log.touched.iter().copied(), |v| {
+                        graph.neighbors(v)
+                    });
                 engine::sync_affected(&fresh.lab, &mut buf.lab, &log.affected);
             },
         );
@@ -584,6 +664,40 @@ mod tests {
         b.insert(1, 6);
         single.apply_batch(&b);
         assert_eq!(single.version(), 2);
+    }
+
+    #[test]
+    fn reordered_index_answers_original_queries() {
+        let g = barabasi_albert(120, 3, 9);
+        let mut plain = BatchIndex::build(g.clone(), config(Algorithm::BhlPlus, 6));
+        let (mut reordered, remap) = BatchIndex::new_reordered(g, config(Algorithm::BhlPlus, 6));
+        // The hub owns id 0 in the reordered index.
+        assert_eq!(reordered.graph().vertices_by_degree()[0], 0);
+        for s in (0..120u32).step_by(7) {
+            for t in (0..120u32).step_by(5) {
+                assert_eq!(
+                    reordered.query_dist(remap.to_new(s), remap.to_new(t)),
+                    plain.query_dist(s, t),
+                    "query({s},{t})"
+                );
+            }
+        }
+        // Updates expressed in original ids flow through map_batch.
+        let mut b = Batch::new();
+        b.insert(3, 117);
+        b.delete(0, 1);
+        plain.apply_batch(&b);
+        reordered.apply_batch(&remap.map_batch(&b));
+        oracle::check_minimal(reordered.graph(), reordered.labelling()).unwrap();
+        for s in (0..120u32).step_by(11) {
+            for t in (0..120u32).step_by(3) {
+                assert_eq!(
+                    reordered.query_dist(remap.to_new(s), remap.to_new(t)),
+                    plain.query_dist(s, t),
+                    "post-batch query({s},{t})"
+                );
+            }
+        }
     }
 
     #[test]

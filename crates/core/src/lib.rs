@@ -55,11 +55,28 @@
 //! sequential or landmark-parallel — is implemented once in
 //! [`engine`], generic over an [`engine::UpdateKernel`] describing the
 //! search space: BFS over an adjacency view (undirected, and both
-//! directions of the directed index through `ReversedView`) or Dijkstra
-//! over the weighted graph. The undirected, directed and weighted
-//! indexes are thin compositions of the store, the engine and their
-//! query path; the weighted index inherits landmark-parallel updates
-//! from the shared engine.
+//! directions of the directed index through the generic `Reversed`
+//! adapter) or Dijkstra over a weighted adjacency view. The undirected,
+//! directed and weighted indexes are thin compositions of the store,
+//! the engine and their query path; the weighted index inherits
+//! landmark-parallel updates from the shared engine.
+//!
+//! **CSR snapshot views.** Every generation carries, next to the
+//! dynamic writer graph, a frozen CSR view of it
+//! ([`batchhl_graph::csr`]): flat `offsets`/`neighbors` arrays plus the
+//! per-batch delta overlay of the vertices recent batches touched.
+//! All traversal hot paths — reader queries, the owner query path, the
+//! update kernels' landmark searches and repair relaxations, and full
+//! construction — run over that view, turning the per-vertex pointer
+//! chase of `Vec<Vec<_>>` adjacency into sequential array scans.
+//! `apply_batch` freezes only the batch's endpoints into the overlay
+//! (`O(Σ deg(endpoint))`) and compacts into a fresh base CSR when the
+//! overlay crosses a configurable fraction of the graph
+//! ([`index::BatchIndex::set_compaction_fraction`]); consecutive
+//! generations share the base behind an `Arc`.
+//! [`index::BatchIndex::new_reordered`] additionally renumbers vertices
+//! by decreasing degree at construction so hub neighbourhoods pack into
+//! the front of the CSR arrays.
 //!
 //! ```
 //! use batchhl_core::index::{Algorithm, BatchIndex, IndexConfig};

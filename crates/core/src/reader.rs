@@ -48,15 +48,18 @@ pub trait SnapshotQuery {
     fn snapshot_query_dist(&self, engine: &mut Self::Engine, s: Vertex, t: Vertex) -> Dist;
 }
 
+// Every snapshot answers over its frozen CSR view (`snapshot.view`),
+// not the dynamic writer graph it also carries: reader traversal is
+// sequential array access.
 impl SnapshotQuery for IndexSnapshot {
     type Engine = QueryEngine;
 
     fn snapshot_query_dist(&self, engine: &mut QueryEngine, s: Vertex, t: Vertex) -> Dist {
-        let n = self.graph.num_vertices();
+        let n = self.view.num_vertices();
         if (s as usize) >= n || (t as usize) >= n {
             return INF;
         }
-        engine.query_dist(&self.lab, &self.graph, s, t)
+        engine.query_dist(&self.lab, &self.view, s, t)
     }
 }
 
@@ -64,7 +67,7 @@ impl SnapshotQuery for DirectedSnapshot {
     type Engine = BiBfs;
 
     fn snapshot_query_dist(&self, engine: &mut BiBfs, s: Vertex, t: Vertex) -> Dist {
-        directed_query_dist(&self.graph, &self.fwd, &self.bwd, engine, s, t)
+        directed_query_dist(&self.view, &self.fwd, &self.bwd, engine, s, t)
     }
 }
 
@@ -72,7 +75,7 @@ impl SnapshotQuery for WeightedSnapshot {
     type Engine = BiDijkstra;
 
     fn snapshot_query_dist(&self, engine: &mut BiDijkstra, s: Vertex, t: Vertex) -> Dist {
-        weighted_query_dist(&self.graph, &self.lab, engine, s, t)
+        weighted_query_dist(&self.view, &self.lab, engine, s, t)
     }
 }
 

@@ -7,6 +7,10 @@
 //! [`BatchIndex::from_parts`]. Cheap structural sanity checks run at
 //! load time; [`BatchIndex::verify`] offers the full (expensive)
 //! semantic check for tests and operational audits.
+//!
+//! The CSR snapshot view is *derived* data and therefore not persisted:
+//! reassembly refreezes the loaded graph into a fresh base CSR with an
+//! empty overlay (`O(n + m)`, a small fraction of construction cost).
 
 use crate::index::{BatchIndex, IndexConfig};
 use batchhl_graph::DynamicGraph;

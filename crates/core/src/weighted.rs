@@ -39,7 +39,10 @@ use crate::reader::WeightedReader;
 use crate::stats::UpdateStats;
 use crate::workspace::dl_old;
 use batchhl_common::{Dist, EpochCache, FxHashMap, LandmarkLength, SparseBitSet, Vertex, INF};
-use batchhl_graph::weighted::{BiDijkstra, Weight, WeightedGraph, WeightedUpdate};
+use batchhl_graph::weighted::{
+    BiDijkstra, Weight, WeightedAdjacencyView, WeightedGraph, WeightedUpdate,
+};
+use batchhl_graph::WeightedCsrDelta;
 use batchhl_hcl::{LabelError, LabelStore, Labelling, Versioned};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -56,17 +59,22 @@ pub(crate) struct Effect {
     w_new: Option<Weight>,
 }
 
-/// One immutable generation of the weighted index.
+/// One immutable generation of the weighted index. `graph` is the
+/// writer's mutation substrate; `view` is the frozen weighted CSR
+/// (+ overlay) that queries and the Dijkstra kernel traverse.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightedSnapshot {
     pub graph: WeightedGraph,
     pub lab: Labelling,
+    pub view: WeightedCsrDelta,
 }
 
 impl WeightedSnapshot {
     fn placeholder() -> Self {
+        let graph = WeightedGraph::new(0);
         WeightedSnapshot {
-            graph: WeightedGraph::new(0),
+            view: WeightedCsrDelta::from_weighted(&graph),
+            graph,
             lab: Labelling::empty(0, Vec::new()).expect("empty labelling is valid"),
         }
     }
@@ -116,7 +124,7 @@ impl DijkstraWorkspace {
 /// search plus heap-ordered repair.
 pub(crate) struct DijkstraKernel;
 
-impl UpdateKernel<WeightedGraph> for DijkstraKernel {
+impl<W: WeightedAdjacencyView + Sync> UpdateKernel<W> for DijkstraKernel {
     type Update = Effect;
     type Workspace = DijkstraWorkspace;
 
@@ -127,7 +135,7 @@ impl UpdateKernel<WeightedGraph> for DijkstraKernel {
     fn process_landmark(
         &self,
         old: &Labelling,
-        g: &WeightedGraph,
+        g: &W,
         updates: &[Effect],
         i: usize,
         label_row: &mut [Dist],
@@ -142,9 +150,9 @@ impl UpdateKernel<WeightedGraph> for DijkstraKernel {
 }
 
 /// Weighted batch search for landmark `i` (Algorithm 2 analogue).
-fn weighted_search(
+fn weighted_search<W: WeightedAdjacencyView>(
     old: &Labelling,
-    g: &WeightedGraph,
+    g: &W,
     effects: &[Effect],
     i: usize,
     ws: &mut DijkstraWorkspace,
@@ -172,7 +180,7 @@ fn weighted_search(
         if !ws.aff.insert(v) {
             continue;
         }
-        for &(w, wt) in g.neighbors(v) {
+        for &(w, wt) in g.weighted_neighbors(v) {
             let nd = d + wt as u64;
             if nd < INF as u64 && nd <= dl_old(old, i, w, &mut ws.dl_cache).dist() as u64 {
                 ws.heap.push(Reverse((nd, w)));
@@ -183,9 +191,9 @@ fn weighted_search(
 
 /// Weighted batch repair for landmark `i` (Algorithm 4 analogue,
 /// heap-ordered by the packed landmark-length key).
-fn weighted_repair(
+fn weighted_repair<W: WeightedAdjacencyView>(
     old: &Labelling,
-    g: &WeightedGraph,
+    g: &W,
     i: usize,
     label_row: &mut [Dist],
     highway_row: &mut [Dist],
@@ -197,7 +205,7 @@ fn weighted_repair(
         let v = ws.aff.inserted()[idx];
         let v_is_lm = old.is_landmark(v);
         let mut best = LandmarkLength::INFINITE;
-        for &(w, wt) in g.neighbors(v) {
+        for &(w, wt) in g.weighted_neighbors(v) {
             if ws.aff.contains(w) {
                 continue;
             }
@@ -221,7 +229,7 @@ fn weighted_repair(
         }
         ws.aff.remove(v);
         crate::repair::finalize(old, i, v, bound, label_row, highway_row);
-        for &(w, wt) in g.neighbors(v) {
+        for &(w, wt) in g.weighted_neighbors(v) {
             if !ws.aff.contains(w) {
                 continue;
             }
@@ -288,12 +296,14 @@ impl WeightedBatchIndex {
     ) -> Result<Self, LabelError> {
         let n = graph.num_vertices();
         let mut lab = Labelling::empty(n, landmarks.clone())?;
+        // Construction Dijkstras run over the frozen CSR snapshot.
+        let view = WeightedCsrDelta::from_weighted(&graph);
         for i in 0..landmarks.len() {
-            flagged_dijkstra(&graph, &lab, i)
+            flagged_dijkstra(&view, &lab, i)
                 .into_iter()
                 .for_each(|(v, ll)| write_entry(&mut lab, i, v, ll));
         }
-        let work = WeightedSnapshot { graph, lab };
+        let work = WeightedSnapshot { graph, lab, view };
         Ok(WeightedBatchIndex {
             store: LabelStore::new(work.clone()),
             work,
@@ -345,7 +355,7 @@ impl WeightedBatchIndex {
     }
 
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
-        weighted_query_dist(&self.work.graph, &self.work.lab, &mut self.engine, s, t)
+        weighted_query_dist(&self.work.view, &self.work.lab, &mut self.engine, s, t)
     }
 
     /// Apply a batch of weighted updates. Self-loops, invalid updates
@@ -369,13 +379,20 @@ impl WeightedBatchIndex {
         let n = self.work.graph.num_vertices();
         self.work.lab.ensure_vertices(n);
         self.ws.grow(n);
+
+        // Freeze the batch's endpoints into the weighted CSR view; the
+        // Dijkstra searches below traverse it.
+        let graph = &self.work.graph;
+        self.work
+            .view
+            .absorb_from(graph, effect_endpoints(&effects));
         let mut grown = None;
         let oracle = engine::oracle_for(&old.lab, n, &mut grown);
 
         let affected = engine::run_landmarks(
             &DijkstraKernel,
             oracle,
-            &self.work.graph,
+            &self.work.view,
             &effects,
             &mut self.work.lab,
             self.threads,
@@ -394,6 +411,8 @@ impl WeightedBatchIndex {
             PassLog { effects, affected },
             |buf, fresh, log| {
                 apply_effects(&mut buf.graph, &log.effects, None);
+                let graph = &buf.graph;
+                buf.view.absorb_from(graph, effect_endpoints(&log.effects));
                 engine::sync_affected(&fresh.lab, &mut buf.lab, &log.affected);
             },
         );
@@ -447,10 +466,20 @@ impl WeightedBatchIndex {
     }
 }
 
+/// Distinct endpoints of a normalized effect list, sorted — the
+/// vertices the weighted CSR overlay must re-freeze.
+fn effect_endpoints(effects: &[Effect]) -> Vec<Vertex> {
+    let mut touched: Vec<Vertex> = effects.iter().flat_map(|e| [e.a, e.b]).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched
+}
+
 /// The weighted query path, shared by the owning index and its readers
-/// (mirrors `directed_query_dist`).
-pub(crate) fn weighted_query_dist(
-    graph: &WeightedGraph,
+/// (generic so readers traverse the published CSR view; mirrors
+/// `directed_query_dist`).
+pub(crate) fn weighted_query_dist<W: WeightedAdjacencyView>(
+    graph: &W,
     lab: &Labelling,
     engine: &mut BiDijkstra,
     s: Vertex,
@@ -517,7 +546,11 @@ fn apply_effects(
 
 /// Flagged Dijkstra from landmark `i`: `(vertex, d^L)` for all reached
 /// vertices, flags as in the flagged BFS of the unweighted build.
-fn flagged_dijkstra(g: &WeightedGraph, lab: &Labelling, i: usize) -> Vec<(Vertex, LandmarkLength)> {
+fn flagged_dijkstra<W: WeightedAdjacencyView>(
+    g: &W,
+    lab: &Labelling,
+    i: usize,
+) -> Vec<(Vertex, LandmarkLength)> {
     let n = g.num_vertices();
     let root = lab.landmark_vertex(i);
     let mut best: Vec<u64> = vec![LandmarkLength::INFINITE.key(); n];
@@ -529,7 +562,7 @@ fn flagged_dijkstra(g: &WeightedGraph, lab: &Labelling, i: usize) -> Vec<(Vertex
             continue;
         }
         let ll = LandmarkLength::from_key(key);
-        for &(w, wt) in g.neighbors(v) {
+        for &(w, wt) in g.weighted_neighbors(v) {
             let cand = ll.extend_by(wt, lab.is_landmark(w));
             if cand.key() < best[w as usize] {
                 best[w as usize] = cand.key();

@@ -181,6 +181,13 @@ impl BiBfs {
         self.frontier_t.push(t);
         let (mut ls, mut lt) = (0 as Dist, 0 as Dist);
         let mut best = INF;
+        // Frontier volumes (sum of out/in degrees) are maintained
+        // incrementally: each expansion accumulates the degrees of the
+        // vertices it discovers, so choosing the cheaper side is O(1)
+        // per level instead of a rescan of both frontiers. On CSR views
+        // the degree reads are two offset loads.
+        let mut vol_s = g.out_degree(s);
+        let mut vol_t = g.in_degree(t);
 
         while !self.frontier_s.is_empty() && !self.frontier_t.is_empty() {
             // No undiscovered path can be shorter than ls + lt + 1.
@@ -188,20 +195,13 @@ impl BiBfs {
             if horizon >= best || horizon >= bound {
                 break;
             }
-            // Expand the cheaper side (sum of out/in degrees resp.).
-            let vol_s: usize = self
-                .frontier_s
-                .iter()
-                .map(|&v| g.out_neighbors(v).len())
-                .sum();
-            let vol_t: usize = self
-                .frontier_t
-                .iter()
-                .map(|&v| g.in_neighbors(v).len())
-                .sum();
+            // Expand the cheaper side; `next` is the shared scratch
+            // buffer for whichever direction runs, so switching sides
+            // reuses the same allocation.
             if vol_s <= vol_t {
                 ls += 1;
                 self.next.clear();
+                let mut vol = 0usize;
                 for i in 0..self.frontier_s.len() {
                     let v = self.frontier_s[i];
                     for &w in g.out_neighbors(v) {
@@ -214,12 +214,15 @@ impl BiBfs {
                         self.ds[w as usize] = ls;
                         self.touched_s.push(w);
                         self.next.push(w);
+                        vol += g.out_degree(w);
                     }
                 }
+                vol_s = vol;
                 std::mem::swap(&mut self.frontier_s, &mut self.next);
             } else {
                 lt += 1;
                 self.next.clear();
+                let mut vol = 0usize;
                 for i in 0..self.frontier_t.len() {
                     let v = self.frontier_t[i];
                     for &w in g.in_neighbors(v) {
@@ -232,8 +235,10 @@ impl BiBfs {
                         self.dt[w as usize] = lt;
                         self.touched_t.push(w);
                         self.next.push(w);
+                        vol += g.in_degree(w);
                     }
                 }
+                vol_t = vol;
                 std::mem::swap(&mut self.frontier_t, &mut self.next);
             }
         }

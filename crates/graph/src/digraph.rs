@@ -197,27 +197,6 @@ impl AdjacencyView for DynamicDiGraph {
     }
 }
 
-/// View of a directed graph with all arcs reversed, without copying.
-/// Backward label maintenance runs the forward machinery over this view.
-#[derive(Debug, Clone, Copy)]
-pub struct ReversedView<'g>(pub &'g DynamicDiGraph);
-
-impl AdjacencyView for ReversedView<'_> {
-    fn num_vertices(&self) -> usize {
-        self.0.num_vertices()
-    }
-
-    #[inline]
-    fn out_neighbors(&self, v: Vertex) -> &[Vertex] {
-        self.0.in_neighbors(v)
-    }
-
-    #[inline]
-    fn in_neighbors(&self, v: Vertex) -> &[Vertex] {
-        self.0.out_neighbors(v)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,7 +236,7 @@ mod tests {
     #[test]
     fn reversed_view_swaps_directions() {
         let g = DynamicDiGraph::from_edges(3, &[(0, 1), (1, 2)]);
-        let r = ReversedView(&g);
+        let r = crate::Reversed(&g);
         assert_eq!(r.out_neighbors(1), &[0]);
         assert_eq!(r.in_neighbors(1), &[2]);
         let rg = g.reversed();

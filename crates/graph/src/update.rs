@@ -106,6 +106,24 @@ impl Batch {
         &self.updates
     }
 
+    /// Distinct endpoints of this batch's updates, sorted ascending —
+    /// the vertices whose adjacency applying the batch changes, and
+    /// therefore what the CSR publication path re-freezes into the
+    /// delta overlay.
+    pub fn touched_vertices(&self) -> Vec<Vertex> {
+        let mut touched: Vec<Vertex> = self
+            .updates
+            .iter()
+            .flat_map(|u| {
+                let (a, b) = u.endpoints();
+                [a, b]
+            })
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
+
     pub fn num_insertions(&self) -> usize {
         self.updates.iter().filter(|u| u.is_insert()).count()
     }

@@ -15,6 +15,37 @@ use std::collections::BinaryHeap;
 /// Edge weight (positive).
 pub type Weight = u32;
 
+/// Uniform view over weighted adjacency, mirroring
+/// [`crate::AdjacencyView`] for `(neighbour, weight)` lists: the
+/// Dijkstra toolkit and the weighted update kernel are generic over
+/// this trait, so they traverse either the dynamic writer graph or the
+/// published CSR snapshot ([`crate::csr::WeightedCsrDelta`]). Always
+/// borrowed slices — no allocation on the traversal path.
+pub trait WeightedAdjacencyView {
+    /// Number of vertices (`0..n` ids are valid).
+    fn num_vertices(&self) -> usize;
+
+    /// Sorted `(neighbour, weight)` slice of `v`.
+    fn weighted_neighbors(&self, v: Vertex) -> &[(Vertex, Weight)];
+
+    /// O(1) degree.
+    #[inline]
+    fn weighted_degree(&self, v: Vertex) -> usize {
+        self.weighted_neighbors(v).len()
+    }
+}
+
+impl WeightedAdjacencyView for WeightedGraph {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn weighted_neighbors(&self, v: Vertex) -> &[(Vertex, Weight)] {
+        self.neighbors(v)
+    }
+}
+
 /// An undirected simple graph with positive integer edge weights.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WeightedGraph {
@@ -217,7 +248,7 @@ impl WeightedUpdate {
 }
 
 /// Dijkstra distances from `src` (binary heap; weights ≥ 1).
-pub fn dijkstra(g: &WeightedGraph, src: Vertex) -> Vec<Dist> {
+pub fn dijkstra<W: WeightedAdjacencyView>(g: &W, src: Vertex) -> Vec<Dist> {
     let mut dist = vec![INF; g.num_vertices()];
     let mut heap: BinaryHeap<Reverse<(Dist, Vertex)>> = BinaryHeap::new();
     dist[src as usize] = 0;
@@ -226,7 +257,7 @@ pub fn dijkstra(g: &WeightedGraph, src: Vertex) -> Vec<Dist> {
         if d > dist[v as usize] {
             continue;
         }
-        for &(w, wt) in g.neighbors(v) {
+        for &(w, wt) in g.weighted_neighbors(v) {
             let nd = d.saturating_add(wt);
             if nd < dist[w as usize] {
                 dist[w as usize] = nd;
@@ -263,9 +294,9 @@ impl BiDijkstra {
         }
     }
 
-    pub fn run<F: Fn(Vertex) -> bool>(
+    pub fn run<W: WeightedAdjacencyView, F: Fn(Vertex) -> bool>(
         &mut self,
-        g: &WeightedGraph,
+        g: &W,
         s: Vertex,
         t: Vertex,
         bound: Dist,
@@ -314,7 +345,7 @@ impl BiDijkstra {
                 if other[v as usize] != INF {
                     best = best.min(d.saturating_add(other[v as usize]));
                 }
-                for &(w, wt) in g.neighbors(v) {
+                for &(w, wt) in g.weighted_neighbors(v) {
                     if !allowed(w) {
                         continue;
                     }

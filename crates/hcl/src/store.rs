@@ -20,9 +20,15 @@
 //!   Γ → Γ′ double buffer of Algorithm 1 expressed through ownership.
 //!
 //! The store is generic over the snapshot payload `S`: the undirected
-//! index stores `(graph, labelling)`, the directed index
-//! `(graph, forward, backward)`, the weighted index
-//! `(weighted graph, labelling)`.
+//! index stores `(graph, labelling, CSR view)`, the directed index
+//! `(graph, forward, backward, CSR view)`, the weighted index
+//! `(weighted graph, labelling, CSR view)`. The *publication format*
+//! for adjacency is the frozen CSR + delta overlay
+//! (`batchhl_graph::csr`): the writer freezes each batch's endpoints
+//! into the overlay before the repair pass, so the generation installed
+//! here is exactly what readers and landmark searches traverse —
+//! consecutive generations share the CSR base behind an `Arc` until a
+//! compaction swaps in a fresh one.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

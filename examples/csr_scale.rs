@@ -1,0 +1,86 @@
+//! Scale check for the CSR snapshot views: BiBFS and full-BFS traversal
+//! over the dynamic adjacency, the pure CSR, an empty overlay and a
+//! churned (steady-state) overlay, on a 400K-vertex BA graph.
+use batchhl::common::SplitMix64;
+use batchhl::graph::bfs::{bfs_distances, BiBfs};
+use batchhl::graph::csr::{CsrDelta, CsrGraph};
+use batchhl::graph::{generators, Batch, Vertex};
+use std::time::Instant;
+
+fn main() {
+    let n = 400_000usize;
+    let mut g = generators::barabasi_albert(n, 8, 42);
+    let csr = CsrGraph::from_adjacency(&g);
+    let empty = CsrDelta::from_adjacency(&g);
+    // Steady-state overlay: absorb a few hundred-edge batches.
+    let mut churned = CsrDelta::from_adjacency(&g);
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..4 {
+        let mut batch = Batch::new();
+        for _ in 0..100 {
+            let a = rng.below(n as u64) as Vertex;
+            let b = rng.below(n as u64) as Vertex;
+            if a != b && !g.has_edge(a, b) {
+                batch.insert(a, b);
+            }
+        }
+        let norm = batch.normalize(&g);
+        g.apply_batch(&norm);
+        churned.absorb(g.num_vertices(), norm.touched_vertices(), |v| {
+            g.neighbors(v)
+        });
+    }
+    println!(
+        "churned overlay: {} vertices / {} entries",
+        churned.overlay_vertices(),
+        churned.overlay_entries()
+    );
+    let mut rng = SplitMix64::new(7);
+    let pairs: Vec<(u32, u32)> = (0..256)
+        .map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
+        .collect();
+    let mut bi = BiBfs::new(n);
+    for &(s, t) in &pairs {
+        bi.run(&g, s, t, u32::MAX, |_| true);
+        bi.run(&csr, s, t, u32::MAX, |_| true);
+        bi.run(&empty, s, t, u32::MAX, |_| true);
+        bi.run(&churned, s, t, u32::MAX, |_| true);
+    }
+    macro_rules! bibfs {
+        ($g:expr) => {{
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..5 {
+                for &(s, t) in &pairs {
+                    acc += bi.run($g, s, t, u32::MAX, |_| true).unwrap_or(0) as u64;
+                }
+            }
+            (t0.elapsed(), acc)
+        }};
+    }
+    let (tc, _) = bibfs!(&csr);
+    let (te, _) = bibfs!(&empty);
+    let (tv, a3) = bibfs!(&churned);
+    let (td, a4) = bibfs!(&g);
+    assert_eq!(a3, a4, "overlay must answer like the dynamic graph");
+    println!("bibfs   dynamic={td:?} csr={tc:?} empty_overlay={te:?} churned_overlay={tv:?}");
+    macro_rules! fullbfs {
+        ($g:expr) => {{
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for i in 0..3u32 {
+                acc += bfs_distances($g, i)
+                    .iter()
+                    .map(|&d| if d == u32::MAX { 0 } else { d as u64 })
+                    .sum::<u64>();
+            }
+            (t0.elapsed(), acc)
+        }};
+    }
+    let (tc, _) = fullbfs!(&csr);
+    let (te, _) = fullbfs!(&empty);
+    let (tv, a3) = fullbfs!(&churned);
+    let (td, a4) = fullbfs!(&g);
+    assert_eq!(a3, a4);
+    println!("fullbfs dynamic={td:?} csr={tc:?} empty_overlay={te:?} churned_overlay={tv:?}");
+}

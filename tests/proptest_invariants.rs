@@ -156,7 +156,7 @@ proptest! {
         }
         index.apply_batch(&b);
         prop_assert!(oracle::check_minimal(index.graph(), index.forward_labelling()).is_ok());
-        let rev = batchhl::graph::digraph::ReversedView(index.graph());
+        let rev = batchhl::graph::Reversed(index.graph());
         prop_assert!(oracle::check_minimal(&rev, index.backward_labelling()).is_ok());
     }
 }
