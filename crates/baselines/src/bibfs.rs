@@ -2,7 +2,7 @@
 //!
 //! No index at all: every query is answered by the frontier-volume
 //! optimized bidirectional BFS (the paper's BiBFS baseline, credited to
-//! [21]'s optimized expansion strategy). Updates are therefore free —
+//! \[21]'s optimized expansion strategy). Updates are therefore free —
 //! the trade-off Figure 6 explores.
 
 use batchhl_common::{Dist, Vertex, INF};

@@ -36,6 +36,7 @@ fn build_index() -> BatchIndex {
             selection: LandmarkSelection::TopDegree(BENCH_LANDMARKS),
             algorithm: Algorithm::BhlPlus,
             threads: 1,
+            ..IndexConfig::default()
         },
     )
 }

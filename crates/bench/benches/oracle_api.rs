@@ -1,0 +1,114 @@
+//! Batched query plans vs the naive per-pair loop, through the
+//! `DistanceOracle` facade — the headline measurement of the unified
+//! API: `distances_from(s, 1024 targets)` must beat 1024 independent
+//! `query` calls on the BHL⁺ configuration, because the batched call
+//! pins one generation, builds the source's label plan (`via[j] =
+//! min_i label_i(s) + δ_H(i, j)`) once, and replaces 1024 bounded
+//! bidirectional searches with one bounded sweep of `G[V\R]`.
+//!
+//! Series (all on the same oracle + reader):
+//!
+//! * `per_pair/1024` — 1024 independent `reader.query` calls, one
+//!   source (the naive loop the batched plan replaces);
+//! * `distances_from/1024` — the same 1024 answers in one call;
+//! * `query_many_grouped/1024` — 1024 pairs over 32 sources in one
+//!   call (grouped plan reuse);
+//! * `per_pair_mixed/1024` — the same 1024 mixed pairs as independent
+//!   calls;
+//! * `top_k_closest/64` — k-nearest extraction, which the per-pair API
+//!   cannot express at all without scanning every vertex.
+
+use batchhl::graph::Vertex;
+use batchhl::{LandmarkSelection, Oracle, OracleReader};
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, bench_queries, BENCH_LANDMARKS, BENCH_SEED};
+use batchhl_common::SplitMix64;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const FANOUT: usize = 1024;
+const SOURCES: usize = 32;
+
+fn fixture() -> (OracleReader, Vertex, Vec<Vertex>, Vec<(Vertex, Vertex)>) {
+    let graph = bench_graph();
+    let n = graph.num_vertices();
+    let mixed = {
+        // 32 sources × 32 targets from the standard query distribution.
+        let base = bench_queries(&graph, SOURCES);
+        let mut rng = SplitMix64::new(BENCH_SEED ^ 0xFA);
+        base.iter()
+            .flat_map(|&(s, _)| {
+                let mut rng2 = SplitMix64::new(rng.next_u64());
+                (0..FANOUT / SOURCES).map(move |_| (s, rng2.below(n as u64) as Vertex))
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut rng = SplitMix64::new(BENCH_SEED);
+    let source = bench_queries(&graph, 1)[0].0;
+    let targets: Vec<Vertex> = (0..FANOUT).map(|_| rng.below(n as u64) as Vertex).collect();
+    let oracle = Oracle::builder()
+        .landmarks(LandmarkSelection::TopDegree(BENCH_LANDMARKS))
+        .build(graph)
+        .expect("undirected bench graph");
+    (oracle.reader(), source, targets, mixed)
+}
+
+fn bench(c: &mut Criterion) {
+    let (reader, source, targets, mixed) = fixture();
+
+    // The batched plans must answer exactly what the per-pair loop
+    // answers — assert once before timing anything.
+    let batched = reader.distances_from(source, &targets);
+    for (&t, &d) in targets.iter().zip(&batched) {
+        assert_eq!(d, reader.query(source, t), "fanout({source},{t})");
+    }
+    let grouped = reader.query_many(&mixed);
+    for (&(s, t), &d) in mixed.iter().zip(&grouped) {
+        assert_eq!(d, reader.query(s, t), "grouped({s},{t})");
+    }
+
+    let mut group = c.benchmark_group("oracle_api");
+    group.throughput(Throughput::Elements(FANOUT as u64));
+
+    group.bench_function(format!("per_pair/{FANOUT}"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &t in &targets {
+                acc += reader.query(source, t).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function(format!("distances_from/{FANOUT}"), |b| {
+        b.iter(|| black_box(reader.distances_from(source, &targets)));
+    });
+
+    group.bench_function(format!("per_pair_mixed/{FANOUT}"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(s, t) in &mixed {
+                acc += reader.query(s, t).unwrap_or(0) as u64;
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function(format!("query_many_grouped/{FANOUT}"), |b| {
+        b.iter(|| black_box(reader.query_many(&mixed)));
+    });
+
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("top_k_closest/64", |b| {
+        b.iter(|| black_box(reader.top_k_closest(source, 64)));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

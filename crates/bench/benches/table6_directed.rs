@@ -30,6 +30,7 @@ fn bench(c: &mut Criterion) {
         selection: LandmarkSelection::TopDegree(BENCH_LANDMARKS),
         algorithm: alg,
         threads: 1,
+        ..IndexConfig::default()
     };
     let mut group = c.benchmark_group("table6_directed");
     for (name, alg) in [("BHL+", Algorithm::BhlPlus), ("BHL", Algorithm::Bhl)] {

@@ -43,6 +43,7 @@ pub fn bench_index(g: &DynamicGraph, algorithm: Algorithm, k: usize) -> BatchInd
             selection: LandmarkSelection::TopDegree(k),
             algorithm,
             threads: 1,
+            ..IndexConfig::default()
         },
     )
 }

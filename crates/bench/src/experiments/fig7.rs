@@ -26,6 +26,7 @@ pub fn run(ctx: &ExpContext) {
                     selection: LandmarkSelection::TopDegree(k),
                     algorithm: Algorithm::BhlPlus,
                     threads: 1,
+                    ..IndexConfig::default()
                 },
             );
             let (_, total) = time(|| {

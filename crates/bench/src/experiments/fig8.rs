@@ -31,6 +31,7 @@ pub fn run(ctx: &ExpContext) {
                     selection: LandmarkSelection::TopDegree(k),
                     algorithm: Algorithm::BhlPlus,
                     threads: 1,
+                    ..IndexConfig::default()
                 },
             );
             for b in &batches {

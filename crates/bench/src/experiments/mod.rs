@@ -86,6 +86,7 @@ impl ExpContext {
                 selection: LandmarkSelection::TopDegree(self.landmarks),
                 algorithm,
                 threads,
+                ..IndexConfig::default()
             },
         )
     }

@@ -60,6 +60,7 @@ pub fn run(ctx: &ExpContext) {
             selection: LandmarkSelection::TopDegree(ctx.landmarks),
             algorithm: alg,
             threads,
+            ..IndexConfig::default()
         };
         let mut cells = vec![name.to_string()];
         for (alg, threads) in [

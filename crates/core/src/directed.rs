@@ -23,17 +23,23 @@
 //! hands out concurrent [`DirectedReader`] query handles.
 
 use crate::engine::{self, BfsKernel};
-use crate::reader::DirectedReader;
+use crate::reader::{DirectedReader, SharedReader, SnapshotQuery};
 use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::{AdjacencyView, Batch, CsrDiDelta, DynamicDiGraph, Reversed, Update};
-use batchhl_hcl::{build_labelling_parallel, LabelStore, Labelling, Versioned, NO_LABEL};
+use batchhl_hcl::{
+    build_labelling_parallel, LabelStore, Labelling, SourcePlan, Versioned, NO_LABEL,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
-pub use crate::index::{Algorithm, IndexConfig};
+pub use crate::index::{Algorithm, CompactionPolicy, IndexConfig};
+
+/// Batched directed calls switch to a single forward sweep at this many
+/// unresolved targets (mirrors [`batchhl_hcl::SWEEP_MIN_TARGETS`]).
+use batchhl_hcl::SWEEP_MIN_TARGETS;
 
 /// One immutable generation of the directed index. `graph` is the
 /// writer's mutation substrate; `view` is the frozen two-direction CSR
@@ -160,6 +166,19 @@ impl DirectedBatchIndex {
         DirectedReader::new(self.store.reader())
     }
 
+    /// A `Send + Sync` query handle whose queries take `&self` (see
+    /// [`SharedReader`]).
+    pub fn shared_reader(&self) -> SharedReader<DirectedSnapshot> {
+        SharedReader::new(self.store.clone())
+    }
+
+    /// Tune the CSR compaction policy of both direction overlays
+    /// (normally set up front through [`IndexConfig::compaction`]).
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.config.compaction = policy;
+        self.work.view.set_policy(policy);
+    }
+
     /// Exact directed distance `d(s → t)`; `None` if unreachable.
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
         let d = self.query_dist(s, t);
@@ -183,6 +202,29 @@ impl DirectedBatchIndex {
     /// of `t`.
     pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
         directed_upper_bound(&self.work.fwd, &self.work.bwd, s, t)
+    }
+
+    /// Batched pair queries (order of results matches `pairs`); pairs
+    /// sharing a source reuse one [`SourcePlan`] over `s`'s backward
+    /// labels.
+    pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        crate::reader::query_many_on(&self.work, &mut self.bibfs, pairs)
+    }
+
+    /// One-source-to-many-targets directed distances `d(s → t)`;
+    /// `None` marks unreachable or out-of-range endpoints.
+    pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.work
+            .snapshot_distances_from(&mut self.bibfs, s, targets)
+            .into_iter()
+            .map(|d| (d != INF).then_some(d))
+            .collect()
+    }
+
+    /// The `k` vertices closest to `s` by forward distance `d(s → v)`
+    /// (excluding `s`), nondecreasing by distance.
+    pub fn top_k_closest(&mut self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
+        self.work.snapshot_top_k(&mut self.bibfs, s, k)
     }
 
     /// Apply a batch of *directed* updates (Algorithm 1, run once per
@@ -210,7 +252,10 @@ impl DirectedBatchIndex {
         self.ws.grow(n);
 
         // Freeze the batch's arcs into the two-direction CSR view; the
-        // forward and backward searches below traverse it.
+        // forward and backward searches below traverse it. The policy is
+        // re-applied every pass because publish/recycle may have swapped
+        // in a buffer that predates a setter call.
+        self.work.view.set_policy(self.config.compaction);
         let graph = &self.work.graph;
         self.work.view.absorb_arcs(graph, &arc_list(&norm));
 
@@ -333,6 +378,67 @@ pub(crate) fn directed_query_dist<A: AdjacencyView>(
     found.unwrap_or(bound)
 }
 
+/// The directed one-to-many path, shared by the owning index and its
+/// readers: one [`SourcePlan`] over the backward labels of `s` prices
+/// every target's Eq. 3 bound in `O(|R|)`, and once
+/// [`SWEEP_MIN_TARGETS`] targets need search refinement a single
+/// bounded forward BFS sweep of `G[V\R]` from `s` replaces the
+/// per-target bidirectional searches.
+pub(crate) fn directed_distances_from<A: AdjacencyView>(
+    graph: &A,
+    fwd: &Labelling,
+    bwd: &Labelling,
+    bibfs: &mut BiBfs,
+    s: Vertex,
+    targets: &[Vertex],
+) -> Vec<Dist> {
+    let n = graph.num_vertices();
+    let mut out = vec![INF; targets.len()];
+    if (s as usize) >= n {
+        return out;
+    }
+    // A landmark source is exact from the forward labelling (Eq. 2).
+    if let Some(i) = fwd.landmark_index(s) {
+        for (slot, &t) in out.iter_mut().zip(targets) {
+            if (t as usize) < n {
+                *slot = fwd.landmark_to_vertex(i, t);
+            }
+        }
+        return out;
+    }
+    let plan = SourcePlan::new(bwd, fwd, s);
+    let mut refine: Vec<usize> = Vec::new();
+    for (k, &t) in targets.iter().enumerate() {
+        if (t as usize) >= n {
+            continue;
+        }
+        if t == s {
+            out[k] = 0;
+            continue;
+        }
+        if let Some(j) = bwd.landmark_index(t) {
+            out[k] = bwd.landmark_to_vertex(j, s);
+            continue;
+        }
+        out[k] = plan.bound_to(fwd, t);
+        refine.push(k);
+    }
+    if refine.len() >= SWEEP_MIN_TARGETS {
+        let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+        bibfs.sweep(graph, s, horizon, usize::MAX, |v| !fwd.is_landmark(v));
+        for &k in &refine {
+            out[k] = out[k].min(bibfs.sweep_dist(targets[k]));
+        }
+    } else {
+        for &k in &refine {
+            let bound = out[k];
+            let found = bibfs.run(graph, s, targets[k], bound, |v| !fwd.is_landmark(v));
+            out[k] = found.unwrap_or(bound);
+        }
+    }
+    out
+}
+
 /// Eq. 3 over a backward/forward labelling pair.
 pub(crate) fn directed_upper_bound(fwd: &Labelling, bwd: &Labelling, s: Vertex, t: Vertex) -> Dist {
     let r = fwd.num_landmarks();
@@ -369,6 +475,7 @@ mod tests {
             selection: LandmarkSelection::TopDegree(k),
             algorithm,
             threads: 1,
+            ..IndexConfig::default()
         }
     }
 

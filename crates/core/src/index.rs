@@ -22,16 +22,18 @@
 //! (BHLₚ, Section 6).
 
 use crate::engine::{self, BfsKernel};
-use crate::reader::Reader;
+use crate::reader::{Reader, SharedReader, SnapshotQuery};
 use crate::stats::UpdateStats;
 use crate::workspace::UpdateWorkspace;
-use batchhl_common::{Dist, Vertex};
+use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::{Batch, CsrDelta, DynamicGraph, VertexRemap};
 use batchhl_hcl::{
     build_labelling_parallel, LabelStore, Labelling, LandmarkSelection, QueryEngine, Versioned,
 };
 use std::sync::Arc;
 use std::time::Instant;
+
+pub use batchhl_graph::csr::CompactionPolicy;
 
 /// Which published variant performs the update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +78,10 @@ pub struct IndexConfig {
     /// Worker threads for construction and updates. `> 1` turns BHL⁺
     /// into the paper's BHLₚ.
     pub threads: usize,
+    /// When published CSR views compact their delta overlay — one
+    /// policy shared by all index families (undirected, directed,
+    /// weighted).
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for IndexConfig {
@@ -84,6 +90,7 @@ impl Default for IndexConfig {
             selection: LandmarkSelection::paper_default(),
             algorithm: Algorithm::BhlPlus,
             threads: 1,
+            compaction: CompactionPolicy::default(),
         }
     }
 }
@@ -152,12 +159,10 @@ pub struct BatchIndex {
     store: LabelStore<IndexSnapshot>,
     /// Retired-buffer recycling (see [`engine::Recycler`]).
     recycler: engine::Recycler<IndexSnapshot, PassLog>,
+    /// Holds the CSR compaction policy too — it is re-applied to the
+    /// view every pass, because publish/recycle swaps the working
+    /// snapshot for a buffer that predates any setter call.
     config: IndexConfig,
-    /// CSR compaction knobs `(fraction, min_entries)` — kept on the
-    /// index (not only on the view) because publish/recycle swaps the
-    /// working snapshot for a buffer that predates any setter call;
-    /// `run_pass` re-applies them every pass.
-    compaction: (f32, usize),
     ws: UpdateWorkspace,
     engine: QueryEngine,
 }
@@ -170,7 +175,6 @@ impl Clone for BatchIndex {
             store: LabelStore::new(self.work.clone()),
             recycler: engine::Recycler::new(),
             config: self.config.clone(),
-            compaction: self.compaction,
             ws: UpdateWorkspace::new(n),
             engine: QueryEngine::new(n),
         }
@@ -219,29 +223,28 @@ impl BatchIndex {
             work,
             recycler: engine::Recycler::new(),
             config,
-            compaction: (
-                batchhl_graph::csr::DEFAULT_COMPACTION_FRACTION,
-                batchhl_graph::csr::MIN_COMPACTION_ENTRIES,
-            ),
             ws: UpdateWorkspace::new(n),
             engine: QueryEngine::new(n),
         }
     }
 
     /// Tune when the published CSR view compacts its delta overlay into
-    /// a fresh base snapshot (fraction of the base's adjacency entries;
-    /// default [`batchhl_graph::csr::DEFAULT_COMPACTION_FRACTION`]).
-    pub fn set_compaction_fraction(&mut self, fraction: f32) {
-        self.set_compaction_policy(fraction, self.compaction.1);
+    /// a fresh base snapshot (see [`CompactionPolicy`]; normally set up
+    /// front through [`IndexConfig::compaction`]).
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.config.compaction = policy;
+        self.work.view.set_policy(policy);
     }
 
-    /// As [`BatchIndex::set_compaction_fraction`], additionally setting
-    /// the absolute overlay-entry floor below which compaction never
-    /// triggers (tests drive it to 0 to force compactions on tiny
-    /// graphs).
+    #[deprecated(note = "use `set_compaction(CompactionPolicy { fraction, .. })` instead")]
+    pub fn set_compaction_fraction(&mut self, fraction: f32) {
+        let min_entries = self.config.compaction.min_entries;
+        self.set_compaction(CompactionPolicy::new(fraction, min_entries));
+    }
+
+    #[deprecated(note = "use `set_compaction(CompactionPolicy::new(fraction, min_entries))`")]
     pub fn set_compaction_policy(&mut self, fraction: f32, min_entries: usize) {
-        self.compaction = (fraction, min_entries);
-        self.work.view.set_compaction_policy(fraction, min_entries);
+        self.set_compaction(CompactionPolicy::new(fraction, min_entries));
     }
 
     pub fn graph(&self) -> &DynamicGraph {
@@ -281,6 +284,13 @@ impl BatchIndex {
         Reader::new(self.store.reader())
     }
 
+    /// A `Send + Sync` query handle whose queries take `&self` (shared
+    /// across serving threads without cloning): the handle re-pins the
+    /// freshest generation internally. See [`SharedReader`].
+    pub fn shared_reader(&self) -> SharedReader<IndexSnapshot> {
+        SharedReader::new(self.store.clone())
+    }
+
     /// Exact distance, `None` when disconnected (Section 4: labelling
     /// upper bound + bounded bidirectional BFS on `G[V\R]`, run over
     /// the CSR view). Answers against the *working* snapshot — the
@@ -297,6 +307,30 @@ impl BatchIndex {
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
         self.engine
             .query_dist(&self.work.lab, &self.work.view, s, t)
+    }
+
+    /// Batched pair queries: groups the pairs by source and reuses the
+    /// per-source label plan across each group (see
+    /// [`batchhl_hcl::SourcePlan`]). Order of results matches `pairs`.
+    pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        crate::reader::query_many_on(&self.work, &mut self.engine, pairs)
+    }
+
+    /// One-source-to-many-targets distances (the batched fast path:
+    /// one generation, one source plan, one sweep for large target
+    /// sets). `None` marks disconnected or out-of-range endpoints.
+    pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.work
+            .snapshot_distances_from(&mut self.engine, s, targets)
+            .into_iter()
+            .map(|d| (d != INF).then_some(d))
+            .collect()
+    }
+
+    /// The `k` vertices closest to `s` (excluding `s`), nondecreasing
+    /// by distance.
+    pub fn top_k_closest(&mut self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
+        self.work.snapshot_top_k(&mut self.engine, s, k)
     }
 
     /// Apply a batch of updates and repair the labelling (Algorithm 1,
@@ -368,8 +402,7 @@ impl BatchIndex {
         // landmark searches, repair relaxation, owner and reader
         // queries — traverses this view, never the Vec<Vec<_>> graph.
         let touched = norm.touched_vertices();
-        let (fraction, min_entries) = self.compaction;
-        self.work.view.set_compaction_policy(fraction, min_entries);
+        self.work.view.set_policy(self.config.compaction);
         let graph = &self.work.graph;
         self.work
             .view
@@ -436,6 +469,7 @@ mod tests {
             selection: LandmarkSelection::TopDegree(k),
             algorithm,
             threads: 1,
+            ..IndexConfig::default()
         }
     }
 
@@ -698,6 +732,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compaction_setters_delegate_to_policy() {
+        let mut index = BatchIndex::build(path(6), config(Algorithm::BhlPlus, 1));
+        index.set_compaction_fraction(0.5);
+        assert_eq!(index.config().compaction.fraction, 0.5);
+        index.set_compaction_policy(0.25, 7);
+        assert_eq!(index.config().compaction, CompactionPolicy::new(0.25, 7));
+        index.set_compaction(CompactionPolicy::eager(0.1));
+        assert_eq!(index.config().compaction.min_entries, 0);
     }
 
     #[test]

@@ -71,9 +71,9 @@
 //! chase of `Vec<Vec<_>>` adjacency into sequential array scans.
 //! `apply_batch` freezes only the batch's endpoints into the overlay
 //! (`O(Σ deg(endpoint))`) and compacts into a fresh base CSR when the
-//! overlay crosses a configurable fraction of the graph
-//! ([`index::BatchIndex::set_compaction_fraction`]); consecutive
-//! generations share the base behind an `Arc`.
+//! overlay crosses the configured [`index::CompactionPolicy`] (the
+//! `compaction` field of [`index::IndexConfig`], shared by every index
+//! family); consecutive generations share the base behind an `Arc`.
 //! [`index::BatchIndex::new_reordered`] additionally renumbers vertices
 //! by decreasing degree at construction so hub neighbourhoods pack into
 //! the front of the CSR arrays.
@@ -94,6 +94,7 @@
 //! # let _ = d0;
 //! ```
 
+pub mod backend;
 pub mod directed;
 pub mod engine;
 pub mod index;
@@ -107,8 +108,11 @@ pub mod stats;
 pub mod weighted;
 pub mod workspace;
 
+pub use backend::{
+    build_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource, OracleError,
+};
 pub use directed::{DirectedBatchIndex, DirectedSnapshot};
-pub use index::{Algorithm, BatchIndex, IndexConfig, IndexSnapshot};
-pub use reader::{DirectedReader, Reader, WeightedReader};
+pub use index::{Algorithm, BatchIndex, CompactionPolicy, IndexConfig, IndexSnapshot};
+pub use reader::{DirectedReader, Reader, SharedReader, SnapshotQuery, WeightedReader};
 pub use stats::UpdateStats;
 pub use weighted::{WeightedBatchIndex, WeightedSnapshot};

@@ -71,6 +71,7 @@ mod tests {
                 selection: LandmarkSelection::TopDegree(k),
                 algorithm: Algorithm::BhlPlus,
                 threads: 1,
+                ..IndexConfig::default()
             },
         )
     }

@@ -72,6 +72,7 @@ mod tests {
             selection: LandmarkSelection::TopDegree(5),
             algorithm: Algorithm::BhlPlus,
             threads: 1,
+            ..IndexConfig::default()
         }
     }
 

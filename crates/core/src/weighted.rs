@@ -22,7 +22,7 @@
 //!   Lemma 5.20 still applies verbatim).
 //!
 //! Both phases plug into the unified update engine as the
-//! [`DijkstraKernel`]: the per-landmark orchestration (sequential or
+//! `DijkstraKernel`: the per-landmark orchestration (sequential or
 //! landmark-parallel) and the generation publish/recycle cycle are the
 //! exact same code the unweighted indexes run. That unification also
 //! gives the weighted index landmark-parallel updates
@@ -35,7 +35,8 @@
 //! labelling rebuilt from scratch.
 
 use crate::engine::{self, UpdateKernel};
-use crate::reader::WeightedReader;
+use crate::index::CompactionPolicy;
+use crate::reader::{SharedReader, SnapshotQuery, WeightedReader};
 use crate::stats::UpdateStats;
 use crate::workspace::dl_old;
 use batchhl_common::{Dist, EpochCache, FxHashMap, LandmarkLength, SparseBitSet, Vertex, INF};
@@ -43,7 +44,7 @@ use batchhl_graph::weighted::{
     BiDijkstra, Weight, WeightedAdjacencyView, WeightedGraph, WeightedUpdate,
 };
 use batchhl_graph::WeightedCsrDelta;
-use batchhl_hcl::{LabelError, LabelStore, Labelling, Versioned};
+use batchhl_hcl::{LabelError, LabelStore, Labelling, SourcePlan, Versioned, SWEEP_MIN_TARGETS};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -262,6 +263,7 @@ pub struct WeightedBatchIndex {
     store: LabelStore<WeightedSnapshot>,
     recycler: engine::Recycler<WeightedSnapshot, PassLog>,
     threads: usize,
+    compaction: CompactionPolicy,
     ws: DijkstraWorkspace,
     engine: BiDijkstra,
 }
@@ -274,6 +276,7 @@ impl Clone for WeightedBatchIndex {
             store: LabelStore::new(self.work.clone()),
             recycler: engine::Recycler::new(),
             threads: self.threads,
+            compaction: self.compaction,
             ws: DijkstraWorkspace::new(n),
             engine: BiDijkstra::new(n),
         }
@@ -309,6 +312,7 @@ impl WeightedBatchIndex {
             work,
             recycler: engine::Recycler::new(),
             threads: 1,
+            compaction: CompactionPolicy::default(),
             ws: DijkstraWorkspace::new(n),
             engine: BiDijkstra::new(n),
         })
@@ -319,6 +323,19 @@ impl WeightedBatchIndex {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Builder-style [`WeightedBatchIndex::set_compaction`].
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.set_compaction(policy);
+        self
+    }
+
+    /// Tune the CSR compaction policy of the published weighted view —
+    /// the same [`CompactionPolicy`] every index family takes.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.compaction = policy;
+        self.work.view.set_policy(policy);
     }
 
     pub fn graph(&self) -> &WeightedGraph {
@@ -348,6 +365,12 @@ impl WeightedBatchIndex {
         WeightedReader::new(self.store.reader())
     }
 
+    /// A `Send + Sync` query handle whose queries take `&self` (see
+    /// [`SharedReader`]).
+    pub fn shared_reader(&self) -> SharedReader<WeightedSnapshot> {
+        SharedReader::new(self.store.clone())
+    }
+
     /// Exact weighted distance; `None` when disconnected.
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
         let d = self.query_dist(s, t);
@@ -356,6 +379,28 @@ impl WeightedBatchIndex {
 
     pub fn query_dist(&mut self, s: Vertex, t: Vertex) -> Dist {
         weighted_query_dist(&self.work.view, &self.work.lab, &mut self.engine, s, t)
+    }
+
+    /// Batched pair queries (order of results matches `pairs`); pairs
+    /// sharing a source reuse one [`SourcePlan`].
+    pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        crate::reader::query_many_on(&self.work, &mut self.engine, pairs)
+    }
+
+    /// One-source-to-many-targets weighted distances; `None` marks
+    /// disconnected or out-of-range endpoints.
+    pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.work
+            .snapshot_distances_from(&mut self.engine, s, targets)
+            .into_iter()
+            .map(|d| (d != INF).then_some(d))
+            .collect()
+    }
+
+    /// The `k` vertices closest to `s` (excluding `s`), nondecreasing
+    /// by weighted distance.
+    pub fn top_k_closest(&mut self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
+        self.work.snapshot_top_k(&mut self.engine, s, k)
     }
 
     /// Apply a batch of weighted updates. Self-loops, invalid updates
@@ -381,7 +426,10 @@ impl WeightedBatchIndex {
         self.ws.grow(n);
 
         // Freeze the batch's endpoints into the weighted CSR view; the
-        // Dijkstra searches below traverse it.
+        // Dijkstra searches below traverse it. The policy is re-applied
+        // every pass because publish/recycle may have swapped in a
+        // buffer that predates a setter call.
+        self.work.view.set_policy(self.compaction);
         let graph = &self.work.graph;
         self.work
             .view
@@ -503,6 +551,86 @@ pub(crate) fn weighted_query_dist<W: WeightedAdjacencyView>(
                 .unwrap_or(bound)
         }
     }
+}
+
+/// The weighted one-to-many path, shared by the owning index and its
+/// readers (mirrors the unweighted `QueryEngine::distances_from`): one
+/// [`SourcePlan`] prices every target's Eq. 3 bound in `O(|R|)`, and
+/// once [`SWEEP_MIN_TARGETS`] targets need search refinement a single
+/// bounded Dijkstra sweep of `G[V\R]` from `s` replaces the per-target
+/// bidirectional searches.
+pub(crate) fn weighted_distances_from<W: WeightedAdjacencyView>(
+    graph: &W,
+    lab: &Labelling,
+    engine: &mut BiDijkstra,
+    s: Vertex,
+    targets: &[Vertex],
+) -> Vec<Dist> {
+    let n = graph.num_vertices();
+    let mut out = vec![INF; targets.len()];
+    if (s as usize) >= n {
+        return out;
+    }
+    if let Some(i) = lab.landmark_index(s) {
+        for (slot, &t) in out.iter_mut().zip(targets) {
+            if (t as usize) < n {
+                *slot = lab.landmark_to_vertex(i, t);
+            }
+        }
+        return out;
+    }
+    let plan = SourcePlan::new(lab, lab, s);
+    let mut refine: Vec<usize> = Vec::new();
+    for (k, &t) in targets.iter().enumerate() {
+        if (t as usize) >= n {
+            continue;
+        }
+        if t == s {
+            out[k] = 0;
+            continue;
+        }
+        if let Some(j) = lab.landmark_index(t) {
+            out[k] = lab.landmark_to_vertex(j, s);
+            continue;
+        }
+        out[k] = plan.bound_to(lab, t);
+        refine.push(k);
+    }
+    if refine.len() >= SWEEP_MIN_TARGETS {
+        let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+        engine.sweep(graph, s, horizon, usize::MAX, |v| !lab.is_landmark(v));
+        for &k in &refine {
+            out[k] = out[k].min(engine.sweep_dist(targets[k]));
+        }
+    } else {
+        for &k in &refine {
+            let bound = out[k];
+            let found = engine.run(graph, s, targets[k], bound, |v| !lab.is_landmark(v));
+            out[k] = found.unwrap_or(bound);
+        }
+    }
+    out
+}
+
+/// The `k` vertices closest to `s` on the full weighted graph: a
+/// capped Dijkstra sweep settles vertices in distance order.
+pub(crate) fn weighted_top_k<W: WeightedAdjacencyView>(
+    graph: &W,
+    engine: &mut BiDijkstra,
+    s: Vertex,
+    k: usize,
+) -> Vec<(Vertex, Dist)> {
+    if (s as usize) >= graph.num_vertices() || k == 0 {
+        return Vec::new();
+    }
+    engine.sweep(graph, s, INF, k.saturating_add(1), |_| true);
+    engine
+        .swept()
+        .iter()
+        .filter(|&&v| v != s)
+        .take(k)
+        .map(|&v| (v, engine.sweep_dist(v)))
+        .collect()
 }
 
 /// Apply normalized effects to a graph (and optionally count them) —

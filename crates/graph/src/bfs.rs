@@ -245,6 +245,73 @@ impl BiBfs {
         (best < bound).then_some(best)
     }
 
+    /// One-sided bounded BFS from `s` over the subgraph of vertices
+    /// passing `allowed`, reusing the source-side arrays of the
+    /// bidirectional workspace (sparse reset, no allocation in steady
+    /// state).
+    ///
+    /// The one-to-many counterpart of [`BiBfs::run`]: a single sweep
+    /// discovers `d(s, v)` for *every* vertex within `bound` hops (or
+    /// until `cap` vertices have been discovered), so a caller with many
+    /// targets pays one traversal instead of one bidirectional search
+    /// per target. Afterwards [`BiBfs::swept`] lists the discovered
+    /// vertices in nondecreasing-distance order and [`BiBfs::sweep_dist`]
+    /// reads their distances; undiscovered vertices read `INF`.
+    ///
+    /// `s` must itself be allowed. `bound = INF` sweeps the whole
+    /// reachable component; `cap = usize::MAX` disables the count stop.
+    pub fn sweep<A, F>(&mut self, g: &A, s: Vertex, bound: Dist, cap: usize, allowed: F)
+    where
+        A: AdjacencyView,
+        F: Fn(Vertex) -> bool,
+    {
+        debug_assert!(allowed(s), "sweep source must be allowed");
+        self.reset();
+        self.grow(g.num_vertices());
+        if cap == 0 {
+            return;
+        }
+        self.ds[s as usize] = 0;
+        self.touched_s.push(s);
+        self.frontier_s.push(s);
+        let mut level: Dist = 0;
+        'sweep: while !self.frontier_s.is_empty() && level < bound {
+            level += 1;
+            self.next.clear();
+            for i in 0..self.frontier_s.len() {
+                let v = self.frontier_s[i];
+                for &w in g.out_neighbors(v) {
+                    if !allowed(w) || self.ds[w as usize] != INF {
+                        continue;
+                    }
+                    self.ds[w as usize] = level;
+                    self.touched_s.push(w);
+                    self.next.push(w);
+                    if self.touched_s.len() >= cap {
+                        break 'sweep;
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier_s, &mut self.next);
+        }
+        self.frontier_s.clear();
+        self.next.clear();
+    }
+
+    /// The vertices discovered by the last [`BiBfs::sweep`], in
+    /// nondecreasing-distance (BFS) order; the source comes first.
+    #[inline]
+    pub fn swept(&self) -> &[Vertex] {
+        &self.touched_s
+    }
+
+    /// Distance recorded by the last [`BiBfs::sweep`] (`INF` when the
+    /// sweep did not reach `v`).
+    #[inline]
+    pub fn sweep_dist(&self, v: Vertex) -> Dist {
+        self.ds[v as usize]
+    }
+
     fn reset(&mut self) {
         for &v in &self.touched_s {
             self.ds[v as usize] = INF;
@@ -343,6 +410,53 @@ mod tests {
         assert_eq!(bi.run(&g, 0, 2, INF, |_| true), Some(2));
         assert_eq!(bi.run(&g, 0, 2, INF, |v| v != 1), Some(3));
         assert_eq!(bi.run(&g, 0, 2, INF, |v| v != 1 && v != 4), None);
+    }
+
+    #[test]
+    fn sweep_matches_bfs_and_orders_by_distance() {
+        let g =
+            DynamicGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5), (5, 6)]);
+        let mut bi = BiBfs::new(8);
+        for s in 0..8u32 {
+            let truth = bfs_distances(&g, s);
+            bi.sweep(&g, s, INF, usize::MAX, |_| true);
+            for t in 0..8u32 {
+                assert_eq!(bi.sweep_dist(t), truth[t as usize], "s={s} t={t}");
+            }
+            assert_eq!(bi.swept()[0], s);
+            let dists: Vec<Dist> = bi.swept().iter().map(|&v| bi.sweep_dist(v)).collect();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "sweep order");
+            // Interleave with a bidirectional run: state must stay clean.
+            assert_eq!(
+                bi.run(&g, s, (s + 1) % 8, INF, |_| true),
+                (truth[((s + 1) % 8) as usize] != INF).then_some(truth[((s + 1) % 8) as usize])
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_respects_bound_cap_and_filter() {
+        let g = path(10);
+        let mut bi = BiBfs::new(10);
+        bi.sweep(&g, 0, 3, usize::MAX, |_| true);
+        assert_eq!(bi.sweep_dist(3), 3);
+        assert_eq!(bi.sweep_dist(4), INF, "beyond the bound");
+        bi.sweep(&g, 0, INF, 4, |_| true);
+        assert_eq!(bi.swept(), &[0, 1, 2, 3], "cap stops discovery");
+        bi.sweep(&g, 0, INF, usize::MAX, |v| v != 4);
+        assert_eq!(bi.sweep_dist(3), 3);
+        assert_eq!(bi.sweep_dist(5), INF, "filter blocks the path");
+        bi.sweep(&g, 0, INF, 0, |_| true);
+        assert!(bi.swept().is_empty());
+    }
+
+    #[test]
+    fn sweep_directed_follows_out_arcs() {
+        let g = DynamicDiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut bi = BiBfs::new(4);
+        bi.sweep(&g, 1, INF, usize::MAX, |_| true);
+        assert_eq!(bi.sweep_dist(3), 2);
+        assert_eq!(bi.sweep_dist(0), 3);
     }
 
     #[test]

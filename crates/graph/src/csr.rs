@@ -52,6 +52,53 @@ pub const DEFAULT_COMPACTION_FRACTION: f32 = 0.25;
 /// rebuilding tiny graphs every batch).
 pub const MIN_COMPACTION_ENTRIES: usize = 1024;
 
+/// When a published CSR view compacts its delta overlay into a fresh
+/// base snapshot: once the overlay holds more than `fraction` of the
+/// base's adjacency entries *and* at least `min_entries` entries.
+///
+/// One policy value configures every index family (the
+/// `compaction` field of `batchhl-core`'s `IndexConfig`), replacing the
+/// per-index `set_compaction_fraction`/`set_compaction_policy` setter
+/// pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Fraction of the base's adjacency entries the overlay may reach
+    /// before compaction triggers (default
+    /// [`DEFAULT_COMPACTION_FRACTION`]).
+    pub fraction: f32,
+    /// Absolute overlay-entry floor below which compaction never
+    /// triggers (default [`MIN_COMPACTION_ENTRIES`]; tests drive it to
+    /// 0 to force compactions on tiny graphs).
+    pub min_entries: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            fraction: DEFAULT_COMPACTION_FRACTION,
+            min_entries: MIN_COMPACTION_ENTRIES,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    pub fn new(fraction: f32, min_entries: usize) -> Self {
+        CompactionPolicy {
+            fraction,
+            min_entries,
+        }
+    }
+
+    /// A policy that compacts as eagerly as the fraction allows (no
+    /// entry floor) — what tests use to force compactions.
+    pub fn eager(fraction: f32) -> Self {
+        CompactionPolicy {
+            fraction,
+            min_entries: 0,
+        }
+    }
+}
+
 /// A frozen compressed-sparse-row adjacency snapshot over items `T`
 /// (`Vertex` for unweighted graphs, `(Vertex, Weight)` for weighted).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,6 +264,12 @@ impl<T: Copy> CsrOverlay<T> {
     pub fn set_compaction_policy(&mut self, fraction: f32, min_entries: usize) {
         self.compaction_fraction = fraction.max(f32::EPSILON);
         self.min_compaction_entries = min_entries;
+    }
+
+    /// Apply a [`CompactionPolicy`] (the struct form of
+    /// [`CsrOverlay::set_compaction_policy`]).
+    pub fn set_policy(&mut self, policy: CompactionPolicy) {
+        self.set_compaction_policy(policy.fraction, policy.min_entries);
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -456,6 +509,12 @@ impl CsrDiDelta {
     pub fn set_compaction_policy(&mut self, fraction: f32, min_entries: usize) {
         self.out.set_compaction_policy(fraction, min_entries);
         self.inn.set_compaction_policy(fraction, min_entries);
+    }
+
+    /// Apply a [`CompactionPolicy`] to both direction overlays.
+    pub fn set_policy(&mut self, policy: CompactionPolicy) {
+        self.out.set_policy(policy);
+        self.inn.set_policy(policy);
     }
 
     pub fn num_vertices(&self) -> usize {

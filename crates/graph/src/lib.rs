@@ -40,7 +40,10 @@ pub mod stream;
 pub mod update;
 pub mod weighted;
 
-pub use csr::{CsrDelta, CsrDiDelta, CsrGraph, VertexRemap, WeightedCsrDelta, WeightedCsrGraph};
+pub use csr::{
+    CompactionPolicy, CsrDelta, CsrDiDelta, CsrGraph, VertexRemap, WeightedCsrDelta,
+    WeightedCsrGraph,
+};
 pub use digraph::DynamicDiGraph;
 pub use graph::DynamicGraph;
 pub use update::{Batch, Update};

@@ -276,6 +276,8 @@ pub struct BiDijkstra {
     dt: Vec<Dist>,
     touched_s: Vec<Vertex>,
     touched_t: Vec<Vertex>,
+    /// Settle order of the last [`BiDijkstra::sweep`].
+    order: Vec<Vertex>,
 }
 
 impl BiDijkstra {
@@ -364,6 +366,77 @@ impl BiDijkstra {
             }
         }
         (best < bound).then_some(best)
+    }
+
+    /// One-sided bounded Dijkstra from `s` over the subgraph of
+    /// vertices passing `allowed` — the weighted counterpart of
+    /// [`crate::bfs::BiBfs::sweep`]. One sweep settles `d(s, v)` for
+    /// every vertex within distance `bound` (or until `cap` vertices
+    /// have settled), so a caller with many targets pays one traversal
+    /// instead of one bidirectional search per target.
+    ///
+    /// Afterwards [`BiDijkstra::swept`] lists the settled vertices in
+    /// nondecreasing-distance order (source first) and
+    /// [`BiDijkstra::sweep_dist`] reads distances; a vertex that did not
+    /// settle reads either `INF` or a tentative value strictly greater
+    /// than the sweep's stopping radius, so `min(bound_v, sweep_dist(v))`
+    /// is exact for any per-target bound `bound_v ≤ bound`.
+    pub fn sweep<W, F>(&mut self, g: &W, s: Vertex, bound: Dist, cap: usize, allowed: F)
+    where
+        W: WeightedAdjacencyView,
+        F: Fn(Vertex) -> bool,
+    {
+        debug_assert!(allowed(s), "sweep source must be allowed");
+        self.reset();
+        self.grow(g.num_vertices());
+        self.order.clear();
+        if cap == 0 {
+            return;
+        }
+        let mut heap: BinaryHeap<Reverse<(Dist, Vertex)>> = BinaryHeap::new();
+        self.ds[s as usize] = 0;
+        self.touched_s.push(s);
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > self.ds[v as usize] {
+                continue; // stale heap entry
+            }
+            if d > bound {
+                break;
+            }
+            self.order.push(v);
+            if self.order.len() >= cap {
+                break;
+            }
+            for &(w, wt) in g.weighted_neighbors(v) {
+                if !allowed(w) {
+                    continue;
+                }
+                let nd = d.saturating_add(wt);
+                if nd < self.ds[w as usize] {
+                    if self.ds[w as usize] == INF {
+                        self.touched_s.push(w);
+                    }
+                    self.ds[w as usize] = nd;
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+    }
+
+    /// The vertices settled by the last [`BiDijkstra::sweep`], in
+    /// nondecreasing-distance order; the source comes first.
+    #[inline]
+    pub fn swept(&self) -> &[Vertex] {
+        &self.order
+    }
+
+    /// Distance recorded by the last [`BiDijkstra::sweep`] (`INF` when
+    /// the sweep never reached `v`; only values of settled vertices —
+    /// those in [`BiDijkstra::swept`] — are final).
+    #[inline]
+    pub fn sweep_dist(&self, v: Vertex) -> Dist {
+        self.ds[v as usize]
     }
 
     fn reset(&mut self) {
@@ -455,6 +528,50 @@ mod tests {
         assert_eq!(bi.run(&g, 0, 3, 6, |_| true), None);
         assert_eq!(bi.run(&g, 0, 3, 7, |_| true), Some(6));
         assert_eq!(bi.run(&g, 0, 3, INF, |v| v != 1), None);
+    }
+
+    #[test]
+    fn sweep_matches_dijkstra_and_settles_in_order() {
+        use batchhl_common::SplitMix64;
+        let mut rng = SplitMix64::new(9);
+        let mut g = WeightedGraph::new(30);
+        while g.num_edges() < 70 {
+            let a = rng.below(30) as Vertex;
+            let b = rng.below(30) as Vertex;
+            if a != b {
+                g.insert_edge(a, b, 1 + rng.below(7) as Weight);
+            }
+        }
+        let mut bi = BiDijkstra::new(30);
+        for s in (0..30u32).step_by(3) {
+            let truth = dijkstra(&g, s);
+            bi.sweep(&g, s, INF, usize::MAX, |_| true);
+            for t in 0..30u32 {
+                assert_eq!(bi.sweep_dist(t), truth[t as usize], "({s},{t})");
+            }
+            assert_eq!(bi.swept()[0], s);
+            let dists: Vec<Dist> = bi.swept().iter().map(|&v| bi.sweep_dist(v)).collect();
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "settle order");
+            // Interleaving with bidirectional runs must stay clean.
+            assert_eq!(
+                bi.run(&g, s, (s + 7) % 30, INF, |_| true).unwrap_or(INF),
+                truth[((s + 7) % 30) as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_respects_bound_cap_and_filter() {
+        let g = wpath(&[2, 2, 2, 2]);
+        let mut bi = BiDijkstra::new(5);
+        bi.sweep(&g, 0, 4, usize::MAX, |_| true);
+        assert_eq!(bi.swept(), &[0, 1, 2], "vertices within distance 4");
+        assert_eq!(bi.sweep_dist(2), 4);
+        bi.sweep(&g, 0, INF, 2, |_| true);
+        assert_eq!(bi.swept(), &[0, 1], "cap stops settling");
+        bi.sweep(&g, 0, INF, usize::MAX, |v| v != 2);
+        assert_eq!(bi.sweep_dist(1), 2);
+        assert_eq!(bi.sweep_dist(3), INF, "filter blocks the path");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! experiments and tests.
 
 use batchhl_common::SplitMix64;
+use batchhl_graph::weighted::WeightedGraph;
 use batchhl_graph::{DynamicDiGraph, DynamicGraph, Vertex};
 
 /// Strategy for choosing the landmark set `R`.
@@ -29,6 +30,26 @@ impl LandmarkSelection {
 
     /// Materialize the landmark set for an undirected graph.
     pub fn select(&self, g: &DynamicGraph) -> Vec<Vertex> {
+        match self {
+            LandmarkSelection::TopDegree(k) => {
+                let mut order = g.vertices_by_degree();
+                order.truncate((*k).min(g.num_vertices()));
+                order
+            }
+            LandmarkSelection::Random { count, seed } => {
+                let mut rng = SplitMix64::new(*seed);
+                let mut all: Vec<Vertex> = (0..g.num_vertices() as Vertex).collect();
+                rng.shuffle(&mut all);
+                all.truncate((*count).min(g.num_vertices()));
+                all
+            }
+            LandmarkSelection::Explicit(list) => list.clone(),
+        }
+    }
+
+    /// Materialize the landmark set for a weighted graph (degree
+    /// ignores weights — hub coverage is structural).
+    pub fn select_weighted(&self, g: &WeightedGraph) -> Vec<Vertex> {
         match self {
             LandmarkSelection::TopDegree(k) => {
                 let mut order = g.vertices_by_degree();

@@ -7,7 +7,7 @@
 //! * a **distance labelling** `L`: per vertex `v`, entries `(r, d_G(r, v))`
 //!   for exactly those landmarks `r` such that *no* shortest path between
 //!   `r` and `v` passes through another landmark (the unique *minimal*
-//!   labelling — Definition 3.4 and [17]).
+//!   labelling — Definition 3.4 and \[17]).
 //!
 //! Unlike a 2-hop cover (full) labelling, this is a *partial* labelling:
 //! it answers landmark–vertex distances exactly (Eq. 2) and provides an
@@ -38,5 +38,5 @@ pub mod store;
 pub use build::{build_labelling, build_labelling_parallel};
 pub use labelling::{LabelError, Labelling, NO_LABEL};
 pub use landmarks::LandmarkSelection;
-pub use query::QueryEngine;
+pub use query::{QueryEngine, SourcePlan, SWEEP_MIN_TARGETS};
 pub use store::{LabelStore, ReaderHandle, Versioned};

@@ -5,11 +5,103 @@
 //! bidirectional BFS on the landmark-sparsified graph. Landmark
 //! endpoints are answered from the labelling alone via the highway cover
 //! property (Eq. 2) — for them the bound is already exact.
+//!
+//! # Batched queries: pinning the source's label row
+//!
+//! Serving workloads are dominated by *one-source-to-many-targets*
+//! shapes (recommendation candidates, probe fan-outs). Eq. 3 factors
+//! per endpoint: `d⊤(s, t) = min_j (via_s[j] + label_j(t))` where
+//! `via_s[j] = min_i label_i(s) + δ_H(r_i, r_j)` depends on `s` alone.
+//! A [`SourcePlan`] materializes `via_s` once — one `O(|L(s)|·|R|)`
+//! scan of the source's label row and the highway matrix — and then
+//! every target costs a single `O(|R|)` pass over its own labels
+//! instead of re-reading the source row and the highway per pair.
+//!
+//! [`QueryEngine::distances_from`] builds on that: for large target
+//! sets it additionally replaces the per-target bidirectional searches
+//! with **one** bounded BFS sweep from `s` on `G[V\R]`
+//! ([`BiBfs::sweep`]), amortizing the source side of Section 4's search
+//! across the whole call.
 
-use crate::labelling::Labelling;
+use crate::labelling::{Labelling, NO_LABEL};
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::AdjacencyView;
+
+/// Batched one-to-many calls switch from per-target bidirectional
+/// searches to a single source sweep at this many unresolved targets.
+/// The sweep costs one bounded traversal of `s`'s component (the
+/// highway bound rarely stops it before the ball covers the graph on
+/// small-diameter networks), while a single bounded BiBFS is typically
+/// ~1µs — measured on the bench graph the crossover sits around 60
+/// targets (`oracle_api` in `BENCH_api.json`).
+pub const SWEEP_MIN_TARGETS: usize = 48;
+
+/// The reusable source side of Eq. 3: `via[j]` is the cheapest
+/// `s → r_i → r_j` route into each landmark `r_j` (`INF` when none).
+/// Build once per source, then [`SourcePlan::bound_to`] prices any
+/// target in `O(|R|)`.
+///
+/// For directed graphs pass the *backward* labelling (labels answer
+/// `d(s → r_i)`) as `source_lab` and the *forward* labelling (whose
+/// highway holds `d(r_i → r_j)`) as `highway_lab`; undirected callers
+/// pass the same labelling twice.
+#[derive(Debug, Clone)]
+pub struct SourcePlan {
+    source: Vertex,
+    via: Box<[Dist]>,
+}
+
+impl SourcePlan {
+    pub fn new(source_lab: &Labelling, highway_lab: &Labelling, s: Vertex) -> Self {
+        let r = highway_lab.num_landmarks();
+        let mut via = vec![INF; r].into_boxed_slice();
+        for i in 0..source_lab.num_landmarks() {
+            let ls = source_lab.label(i, s);
+            if ls == NO_LABEL {
+                continue;
+            }
+            for (j, slot) in via.iter_mut().enumerate() {
+                let h = highway_lab.highway(i, j);
+                if h == INF {
+                    continue;
+                }
+                let cand = ls as u64 + h as u64;
+                if cand < *slot as u64 {
+                    *slot = cand as Dist;
+                }
+            }
+        }
+        SourcePlan { source: s, via }
+    }
+
+    /// The source vertex this plan prices routes from.
+    #[inline]
+    pub fn source(&self) -> Vertex {
+        self.source
+    }
+
+    /// The Eq. 3 upper bound `d⊤(s, t)` priced against `t`'s labels in
+    /// `target_lab` — equal to `Labelling::upper_bound(s, t)` but
+    /// `O(|R|)` per target instead of `O(|L(s)|·|R|)`.
+    pub fn bound_to(&self, target_lab: &Labelling, t: Vertex) -> Dist {
+        let mut best = u64::from(INF);
+        for (j, &via) in self.via.iter().enumerate() {
+            if via == INF {
+                continue;
+            }
+            let lt = target_lab.label(j, t);
+            if lt == NO_LABEL {
+                continue;
+            }
+            let cand = via as u64 + lt as u64;
+            if cand < best {
+                best = cand;
+            }
+        }
+        best.min(u64::from(INF)) as Dist
+    }
+}
 
 /// Reusable query engine for undirected graphs: owns the bidirectional
 /// search workspace so back-to-back queries allocate nothing.
@@ -67,6 +159,110 @@ impl QueryEngine {
     pub fn upper_bound(&self, lab: &Labelling, s: Vertex, t: Vertex) -> Dist {
         lab.upper_bound(s, t)
     }
+
+    /// One source, many targets (see the module docs): build a
+    /// [`SourcePlan`] once, price every target's Eq. 3 bound in
+    /// `O(|R|)`, then refine non-landmark targets — per-target bounded
+    /// BiBFS when few remain, or a single bounded sweep of `G[V\R]`
+    /// from `s` once [`SWEEP_MIN_TARGETS`] of them need search.
+    ///
+    /// Answers equal [`QueryEngine::query_dist`] pair by pair; `INF`
+    /// marks disconnected or out-of-range endpoints.
+    pub fn distances_from<A: AdjacencyView>(
+        &mut self,
+        lab: &Labelling,
+        g: &A,
+        s: Vertex,
+        targets: &[Vertex],
+    ) -> Vec<Dist> {
+        let n = g.num_vertices();
+        let mut out = vec![INF; targets.len()];
+        if (s as usize) >= n {
+            return out;
+        }
+        // Landmark sources are exact from the labelling alone (Eq. 2).
+        if let Some(i) = lab.landmark_index(s) {
+            for (slot, &t) in out.iter_mut().zip(targets) {
+                if (t as usize) < n {
+                    *slot = lab.landmark_to_vertex(i, t);
+                }
+            }
+            return out;
+        }
+        let plan = SourcePlan::new(lab, lab, s);
+        let mut refine: Vec<usize> = Vec::new();
+        for (k, &t) in targets.iter().enumerate() {
+            if (t as usize) >= n {
+                continue;
+            }
+            if t == s {
+                out[k] = 0;
+                continue;
+            }
+            if let Some(j) = lab.landmark_index(t) {
+                out[k] = lab.landmark_to_vertex(j, s);
+                continue;
+            }
+            out[k] = plan.bound_to(lab, t);
+            refine.push(k);
+        }
+        if refine.len() >= SWEEP_MIN_TARGETS {
+            // One sweep bounded by the largest per-target bound: a
+            // restricted path shorter than its pair's bound lies within
+            // the horizon, so min(bound, sweep) is exact per pair.
+            let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+            self.bibfs
+                .sweep(g, s, horizon, usize::MAX, |v| !lab.is_landmark(v));
+            for &k in &refine {
+                out[k] = out[k].min(self.bibfs.sweep_dist(targets[k]));
+            }
+        } else {
+            for &k in &refine {
+                let bound = out[k];
+                let found = self
+                    .bibfs
+                    .run(g, s, targets[k], bound, |v| !lab.is_landmark(v));
+                out[k] = found.unwrap_or(bound);
+            }
+        }
+        out
+    }
+
+    /// The `k` vertices closest to `s` (excluding `s` itself), as
+    /// `(vertex, distance)` in nondecreasing-distance order (see
+    /// [`bfs_top_k`]).
+    pub fn top_k_closest<A: AdjacencyView>(
+        &mut self,
+        g: &A,
+        s: Vertex,
+        k: usize,
+    ) -> Vec<(Vertex, Dist)> {
+        bfs_top_k(&mut self.bibfs, g, s, k)
+    }
+}
+
+/// The `k` vertices closest to `s` (excluding `s`), nondecreasing by
+/// distance: a plain capped BFS sweep of the *full* graph — distances
+/// there are exact, so no labelling is consulted. Shared by the
+/// undirected query engine and the directed snapshot path (which
+/// follows out-arcs through its `AdjacencyView`).
+pub fn bfs_top_k<A: AdjacencyView>(
+    bibfs: &mut BiBfs,
+    g: &A,
+    s: Vertex,
+    k: usize,
+) -> Vec<(Vertex, Dist)> {
+    if (s as usize) >= g.num_vertices() || k == 0 {
+        return Vec::new();
+    }
+    bibfs.sweep(g, s, INF, k.saturating_add(1), |_| true);
+    bibfs
+        .swept()
+        .iter()
+        .filter(|&&v| v != s)
+        .take(k)
+        .map(|&v| (v, bibfs.sweep_dist(v)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -158,6 +354,78 @@ mod tests {
         assert_eq!(engine.query(&lab, &g, 1, 3), Some(2));
         // (0, 1): bound via landmark = 1 + 2... actual edge = 1.
         assert_eq!(engine.query(&lab, &g, 0, 1), Some(1));
+    }
+
+    #[test]
+    fn source_plan_bound_equals_upper_bound() {
+        let g = barabasi_albert(100, 3, 5);
+        let lab = build_labelling(&g, LandmarkSelection::TopDegree(6).select(&g)).unwrap();
+        for s in (0..100u32).step_by(7).filter(|&s| !lab.is_landmark(s)) {
+            let plan = SourcePlan::new(&lab, &lab, s);
+            assert_eq!(plan.source(), s);
+            for t in 0..100u32 {
+                assert_eq!(plan.bound_to(&lab, t), lab.upper_bound(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_from_matches_per_pair_queries() {
+        for (seed, k) in [(0u64, 4usize), (3, 2), (5, 6)] {
+            let g = erdos_renyi_gnm(60, 110, seed);
+            let lms = LandmarkSelection::TopDegree(k).select(&g);
+            let lab = build_labelling(&g, lms).unwrap();
+            let mut engine = QueryEngine::new(g.num_vertices());
+            let all: Vec<Vertex> = (0..60).collect();
+            let few: Vec<Vertex> = (0..60).step_by(11).collect();
+            assert!(few.len() < SWEEP_MIN_TARGETS && all.len() >= SWEEP_MIN_TARGETS);
+            for s in 0..60u32 {
+                // Both the sweep path (many targets) and the per-target
+                // BiBFS path (few targets) must agree with query_dist.
+                let swept = engine.distances_from(&lab, &g, s, &all);
+                for (&t, &d) in all.iter().zip(&swept) {
+                    assert_eq!(d, engine.query_dist(&lab, &g, s, t), "sweep ({s},{t})");
+                }
+                let direct = engine.distances_from(&lab, &g, s, &few);
+                for (&t, &d) in few.iter().zip(&direct) {
+                    assert_eq!(d, engine.query_dist(&lab, &g, s, t), "direct ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_from_handles_range_and_disconnection() {
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let lab = build_labelling(&g, vec![1]).unwrap();
+        let mut engine = QueryEngine::new(6);
+        let targets = [0, 2, 3, 5, 9, 4];
+        assert_eq!(
+            engine.distances_from(&lab, &g, 0, &targets),
+            vec![0, 2, INF, INF, INF, INF]
+        );
+        // Landmark source: answered from the labelling alone.
+        assert_eq!(
+            engine.distances_from(&lab, &g, 1, &targets),
+            vec![1, 1, INF, INF, INF, INF]
+        );
+        // Out-of-range source.
+        assert_eq!(engine.distances_from(&lab, &g, 17, &targets), vec![INF; 6]);
+    }
+
+    #[test]
+    fn top_k_closest_orders_by_distance() {
+        let g = path(7);
+        let lab = build_labelling(&g, vec![3]).unwrap();
+        let mut engine = QueryEngine::new(7);
+        let top = engine.top_k_closest(&g, 0, 3);
+        assert_eq!(top, vec![(1, 1), (2, 2), (3, 3)]);
+        assert!(engine.top_k_closest(&g, 0, 0).is_empty());
+        assert_eq!(engine.top_k_closest(&g, 6, 100).len(), 6);
+        // Distances reported must match the query path.
+        for (v, d) in engine.top_k_closest(&g, 2, 6) {
+            assert_eq!(Some(d), engine.query(&lab, &g, 2, v));
+        }
     }
 
     #[test]

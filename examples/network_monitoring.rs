@@ -4,20 +4,21 @@
 //! quality of service.
 //!
 //! A small-world backbone suffers waves of correlated link failures
-//! (batch deletions) followed by repairs (batch insertions). After each
-//! wave the index answers SLA probes — hop distances between critical
-//! router pairs — and flags violations.
+//! (batch removals) followed by repairs (batch insertions), all
+//! committed through oracle update sessions. After each wave one
+//! `query_many` call prices every SLA probe pair against a single
+//! pinned generation, and `distances_from` fans out from the network
+//! operations centre to every point-of-presence at once.
 //!
 //! ```sh
 //! cargo run --release --example network_monitoring
 //! ```
 
-use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
 use batchhl::graph::generators::watts_strogatz;
-use batchhl::graph::{Batch, Vertex};
-use batchhl::hcl::LandmarkSelection;
+use batchhl::graph::Vertex;
+use batchhl::{Algorithm, LandmarkSelection, Oracle};
 use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 const ROUTERS: usize = 5_000;
 const SLA_HOPS: u32 = 9;
@@ -25,14 +26,11 @@ const SLA_HOPS: u32 = 9;
 fn main() {
     // Ring-lattice + shortcuts: a plausible backbone topology.
     let graph = watts_strogatz(ROUTERS, 3, 0.1, 4);
-    let mut index = BatchIndex::build(
-        graph,
-        IndexConfig {
-            selection: LandmarkSelection::TopDegree(16),
-            algorithm: Algorithm::BhlPlus,
-            threads: 1,
-        },
-    );
+    let mut oracle = Oracle::builder()
+        .algorithm(Algorithm::BhlPlus)
+        .landmarks(LandmarkSelection::TopDegree(16))
+        .build(graph)
+        .expect("undirected source");
     let mut rng = StdRng::seed_from_u64(2);
     let probes: Vec<(Vertex, Vertex)> = (0..8)
         .map(|i| {
@@ -42,24 +40,37 @@ fn main() {
             )
         })
         .collect();
+    // The operations centre and its points of presence.
+    let noc: Vertex = 0;
+    let pops: Vec<Vertex> = (0..64).map(|i| (i * 79 + 13) % ROUTERS as Vertex).collect();
 
     for wave in 1..=4 {
-        // Failure wave: a correlated burst of link faults.
-        let mut edges: Vec<(Vertex, Vertex)> = index.graph().edges().collect();
-        edges.shuffle(&mut rng);
-        let failed: Vec<(Vertex, Vertex)> = edges.into_iter().take(120).collect();
-        let mut outage = Batch::new();
-        for &(a, b) in &failed {
-            outage.delete(a, b);
+        // Failure wave: a correlated burst of link faults, sampled from
+        // the live adjacency.
+        let mut failed: Vec<(Vertex, Vertex)> = Vec::new();
+        while failed.len() < 120 {
+            let v = rng.gen_range(0..ROUTERS as Vertex);
+            if let Some(&w) = oracle.neighbors(v).choose(&mut rng) {
+                if !failed.contains(&(v, w)) && !failed.contains(&(w, v)) {
+                    failed.push((v, w));
+                }
+            }
         }
-        let stats = index.apply_batch(&outage);
+        let mut outage = oracle.update();
+        for &(a, b) in &failed {
+            outage = outage.remove(a, b);
+        }
+        let stats = outage.commit().expect("structural edits");
         println!(
             "wave {wave}: {} links down, repaired labelling in {:.1?} ({} vertices touched)",
             stats.applied, stats.elapsed, stats.affected_total
         );
+
+        // All SLA probes in one batched call, one pinned generation.
+        let answers = oracle.query_many(&probes);
         let mut violations = 0;
-        for &(s, t) in &probes {
-            match index.query(s, t) {
+        for (&(s, t), &d) in probes.iter().zip(&answers) {
+            match d {
                 Some(d) if d <= SLA_HOPS => {}
                 Some(d) => {
                     violations += 1;
@@ -75,13 +86,22 @@ fn main() {
             println!("  all {} probes within {} hops", probes.len(), SLA_HOPS);
         }
 
+        // NOC reachability fan-out: one source plan + one sweep.
+        let reach = oracle.distances_from(noc, &pops);
+        let reachable = reach.iter().flatten().count();
+        let worst = reach.iter().flatten().max();
+        println!(
+            "  NOC fan-out: {reachable}/{} PoPs reachable (worst {worst:?} hops)",
+            pops.len()
+        );
+
         // Operators restore the failed links (plus one new backup link).
-        let mut repair = Batch::new();
+        let mut repair = oracle.update();
         for &(a, b) in &failed {
-            repair.insert(a, b);
+            repair = repair.insert(a, b);
         }
-        repair.insert(wave * 13, wave * 577 + 99);
-        let stats = index.apply_batch(&repair);
+        repair = repair.insert(wave * 13, wave * 577 + 99);
+        let stats = repair.commit().expect("structural edits");
         println!(
             "        restored {} links in {:.1?}",
             stats.applied, stats.elapsed

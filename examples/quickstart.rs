@@ -1,14 +1,13 @@
-//! Quickstart: build a BatchHL index, answer distance queries, apply a
-//! mixed batch of edge insertions/deletions, and query again.
+//! Quickstart: build a distance oracle, answer single / batched /
+//! one-to-many queries, commit a mixed batch of edits, and serve from
+//! a `&self` reader handle.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
 use batchhl::graph::generators::barabasi_albert;
-use batchhl::graph::Batch;
-use batchhl::hcl::LandmarkSelection;
+use batchhl::{Algorithm, LandmarkSelection, Oracle};
 
 fn main() {
     // A scale-free graph shaped like a small social network.
@@ -20,42 +19,70 @@ fn main() {
         graph.max_degree()
     );
 
-    // Build the index: 20 top-degree landmarks, improved batch search
-    // (the paper's BHL+ configuration).
-    let config = IndexConfig {
-        selection: LandmarkSelection::TopDegree(20),
-        algorithm: Algorithm::BhlPlus,
-        threads: 1,
-    };
+    // One entry point for every index family: the builder infers
+    // "undirected, unweighted" from the graph it is given. Handing it
+    // a `DynamicDiGraph` or `WeightedGraph` instead would construct
+    // the directed / weighted backend behind the same API.
     let start = std::time::Instant::now();
-    let mut index = BatchIndex::build(graph, config);
+    let mut oracle = Oracle::builder()
+        .algorithm(Algorithm::BhlPlus)
+        .landmarks(LandmarkSelection::TopDegree(20))
+        .threads(1)
+        .build(graph)
+        .expect("source family matches the builder declarations");
     println!(
-        "built labelling in {:.1?}: {} label entries ({:.2} per vertex)",
+        "built {} oracle in {:.1?}: {} label entries ({} bytes)",
+        oracle.family(),
         start.elapsed(),
-        index.labelling().size_entries(),
-        index.labelling().avg_label_size()
+        oracle.label_entries(),
+        oracle.label_size_bytes()
     );
 
     // Exact distance queries (None = disconnected).
     for (s, t) in [(0, 1), (17, 12_345), (19_999, 3)] {
-        println!("d({s}, {t}) = {:?}", index.query(s, t));
+        println!("d({s}, {t}) = {:?}", oracle.query(s, t));
     }
 
-    // A batch update: sever some edges, create others — one call.
-    let mut batch = Batch::new();
-    batch.delete(0, 1);
-    batch.insert(17, 12_345);
-    batch.insert(19_999, 3);
-    let stats = index.apply_batch(&batch);
+    // Batched forms: many pairs in one call (grouped by source), and
+    // one-source-to-many-targets (one label plan + one sweep).
+    let pairs = [(0, 1), (17, 12_345), (17, 44), (17, 9_001)];
+    println!("query_many({pairs:?}) = {:?}", oracle.query_many(&pairs));
+    let targets: Vec<u32> = (100..132).collect();
+    let fanout = oracle.distances_from(17, &targets);
+    let reachable = fanout.iter().flatten().count();
+    println!("distances_from(17, 32 targets): {reachable} reachable");
+    println!("top_k_closest(17, 5) = {:?}", oracle.top_k_closest(17, 5));
+
+    // Mutations accumulate in a session and commit as ONE batch.
+    let stats = oracle
+        .update()
+        .remove(0, 1)
+        .insert(17, 12_345)
+        .insert(19_999, 3)
+        .commit()
+        .expect("structural edits are valid on every family");
     println!(
-        "applied {} updates in {:.1?} ({} vertices affected across {} landmarks)",
+        "committed {} edits in {:.1?} ({} vertices repaired, generation {})",
         stats.applied,
         stats.elapsed,
         stats.affected_total,
-        stats.affected_per_landmark.len()
+        oracle.version()
     );
 
     for (s, t) in [(0, 1), (17, 12_345), (19_999, 3)] {
-        println!("d({s}, {t}) = {:?}", index.query(s, t));
+        println!("d({s}, {t}) = {:?}", oracle.query(s, t));
     }
+
+    // Serving threads share ONE reader by reference — queries take
+    // `&self` and always see the freshest published generation.
+    let reader = oracle.reader();
+    std::thread::scope(|scope| {
+        for worker in 0..2 {
+            let reader = &reader;
+            scope.spawn(move || {
+                let d = reader.query_many(&[(17, 12_345), (19_999, 3)]);
+                println!("worker {worker}: {d:?}");
+            });
+        }
+    });
 }

@@ -3,18 +3,20 @@
 //! connections change in a month", while distance information drives
 //! content and connection recommendation.
 //!
-//! The index absorbs follow/unfollow events in batches; after each
-//! batch we recommend, for a sample of users, the closest non-friends
-//! (friends-of-friends first).
+//! The oracle absorbs follow/unfollow events in committed sessions;
+//! after each batch we recommend, for a sample of users, the closest
+//! non-friends — `top_k_closest` finds them directly, and
+//! `distances_from` prices a wider friends-of-friends candidate pool
+//! in one call (one source plan + one sweep instead of a query per
+//! candidate).
 //!
 //! ```sh
 //! cargo run --release --example social_recommendations
 //! ```
 
-use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
 use batchhl::graph::generators::barabasi_albert;
-use batchhl::graph::{Batch, Vertex};
-use batchhl::hcl::LandmarkSelection;
+use batchhl::graph::Vertex;
+use batchhl::{Algorithm, Edit, LandmarkSelection, Oracle};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 
@@ -24,65 +26,83 @@ const EVENTS_PER_ROUND: usize = 400;
 
 fn main() {
     let graph = barabasi_albert(USERS, 6, 7);
-    let mut index = BatchIndex::build(
-        graph,
-        IndexConfig {
-            selection: LandmarkSelection::TopDegree(20),
-            algorithm: Algorithm::BhlPlus,
-            threads: 1,
-        },
-    );
+    let mut oracle = Oracle::builder()
+        .algorithm(Algorithm::BhlPlus)
+        .landmarks(LandmarkSelection::TopDegree(20))
+        .build(graph)
+        .expect("undirected source");
     let mut rng = StdRng::seed_from_u64(99);
     let watched: Vec<Vertex> = (0..5).map(|_| rng.gen_range(0..USERS as Vertex)).collect();
 
     for round in 1..=ROUNDS {
-        // Churn: ~60% new follows (preferential), 40% unfollows.
-        let mut batch = Batch::new();
+        // Churn: ~60% new follows, 40% unfollows of existing edges —
+        // gathered against the current snapshot, then committed as one
+        // batch through an update session.
+        let mut events: Vec<Edit> = Vec::new();
         for _ in 0..EVENTS_PER_ROUND {
             if rng.gen_bool(0.6) {
                 let a = rng.gen_range(0..USERS as Vertex);
                 let b = rng.gen_range(0..USERS as Vertex);
                 if a != b {
-                    batch.insert(a, b);
+                    events.push(Edit::Insert(a, b));
                 }
             } else {
                 let v = rng.gen_range(0..USERS as Vertex);
-                let nbrs = index.graph().neighbors(v);
-                if let Some(&w) = nbrs.choose(&mut rng) {
-                    batch.delete(v, w);
+                if let Some(&w) = oracle.neighbors(v).choose(&mut rng) {
+                    events.push(Edit::Remove(v, w));
                 }
             }
         }
-        let stats = index.apply_batch(&batch);
+        let mut session = oracle.update();
+        for e in events {
+            session = session.push(e);
+        }
+        let stats = session.commit().expect("structural edits");
         println!(
             "round {round}: {} events applied in {:.1?}, {} vertices repaired",
             stats.applied, stats.elapsed, stats.affected_total
         );
 
-        // Recommend the closest non-friends for the watched users.
         for &u in &watched {
-            let friends: Vec<Vertex> = index.graph().neighbors(u).to_vec();
-            let mut best: Vec<(u32, Vertex)> = Vec::new();
-            // Candidates: friends of friends.
+            let friends = oracle.neighbors(u);
+
+            // Plan A: the k nearest users, friends filtered out.
+            let nearest: Vec<String> = oracle
+                .top_k_closest(u, friends.len() + 8)
+                .into_iter()
+                .filter(|(v, _)| !friends.contains(v))
+                .take(3)
+                .map(|(v, d)| format!("{v} (d={d})"))
+                .collect();
+
+            // Plan B: price a friends-of-friends candidate pool in one
+            // one-to-many call.
             let mut cands: Vec<Vertex> = friends
                 .iter()
-                .flat_map(|&f| index.graph().neighbors(f).iter().copied())
+                .flat_map(|&f| oracle.neighbors(f))
                 .filter(|&c| c != u && !friends.contains(&c))
                 .collect();
             cands.sort_unstable();
             cands.dedup();
-            for c in cands.into_iter().take(64) {
-                if let Some(d) = index.query(u, c) {
-                    best.push((d, c));
-                }
-            }
+            cands.truncate(64);
+            let dists = oracle.distances_from(u, &cands);
+            let mut best: Vec<(u32, Vertex)> = cands
+                .iter()
+                .zip(&dists)
+                .filter_map(|(&c, &d)| d.map(|d| (d, c)))
+                .collect();
             best.sort_unstable();
-            let picks: Vec<String> = best
+            let fof: Vec<String> = best
                 .iter()
                 .take(3)
                 .map(|(d, c)| format!("{c} (d={d})"))
                 .collect();
-            println!("  user {u}: recommend {}", picks.join(", "));
+
+            println!(
+                "  user {u}: nearest {} | friends-of-friends {}",
+                nearest.join(", "),
+                fof.join(", ")
+            );
         }
     }
 }

@@ -1,18 +1,18 @@
 //! Sliding-window streaming — the paper's note that its batch
 //! machinery "can be easily extended to deal with batch updates in the
 //! streaming setting": updates arrive as a timestamped stream, a
-//! sliding window keeps the last W events alive, and each step applies
-//! one batch containing the arriving edges *and* the deletions of edges
-//! expiring from the window — a single mixed batch per slide.
+//! sliding window keeps the last W events alive, and each slide
+//! commits one oracle update session containing the arriving edges
+//! *and* the removals of edges expiring from the window — a single
+//! mixed batch per slide.
 //!
 //! ```sh
 //! cargo run --release --example streaming_window
 //! ```
 
-use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
 use batchhl::graph::stream::EvolvingStream;
-use batchhl::graph::{Batch, Update};
-use batchhl::hcl::LandmarkSelection;
+use batchhl::graph::Update;
+use batchhl::{Algorithm, LandmarkSelection, Oracle};
 
 const WINDOW: usize = 2_000;
 const SLIDE: usize = 500;
@@ -37,51 +37,48 @@ fn main() {
         g.insert_edge(a, b);
         live.push_back(u);
     }
-    let mut index = BatchIndex::build(
-        g,
-        IndexConfig {
-            selection: LandmarkSelection::TopDegree(16),
-            algorithm: Algorithm::BhlPlus,
-            threads: 1,
-        },
-    );
+    let mut oracle = Oracle::builder()
+        .algorithm(Algorithm::BhlPlus)
+        .landmarks(LandmarkSelection::TopDegree(16))
+        .build(g)
+        .expect("undirected source");
     println!(
         "window initialized: {} live stream edges on top of a {}-vertex base",
         live.len(),
-        index.num_vertices()
+        oracle.num_vertices()
     );
 
     let mut next = WINDOW;
     let mut step = 0;
     while next + SLIDE <= inserts.len() {
         step += 1;
-        let mut batch = Batch::new();
+        let mut session = oracle.update();
         // SLIDE arrivals enter the window…
         for &u in &inserts[next..next + SLIDE] {
-            batch.push(u);
+            let (a, b) = u.endpoints();
+            session = session.insert(a, b);
             live.push_back(u);
         }
         // …and the SLIDE oldest edges expire.
         for _ in 0..SLIDE {
             if let Some(old) = live.pop_front() {
-                batch.push(old.inverse());
+                let (a, b) = old.endpoints();
+                session = session.remove(a, b);
             }
         }
         next += SLIDE;
-        let stats = index.apply_batch(&batch);
-        let sample = index.query(1, 4_001);
+        let queued = session.len();
+        let stats = session.commit().expect("structural edits");
+        let sample = oracle.query(1, 4_001);
         println!(
-            "slide {step}: batch of {} (={} in / {} out) applied in {:.1?}; d(1, 4001) = {sample:?}",
-            stats.applied + (batch.len() - stats.applied),
-            batch.num_insertions(),
-            batch.num_deletions(),
-            stats.elapsed
+            "slide {step}: session of {queued} edits ({} in / {} out applied) in {:.1?}; d(1, 4001) = {sample:?}",
+            stats.insertions, stats.deletions, stats.elapsed
         );
     }
     println!(
         "final labelling: {} entries ({:.2}/vertex) — bounded despite {} stream events",
-        index.labelling().size_entries(),
-        index.labelling().avg_label_size(),
+        oracle.label_entries(),
+        oracle.label_entries() as f64 / oracle.num_vertices() as f64,
         next
     );
 }

@@ -1,0 +1,484 @@
+//! The unified [`DistanceOracle`] facade: one object over every index
+//! family.
+//!
+//! The workspace maintains three batch-dynamic index families
+//! (undirected, directed, weighted); historically a caller picked one
+//! at compile time and mirrored ~27 methods across them. The oracle
+//! erases that choice behind the [`Backend`] trait: the builder
+//! inspects the graph it is given (and the declared `directed(..)` /
+//! `weighted(..)` intent), constructs the right family, and every
+//! later interaction — queries, batched query plans, update sessions,
+//! reader handles — is family-agnostic.
+//!
+//! ```
+//! use batchhl::{Oracle, Algorithm};
+//! use batchhl::graph::generators::barabasi_albert;
+//!
+//! let mut oracle = Oracle::builder()
+//!     .algorithm(Algorithm::BhlPlus)
+//!     .threads(1)
+//!     .build(barabasi_albert(500, 3, 42))
+//!     .expect("undirected source, undirected oracle");
+//!
+//! // Single pairs, batched pairs, one-to-many, k-nearest.
+//! let d = oracle.query(3, 77);
+//! let batch = oracle.query_many(&[(3, 77), (3, 191), (9, 44)]);
+//! let fanout = oracle.distances_from(3, &[77, 191, 44]);
+//! let closest = oracle.top_k_closest(3, 10);
+//!
+//! // Mutations accumulate in a session and commit as one batch.
+//! let stats = oracle
+//!     .update()
+//!     .insert(3, 77)
+//!     .remove(0, 1)
+//!     .commit()
+//!     .expect("structural edits are valid on every family");
+//! assert_eq!(oracle.query(3, 77), Some(1));
+//! # let _ = (d, batch, fanout, closest, stats);
+//! ```
+//!
+//! Serving threads use [`DistanceOracle::reader`]: a `Send + Sync`
+//! handle with the identical query-plan surface whose methods take
+//! `&self` (the handle re-pins the freshest published generation
+//! internally), so no `&mut` ever crosses a thread boundary.
+
+use batchhl_common::{Dist, Vertex};
+use batchhl_core::backend::{
+    build_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource, OracleError,
+};
+use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
+use batchhl_core::stats::UpdateStats;
+use batchhl_graph::weighted::Weight;
+use batchhl_hcl::LandmarkSelection;
+
+/// A batch-dynamic distance oracle over one of the index families,
+/// chosen at build time and erased behind [`Backend`].
+pub struct DistanceOracle {
+    backend: Box<dyn Backend>,
+}
+
+/// The short name the builder examples use (`Oracle::builder()`).
+pub use self::DistanceOracle as Oracle;
+
+impl std::fmt::Debug for DistanceOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceOracle")
+            .field("family", &self.backend.family())
+            .field("num_vertices", &self.backend.num_vertices())
+            .field("version", &self.backend.version())
+            .finish()
+    }
+}
+
+impl DistanceOracle {
+    /// Start configuring an oracle (see [`OracleBuilder`]).
+    pub fn builder() -> OracleBuilder {
+        OracleBuilder::default()
+    }
+
+    /// Build with the default configuration for the family `source`
+    /// implies.
+    pub fn new(source: impl Into<GraphSource>) -> Result<Self, OracleError> {
+        Self::builder().build(source)
+    }
+
+    /// Which index family serves this oracle.
+    pub fn family(&self) -> BackendFamily {
+        self.backend.family()
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.backend.num_vertices()
+    }
+
+    /// Version of the newest published generation (bumps per committed
+    /// update pass).
+    pub fn version(&self) -> u64 {
+        self.backend.version()
+    }
+
+    /// Logical label entries across the index's labelling(s).
+    pub fn label_entries(&self) -> usize {
+        self.backend.label_entries()
+    }
+
+    /// Logical labelling size in bytes.
+    pub fn label_size_bytes(&self) -> usize {
+        self.backend.label_size_bytes()
+    }
+
+    /// Exact distance; `None` when disconnected/unreachable or out of
+    /// range. On directed oracles this is `d(s → t)`.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        self.backend.query(s, t)
+    }
+
+    /// Batched pair queries: one generation for the whole call, pairs
+    /// grouped by source so each group reuses one source-side label
+    /// plan. Result order matches `pairs`.
+    pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        self.backend.query_many(pairs)
+    }
+
+    /// One-source-to-many-targets distances: the source's label rows
+    /// are pinned once and reused across all targets, and large target
+    /// sets are answered with a single bounded sweep instead of one
+    /// search per pair.
+    pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.backend.distances_from(s, targets)
+    }
+
+    /// The `k` vertices closest to `s` (excluding `s`), nondecreasing
+    /// by distance.
+    pub fn top_k_closest(&mut self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
+        self.backend.top_k_closest(s, k)
+    }
+
+    /// Out-neighbours of `v` in the current graph (weights dropped on
+    /// weighted oracles; empty when out of range).
+    pub fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.backend.neighbors(v)
+    }
+
+    /// Degree of `v` (out-degree on directed oracles).
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.backend.degree(v)
+    }
+
+    /// Open an update session: edits accumulate on the session and
+    /// [`UpdateSession::commit`] applies them as **one** batch.
+    /// Dropping the session without committing discards the edits.
+    pub fn update(&mut self) -> UpdateSession<'_> {
+        UpdateSession {
+            backend: self.backend.as_mut(),
+            edits: Vec::new(),
+        }
+    }
+
+    /// A `Send + Sync` reader with the identical query-plan surface,
+    /// queries taking `&self` (interior re-pinning). Clone it or share
+    /// it by reference across serving threads.
+    pub fn reader(&self) -> OracleReader {
+        OracleReader {
+            inner: self.backend.reader(),
+        }
+    }
+
+    /// Tune the CSR compaction policy of published views.
+    pub fn set_compaction(&mut self, policy: CompactionPolicy) {
+        self.backend.set_compaction(policy);
+    }
+}
+
+/// Configures and constructs a [`DistanceOracle`].
+///
+/// `directed(..)` and `weighted(..)` *declare intent*: leave them unset
+/// and the family is inferred from the graph source; set them and a
+/// mismatching source is rejected with [`OracleError::SourceMismatch`]
+/// instead of silently building the wrong index.
+#[derive(Debug, Clone, Default)]
+pub struct OracleBuilder {
+    directed: Option<bool>,
+    weighted: Option<bool>,
+    config: IndexConfig,
+}
+
+impl OracleBuilder {
+    /// Declare whether the oracle is over a directed graph.
+    pub fn directed(mut self, directed: bool) -> Self {
+        self.directed = Some(directed);
+        self
+    }
+
+    /// Declare whether the oracle is over a weighted graph.
+    pub fn weighted(mut self, weighted: bool) -> Self {
+        self.weighted = Some(weighted);
+        self
+    }
+
+    /// Update variant (default [`Algorithm::BhlPlus`]; ignored by the
+    /// weighted family, which has one update path).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Worker threads for construction and updates (landmark-level
+    /// parallelism; default 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Landmark selection strategy (default: the paper's 20 top-degree
+    /// vertices).
+    pub fn landmarks(mut self, selection: LandmarkSelection) -> Self {
+        self.config.selection = selection;
+        self
+    }
+
+    /// Shorthand for [`LandmarkSelection::TopDegree`].
+    pub fn top_degree_landmarks(self, k: usize) -> Self {
+        self.landmarks(LandmarkSelection::TopDegree(k))
+    }
+
+    /// CSR compaction policy for published views.
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.config.compaction = policy;
+        self
+    }
+
+    /// Build the oracle over `source` — any of the three graph types
+    /// (or an explicit [`GraphSource`]). The source's family must agree
+    /// with any `directed(..)` / `weighted(..)` declaration.
+    pub fn build(self, source: impl Into<GraphSource>) -> Result<DistanceOracle, OracleError> {
+        let source = source.into();
+        let declared = match (self.directed, self.weighted) {
+            (Some(true), _) => Some(BackendFamily::Directed),
+            (_, Some(true)) => Some(BackendFamily::Weighted),
+            (Some(false), Some(false)) => Some(BackendFamily::Undirected),
+            _ => None,
+        };
+        // A directed+weighted declaration names a family the workspace
+        // does not grow yet; surface that as a mismatch against
+        // whatever source was provided rather than guessing.
+        if self.directed == Some(true) && self.weighted == Some(true) {
+            return Err(OracleError::SourceMismatch {
+                declared: BackendFamily::Directed,
+                source: source.family(),
+            });
+        }
+        if let Some(declared) = declared {
+            if declared != source.family() {
+                return Err(OracleError::SourceMismatch {
+                    declared,
+                    source: source.family(),
+                });
+            }
+        }
+        // Partial declarations (`directed(false)` alone, say) only need
+        // to not contradict the source.
+        if self.directed == Some(false) && source.family() == BackendFamily::Directed {
+            return Err(OracleError::SourceMismatch {
+                declared: BackendFamily::Undirected,
+                source: source.family(),
+            });
+        }
+        if self.weighted == Some(false) && source.family() == BackendFamily::Weighted {
+            return Err(OracleError::SourceMismatch {
+                declared: BackendFamily::Undirected,
+                source: source.family(),
+            });
+        }
+        Ok(DistanceOracle {
+            backend: build_backend(source, self.config)?,
+        })
+    }
+}
+
+/// Accumulates edits against one oracle and commits them as a single
+/// batch (the unified mutation surface over `apply_batch`).
+///
+/// Edit methods consume and return the session so calls chain;
+/// [`UpdateSession::commit`] consumes it for good. A dropped session
+/// commits nothing.
+#[must_use = "edits are applied only by `commit()`"]
+pub struct UpdateSession<'a> {
+    backend: &'a mut dyn Backend,
+    edits: Vec<Edit>,
+}
+
+impl UpdateSession<'_> {
+    /// Queue an edge/arc insertion (unit weight on weighted oracles).
+    pub fn insert(mut self, a: Vertex, b: Vertex) -> Self {
+        self.edits.push(Edit::Insert(a, b));
+        self
+    }
+
+    /// Queue a weighted edge insertion (weighted oracles; unweighted
+    /// oracles accept `w == 1` and reject anything else at commit).
+    pub fn insert_weighted(mut self, a: Vertex, b: Vertex, w: Weight) -> Self {
+        self.edits.push(Edit::InsertWeighted(a, b, w));
+        self
+    }
+
+    /// Queue an edge/arc removal.
+    pub fn remove(mut self, a: Vertex, b: Vertex) -> Self {
+        self.edits.push(Edit::Remove(a, b));
+        self
+    }
+
+    /// Queue a weight change of an existing edge (weighted oracles).
+    pub fn set_weight(mut self, a: Vertex, b: Vertex, w: Weight) -> Self {
+        self.edits.push(Edit::SetWeight(a, b, w));
+        self
+    }
+
+    /// Queue an already-constructed edit (e.g. replayed from a log).
+    pub fn push(mut self, edit: Edit) -> Self {
+        self.edits.push(edit);
+        self
+    }
+
+    /// Queued edits so far.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Apply every queued edit as **one** batch (normalization, batch
+    /// search, batch repair, publication) and return the update stats.
+    /// On error (e.g. weight edits on an unweighted oracle) nothing is
+    /// applied.
+    pub fn commit(self) -> Result<UpdateStats, OracleError> {
+        self.backend.commit_edits(&self.edits)
+    }
+
+    /// Explicitly throw the queued edits away.
+    pub fn discard(self) {}
+}
+
+/// `Send + Sync` query handle over an oracle's published generations,
+/// with the same batched query-plan surface as the oracle itself —
+/// every method takes `&self`, so one reader can be shared by
+/// reference across any number of serving threads.
+pub struct OracleReader {
+    inner: Box<dyn BackendReader>,
+}
+
+impl Clone for OracleReader {
+    fn clone(&self) -> Self {
+        OracleReader {
+            inner: self.inner.clone_reader(),
+        }
+    }
+}
+
+impl std::fmt::Debug for OracleReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleReader")
+            .field("version", &self.inner.version())
+            .finish()
+    }
+}
+
+impl OracleReader {
+    /// Version of the freshest published generation.
+    pub fn version(&self) -> u64 {
+        self.inner.version()
+    }
+
+    /// Exact distance on the freshest published generation.
+    pub fn query(&self, s: Vertex, t: Vertex) -> Option<Dist> {
+        self.inner.query(s, t)
+    }
+
+    /// Batched pair queries against one pinned generation.
+    pub fn query_many(&self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        self.inner.query_many(pairs)
+    }
+
+    /// One-source-to-many-targets against one pinned generation.
+    pub fn distances_from(&self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.inner.distances_from(s, targets)
+    }
+
+    /// The `k` closest vertices on the freshest published generation.
+    pub fn top_k_closest(&self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
+        self.inner.top_k_closest(s, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use batchhl_graph::generators::path;
+    use batchhl_graph::weighted::WeightedGraph;
+    use batchhl_graph::DynamicDiGraph;
+
+    #[test]
+    fn builder_infers_family_from_source() {
+        let o = Oracle::new(path(5)).unwrap();
+        assert_eq!(o.family(), BackendFamily::Undirected);
+        let o = Oracle::new(DynamicDiGraph::from_edges(3, &[(0, 1)])).unwrap();
+        assert_eq!(o.family(), BackendFamily::Directed);
+        let o = Oracle::new(WeightedGraph::from_edges(3, &[(0, 1, 2)])).unwrap();
+        assert_eq!(o.family(), BackendFamily::Weighted);
+    }
+
+    #[test]
+    fn builder_rejects_contradicting_declarations() {
+        let err = Oracle::builder().directed(true).build(path(5)).unwrap_err();
+        assert!(matches!(err, OracleError::SourceMismatch { .. }));
+        let err = Oracle::builder()
+            .weighted(false)
+            .build(WeightedGraph::new(3))
+            .unwrap_err();
+        assert!(matches!(err, OracleError::SourceMismatch { .. }));
+        let err = Oracle::builder()
+            .directed(true)
+            .weighted(true)
+            .build(path(5))
+            .unwrap_err();
+        assert!(matches!(err, OracleError::SourceMismatch { .. }));
+        // Matching declarations pass.
+        let o = Oracle::builder()
+            .directed(true)
+            .build(DynamicDiGraph::from_edges(3, &[(0, 1), (1, 2)]))
+            .unwrap();
+        assert_eq!(o.family(), BackendFamily::Directed);
+    }
+
+    #[test]
+    fn update_sessions_commit_once_or_not_at_all() {
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        assert_eq!(oracle.query(0, 5), Some(5));
+
+        // Dropped sessions apply nothing.
+        oracle.update().insert(0, 5).discard();
+        assert_eq!(oracle.query(0, 5), Some(5));
+        assert_eq!(oracle.version(), 0);
+
+        let session = oracle.update().insert(0, 5).remove(2, 3);
+        assert_eq!(session.len(), 2);
+        let stats = session.commit().unwrap();
+        assert_eq!(stats.applied, 2);
+        assert_eq!(oracle.version(), 1);
+        assert_eq!(oracle.query(0, 5), Some(1));
+
+        // A failing commit applies nothing.
+        let err = oracle.update().set_weight(0, 5, 9).commit().unwrap_err();
+        assert!(matches!(err, OracleError::WeightedEditsUnsupported { .. }));
+        assert_eq!(oracle.version(), 1);
+    }
+
+    #[test]
+    fn reader_is_send_sync_and_follows_commits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OracleReader>();
+
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(1)
+            .build(path(6))
+            .unwrap();
+        let reader = oracle.reader();
+        assert_eq!(reader.query(0, 5), Some(5));
+        oracle.update().insert(0, 5).commit().unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let r = &reader;
+                scope.spawn(move || {
+                    assert_eq!(r.query(0, 5), Some(1));
+                    assert_eq!(r.query_many(&[(0, 4), (5, 2)]), vec![Some(2), Some(3)]);
+                });
+            }
+        });
+        assert_eq!(reader.version(), 1);
+    }
+}

@@ -28,6 +28,7 @@ fn config(threads: usize) -> IndexConfig {
         selection: LandmarkSelection::TopDegree(5),
         algorithm: Algorithm::BhlPlus,
         threads,
+        ..IndexConfig::default()
     }
 }
 

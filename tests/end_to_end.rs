@@ -36,6 +36,7 @@ fn agree_on_queries(g0: DynamicGraph, rounds: usize, batch_size: usize, seed: u6
             selection: LandmarkSelection::TopDegree(8),
             algorithm: Algorithm::BhlPlus,
             threads: 1,
+            ..IndexConfig::default()
         },
     );
     let mut fd = FulFd::build(g0.clone(), 8);
@@ -91,6 +92,7 @@ fn oracles_agree_under_heavy_deletion() {
             selection: LandmarkSelection::TopDegree(6),
             algorithm: Algorithm::Bhl,
             threads: 1,
+            ..IndexConfig::default()
         },
     );
     let mut fd = FulFd::build(g0.clone(), 6);

@@ -13,6 +13,7 @@ fn index(g: DynamicGraph, k: usize) -> BatchIndex {
             selection: LandmarkSelection::TopDegree(k),
             algorithm: Algorithm::BhlPlus,
             threads: 1,
+            ..IndexConfig::default()
         },
     )
 }
@@ -167,6 +168,7 @@ fn parallel_variant_survives_degenerate_inputs() {
         selection: LandmarkSelection::TopDegree(4),
         algorithm: Algorithm::BhlPlus,
         threads: 8, // more threads than landmarks
+        ..IndexConfig::default()
     };
     cfg.selection = LandmarkSelection::TopDegree(2);
     let mut idx = BatchIndex::build(path(5), cfg);

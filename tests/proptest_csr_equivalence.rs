@@ -8,7 +8,7 @@
 //! compaction threshold is driven low so rebuild/clear cycles are
 //! exercised, not just the overlay path.
 
-use batchhl::core::index::{Algorithm, BatchIndex, IndexConfig};
+use batchhl::core::index::{Algorithm, BatchIndex, CompactionPolicy, IndexConfig};
 use batchhl::graph::bfs::bfs_distances;
 use batchhl::graph::csr::{CsrDelta, CsrDiDelta, WeightedCsrDelta};
 use batchhl::graph::weighted::{dijkstra, Weight, WeightedGraph};
@@ -161,9 +161,9 @@ proptest! {
                 selection: LandmarkSelection::TopDegree(4),
                 algorithm: Algorithm::BhlPlus,
                 threads: 1,
+                compaction: CompactionPolicy::eager(0.1),
             },
         );
-        index.set_compaction_policy(0.1, 0);
         let mut reader = index.reader();
         let mut engine = QueryEngine::new(N);
         for pairs in [b1, b2] {

@@ -51,6 +51,7 @@ fn config(algorithm: Algorithm, k: usize) -> IndexConfig {
         selection: LandmarkSelection::TopDegree(k),
         algorithm,
         threads: 1,
+        ..IndexConfig::default()
     }
 }
 

@@ -36,6 +36,7 @@ fn build(g: &DynamicGraph, algorithm: Algorithm, threads: usize) -> BatchIndex {
             selection: LandmarkSelection::TopDegree(8),
             algorithm,
             threads,
+            ..IndexConfig::default()
         },
     )
 }
