@@ -1,0 +1,94 @@
+//! Bounded binary-stream readers shared by the persistence formats.
+//!
+//! Every on-disk reader in the workspace (`batchhl_graph::io`,
+//! `batchhl_hcl::serde_io`, `batchhl_core::persist`) follows the same
+//! hardening policy: fixed-width integers are read with an explicit
+//! error mapper, and bulk `u32` payloads are pulled in bounded chunks
+//! so a corrupt length field makes the read fail at end-of-stream
+//! instead of triggering a multi-GB up-front allocation. This module is
+//! the single home of that policy — the format crates parameterize it
+//! with their own typed error constructors.
+
+use std::io::{self, Read};
+
+/// Entries per bulk-read chunk (64 KiB of `u32`s): large enough to
+/// amortize syscalls, small enough that corrupt headers cannot force a
+/// huge allocation before the stream runs dry.
+pub const CHUNK_ENTRIES: usize = 16 * 1024;
+
+/// Read one little-endian `u64`, mapping failures through `err`.
+pub fn read_u64<R: Read, E>(r: &mut R, err: impl Fn(io::Error) -> E) -> Result<u64, E> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Read one little-endian `u32`, mapping failures through `err`.
+pub fn read_u32<R: Read, E>(r: &mut R, err: impl Fn(io::Error) -> E) -> Result<u32, E> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Read `count` little-endian `u32`s in bounded chunks, mapping
+/// failures through `err`. Allocation tracks the data actually present
+/// in the stream, never the (untrusted) `count`.
+pub fn read_u32s<R: Read, E>(
+    r: &mut R,
+    count: usize,
+    err: impl Fn(io::Error) -> E,
+) -> Result<Vec<u32>, E> {
+    let mut out = Vec::new();
+    let mut buf = vec![0u8; CHUNK_ENTRIES.min(count.max(1)) * 4];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_ENTRIES);
+        let bytes = &mut buf[..take * 4];
+        r.read_exact(bytes).map_err(&err)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_integers_and_bulk_payloads() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        for v in [1u32, 2, 3] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut r = bytes.as_slice();
+        assert_eq!(read_u64(&mut r, |_| ()).unwrap(), 7);
+        assert_eq!(read_u32(&mut r, |_| ()).unwrap(), 9);
+        assert_eq!(read_u32s(&mut r, 3, |_| ()).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn huge_counts_fail_at_eof_without_huge_allocation() {
+        let bytes = vec![0u8; 64];
+        let mut r = bytes.as_slice();
+        assert!(read_u32s(&mut r, 1 << 30, |_| "eof").is_err());
+    }
+
+    #[test]
+    fn chunk_boundaries_are_exact() {
+        let n = CHUNK_ENTRIES + 17;
+        let mut bytes = Vec::with_capacity(n * 4);
+        for v in 0..n as u32 {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let got = read_u32s(&mut bytes.as_slice(), n, |_| ()).unwrap();
+        assert_eq!(got.len(), n);
+        assert_eq!(got[CHUNK_ENTRIES], CHUNK_ENTRIES as u32);
+    }
+}

@@ -1,0 +1,198 @@
+//! CRC-32 (IEEE 802.3) for persistence framing.
+//!
+//! Both the `BHL2` checkpoint format and the batch write-ahead log
+//! guard their payloads with a checksum so that recovery can tell a
+//! cleanly written record from a torn or corrupted one. CRC-32 is used
+//! (rather than a fast in-memory hasher) because its value is defined
+//! by the polynomial alone: stable across platforms, compiler versions
+//! and process restarts, which is exactly what an on-disk format needs.
+//!
+//! [`Crc32`] is an incremental digest; [`Crc32Writer`] / [`Crc32Reader`]
+//! wrap an `io` stream and digest every byte that passes through, so a
+//! whole-file checksum costs no extra buffering.
+
+use std::io::{self, Read, Write};
+
+/// The IEEE reflected polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built once at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 digest.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Digest `bytes` (may be called repeatedly).
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ t[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything digested so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot convenience.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// A writer that digests every byte it forwards.
+#[derive(Debug)]
+pub struct Crc32Writer<W> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Crc32Writer<W> {
+    pub fn new(inner: W) -> Self {
+        Crc32Writer {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// Checksum of the bytes written so far.
+    pub fn sum(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// Unwrap, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The underlying writer (e.g. to append the trailer *outside* the
+    /// checksummed region).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: Write> Write for Crc32Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that digests every byte it yields.
+#[derive(Debug)]
+pub struct Crc32Reader<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Crc32Reader<R> {
+    pub fn new(inner: R) -> Self {
+        Crc32Reader {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// Checksum of the bytes read so far.
+    pub fn sum(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"batch-dynamic highway cover labelling";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(5) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn stream_wrappers_digest_everything() {
+        let mut out = Vec::new();
+        let mut w = Crc32Writer::new(&mut out);
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        let sum = w.sum();
+        assert_eq!(sum, crc32(b"hello world"));
+
+        let mut r = Crc32Reader::new(&b"hello world"[..]);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(r.sum(), sum);
+    }
+
+    #[test]
+    fn corruption_changes_the_sum() {
+        let mut data = b"some payload".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x40;
+        assert_ne!(crc32(&data), clean);
+    }
+}

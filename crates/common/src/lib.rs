@@ -15,14 +15,20 @@
 //! * [`cache`] — an epoch-stamped memoization array used as the
 //!   old-distance oracle cache during batch search/repair,
 //! * [`hash`] — an FxHash-style fast hasher for integer-keyed maps,
+//! * [`checksum`] — CRC-32 used by the on-disk persistence formats
+//!   (checkpoints and the batch write-ahead log),
+//! * [`binio`] — bounded binary-stream readers shared by those formats
+//!   (chunked bulk reads so corrupt headers cannot force allocations),
 //! * [`rng`] — a tiny deterministic SplitMix64 generator for internal
 //!   shuffling that must not depend on external crates.
 //!
 //! Everything here is deliberately free of dependencies so that the hot
 //! paths of the index are fully under our control.
 
+pub mod binio;
 pub mod bitset;
 pub mod cache;
+pub mod checksum;
 pub mod dist;
 pub mod hash;
 pub mod llen;
@@ -31,6 +37,7 @@ pub mod rng;
 
 pub use bitset::SparseBitSet;
 pub use cache::EpochCache;
+pub use checksum::{crc32, Crc32, Crc32Reader, Crc32Writer};
 pub use dist::{dist_add1, Dist, Vertex, INF};
 pub use hash::{FxHashMap, FxHashSet};
 pub use llen::{ExtLandmarkLength, LandmarkLength};

@@ -16,6 +16,7 @@
 
 use crate::directed::DirectedBatchIndex;
 use crate::index::{BatchIndex, CompactionPolicy, IndexConfig};
+use crate::persist::{self, CheckpointMeta, PersistError};
 use crate::reader::SharedReader;
 use crate::stats::UpdateStats;
 use crate::weighted::WeightedBatchIndex;
@@ -129,6 +130,10 @@ pub enum OracleError {
     WeightedEditsUnsupported { family: BackendFamily },
     /// The labelling could not be constructed (invalid landmark set).
     Label(LabelError),
+    /// The durability layer failed to make a commit durable (e.g. the
+    /// write-ahead log could not be appended or synced). The batch was
+    /// **not** applied. Carries the rendered [`crate::persist::PersistError`].
+    Durability { reason: String },
 }
 
 impl fmt::Display for OracleError {
@@ -143,6 +148,9 @@ impl fmt::Display for OracleError {
                 "weight-carrying edits are not supported by the {family} backend"
             ),
             OracleError::Label(e) => write!(f, "labelling construction failed: {e}"),
+            OracleError::Durability { reason } => {
+                write!(f, "commit could not be made durable: {reason}")
+            }
         }
     }
 }
@@ -242,6 +250,42 @@ pub trait Backend: Send {
 
     /// Tune the CSR compaction policy of published views.
     fn set_compaction(&mut self, policy: CompactionPolicy);
+
+    /// Serialize this backend's family body (graph, labelling(s), and
+    /// update configuration) for a `BHL2` checkpoint. Callers normally
+    /// go through [`crate::persist::write_checkpoint`], which frames the
+    /// body with the format header and CRC-32 trailer; the counterpart
+    /// [`load_backend`] reads the framed form back.
+    fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError>;
+}
+
+/// Deserialize a `BHL2` checkpoint into whichever backend family it
+/// holds (the load hook paired with [`Backend::save`]). Also returns
+/// the checkpoint's generation metadata — the WAL replay cursor.
+pub fn load_backend<R: std::io::Read>(
+    r: R,
+) -> Result<(Box<dyn Backend>, CheckpointMeta), PersistError> {
+    persist::read_checkpoint(r)
+}
+
+/// Check an edit list against a family *without* applying anything —
+/// the same acceptance rule [`Backend::commit_edits`] enforces. The
+/// durability layer calls this before a batch is logged to the
+/// write-ahead log, so a batch that would be refused at commit is never
+/// made durable (and therefore never replayed).
+pub fn edits_supported(family: BackendFamily, edits: &[Edit]) -> Result<(), OracleError> {
+    if family == BackendFamily::Weighted {
+        return Ok(());
+    }
+    for &e in edits {
+        match e {
+            Edit::Insert(..) | Edit::Remove(..) | Edit::InsertWeighted(_, _, 1) => {}
+            Edit::InsertWeighted(..) | Edit::SetWeight(..) => {
+                return Err(OracleError::WeightedEditsUnsupported { family })
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The `&self` query surface served to reading threads, type-erased.
@@ -297,16 +341,19 @@ where
 }
 
 /// Translate an edit list for the unweighted families; errors on
-/// weight-carrying edits instead of dropping the weight.
+/// weight-carrying edits instead of dropping the weight. The
+/// acceptance rule itself lives in [`edits_supported`] (shared with
+/// the durability layer, which must refuse a batch *before* logging
+/// it) — this function only adds the translation.
 fn unweighted_batch(edits: &[Edit], family: BackendFamily) -> Result<Batch, OracleError> {
+    edits_supported(family, edits)?;
     let mut batch = Batch::new();
     for &e in edits {
         match e {
-            Edit::Insert(a, b) | Edit::InsertWeighted(a, b, 1) => batch.insert(a, b),
+            // `InsertWeighted` passed validation, so its weight is 1.
+            Edit::Insert(a, b) | Edit::InsertWeighted(a, b, _) => batch.insert(a, b),
             Edit::Remove(a, b) => batch.delete(a, b),
-            Edit::InsertWeighted(..) | Edit::SetWeight(..) => {
-                return Err(OracleError::WeightedEditsUnsupported { family })
-            }
+            Edit::SetWeight(..) => unreachable!("rejected by edits_supported"),
         }
     }
     Ok(batch)
@@ -377,6 +424,10 @@ impl Backend for BatchIndex {
     fn set_compaction(&mut self, policy: CompactionPolicy) {
         BatchIndex::set_compaction(self, policy);
     }
+
+    fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
+        persist::save_undirected(self, out)
+    }
 }
 
 impl Backend for DirectedBatchIndex {
@@ -443,6 +494,10 @@ impl Backend for DirectedBatchIndex {
 
     fn set_compaction(&mut self, policy: CompactionPolicy) {
         DirectedBatchIndex::set_compaction(self, policy);
+    }
+
+    fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
+        persist::save_directed(self, out)
     }
 }
 
@@ -518,6 +573,10 @@ impl Backend for WeightedBatchIndex {
 
     fn set_compaction(&mut self, policy: CompactionPolicy) {
         WeightedBatchIndex::set_compaction(self, policy);
+    }
+
+    fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
+        persist::save_weighted(self, out)
     }
 }
 

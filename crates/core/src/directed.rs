@@ -30,7 +30,7 @@ use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::{AdjacencyView, Batch, CsrDiDelta, DynamicDiGraph, Reversed, Update};
 use batchhl_hcl::{
-    build_labelling_parallel, LabelStore, Labelling, SourcePlan, Versioned, NO_LABEL,
+    build_labelling_parallel, LabelError, LabelStore, Labelling, SourcePlan, Versioned, NO_LABEL,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,8 +130,64 @@ impl DirectedBatchIndex {
         Self::build(graph, IndexConfig::default())
     }
 
+    /// Assemble an index from externally persisted parts (the directed
+    /// load path of `crate::persist`): a graph plus previously
+    /// constructed forward and backward labellings.
+    ///
+    /// Performs structural validation (dimensions, landmark agreement
+    /// between the two directions, highway diagonals); it does *not*
+    /// prove the labellings match the graph — pair with
+    /// `oracle::check_minimal` when provenance is in doubt.
+    pub fn from_parts(
+        graph: DynamicDiGraph,
+        fwd: Labelling,
+        bwd: Labelling,
+        config: IndexConfig,
+    ) -> Result<Self, LabelError> {
+        let n = graph.num_vertices();
+        for lab in [&fwd, &bwd] {
+            if lab.num_vertices() != n {
+                return Err(LabelError::VertexCountMismatch {
+                    labelling: lab.num_vertices(),
+                    graph: n,
+                });
+            }
+            for i in 0..lab.num_landmarks() {
+                if lab.highway(i, i) != 0 {
+                    return Err(LabelError::CorruptHighwayDiagonal { index: i });
+                }
+            }
+        }
+        if fwd.landmarks() != bwd.landmarks() {
+            return Err(LabelError::ShapeMismatch {
+                what: "backward landmark list",
+                expected: fwd.num_landmarks(),
+                found: bwd.num_landmarks(),
+            });
+        }
+        let view = CsrDiDelta::from_adjacency(&graph);
+        let work = DirectedSnapshot {
+            graph,
+            fwd,
+            bwd,
+            view,
+        };
+        Ok(DirectedBatchIndex {
+            store: LabelStore::new(work.clone()),
+            work,
+            recycler: engine::Recycler::new(),
+            config,
+            ws: UpdateWorkspace::new(n),
+            bibfs: BiBfs::new(n),
+        })
+    }
+
     pub fn graph(&self) -> &DynamicDiGraph {
         &self.work.graph
+    }
+
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
     }
 
     pub fn forward_labelling(&self) -> &Labelling {

@@ -99,20 +99,25 @@ pub mod directed;
 pub mod engine;
 pub mod index;
 pub mod paths;
+pub mod persist;
 pub mod reader;
 pub mod repair;
 pub mod search;
 pub mod search_improved;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 pub mod weighted;
 pub mod workspace;
 
 pub use backend::{
-    build_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource, OracleError,
+    build_backend, load_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource,
+    OracleError,
 };
 pub use directed::{DirectedBatchIndex, DirectedSnapshot};
 pub use index::{Algorithm, BatchIndex, CompactionPolicy, IndexConfig, IndexSnapshot};
+pub use persist::{CheckpointMeta, PersistError};
 pub use reader::{DirectedReader, Reader, SharedReader, SnapshotQuery, WeightedReader};
 pub use stats::UpdateStats;
+pub use wal::{recover_wal, WalRecord, WalRecovery, WalWriter};
 pub use weighted::{WeightedBatchIndex, WeightedSnapshot};

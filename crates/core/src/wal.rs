@@ -1,0 +1,469 @@
+//! Batch write-ahead log: durable `Edit` batches between checkpoints.
+//!
+//! Every committed update session appends its edit list as one record
+//! *before* the batch is applied to the index. A restart then loads the
+//! newest `BHL2` checkpoint ([`crate::persist`]) and replays the log
+//! tail, landing on exactly the state the writer had acknowledged.
+//!
+//! # Record framing (all integers little-endian)
+//!
+//! ```text
+//! file header: magic "BWAL" | u8 version = 1 | u8 ×3 reserved (0)
+//! record:      u32 payload_len | u32 CRC-32(payload) | payload
+//! payload:     u64 seq | u32 edit_count | edit_count × edit
+//! edit:        u8 tag | u32 a | u32 b [| u32 w]
+//!              tag 0 = Insert, 1 = InsertWeighted (w), 2 = Remove,
+//!              tag 3 = SetWeight (w)
+//! ```
+//!
+//! `seq` is the number of batches committed before this one (the
+//! checkpoint's `batch_seq` cursor): replay applies exactly the records
+//! with `seq >= checkpoint.batch_seq`, so a checkpoint written *after*
+//! some WAL records does not cause double application.
+//!
+//! # Torn vs. corrupt
+//!
+//! Recovery distinguishes two failure shapes:
+//!
+//! * **Torn tail** — the file ends mid-record (a crash during append),
+//!   *or* the final record is length-complete but fails its checksum
+//!   (an unsynced append whose pages were written back out of order —
+//!   possible under the relaxed fsync policies). The tail record is
+//!   dropped and the file truncated back to the last good record;
+//!   everything before it replays.
+//! * **Corrupt record** — a record *before* the tail fails its checksum
+//!   or structure (bit rot, tampering). A crash cannot damage the
+//!   middle of an append-only log, so recovery refuses with a typed
+//!   [`PersistError::WalCorrupt`] rather than guessing.
+
+use crate::backend::Edit;
+use crate::persist::PersistError;
+use batchhl_common::crc32;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"BWAL";
+const WAL_VERSION: u8 = 1;
+const HEADER_LEN: u64 = 8;
+/// Upper bound on one record's payload (64 MiB ≈ 5.3M edits): anything
+/// larger is treated as corruption, not an allocation request.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// One recovered WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Batches committed before this one (the replay cursor).
+    pub seq: u64,
+    pub edits: Vec<Edit>,
+}
+
+/// What recovery found in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalRecovery {
+    /// Bytes of a torn final record that were dropped and truncated
+    /// away (0 for a cleanly closed log).
+    pub torn_bytes: u64,
+    /// File length after recovery.
+    pub valid_len: u64,
+}
+
+/// Append-side handle on a WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Create (or truncate) a fresh, empty log.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&[WAL_VERSION, 0, 0, 0])?;
+        file.sync_all()?;
+        Ok(WalWriter { file, path })
+    }
+
+    /// Open an existing log for appending (creating an empty one if the
+    /// file does not exist). The caller is expected to have run
+    /// [`recover_wal`] first so a torn tail has been truncated away.
+    ///
+    /// A file shorter than the 8-byte header (a crash during creation,
+    /// recovered to length 0) is rewritten from scratch — appending to
+    /// a headerless file would make every later record unreadable.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        match std::fs::metadata(&path) {
+            Ok(meta) if meta.len() >= HEADER_LEN => {
+                let file = OpenOptions::new().append(true).open(&path)?;
+                Ok(WalWriter { file, path })
+            }
+            Ok(_) => Self::create(path),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Self::create(path),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Append one batch record; `sync` forces the bytes to disk before
+    /// returning (the write-ahead guarantee).
+    pub fn append(&mut self, seq: u64, edits: &[Edit], sync: bool) -> Result<(), PersistError> {
+        let payload = encode_payload(seq, edits);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        if sync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to disk.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn encode_payload(seq: u64, edits: &[Edit]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + 13 * edits.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(edits.len() as u32).to_le_bytes());
+    for &e in edits {
+        match e {
+            Edit::Insert(a, b) => {
+                out.push(0);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            Edit::InsertWeighted(a, b, w) => {
+                out.push(1);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            Edit::Remove(a, b) => {
+                out.push(2);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+            Edit::SetWeight(a, b, w) => {
+                out.push(3);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_payload(bytes: &[u8], offset: u64) -> Result<WalRecord, PersistError> {
+    let corrupt = |reason: String| PersistError::WalCorrupt { offset, reason };
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], PersistError> {
+        if pos + n > bytes.len() {
+            return Err(corrupt(format!(
+                "payload ends inside a field (need {n} bytes at {pos}, have {})",
+                bytes.len()
+            )));
+        }
+        let s = &bytes[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+    let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    let mut edits = Vec::with_capacity(count.min(bytes.len() / 9));
+    for _ in 0..count {
+        let tag = take(1)?[0];
+        let a = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let b = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        edits.push(match tag {
+            0 => Edit::Insert(a, b),
+            2 => Edit::Remove(a, b),
+            1 | 3 => {
+                let w = u32::from_le_bytes(take(4)?.try_into().unwrap());
+                if tag == 1 {
+                    Edit::InsertWeighted(a, b, w)
+                } else {
+                    Edit::SetWeight(a, b, w)
+                }
+            }
+            other => return Err(corrupt(format!("unknown edit tag {other}"))),
+        });
+    }
+    if pos != bytes.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after {count} edits",
+            bytes.len() - pos
+        )));
+    }
+    Ok(WalRecord { seq, edits })
+}
+
+/// Read every complete record of the log, truncating a torn final
+/// record in place (see the module docs for the torn/corrupt split).
+///
+/// A missing file recovers to an empty log.
+pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecovery), PersistError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), WalRecovery::default()))
+        }
+        Err(e) => return Err(e.into()),
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        // Even the file header is torn: recover to an empty log.
+        truncate_to(path, 0)?;
+        return Ok((
+            Vec::new(),
+            WalRecovery {
+                torn_bytes: bytes.len() as u64,
+                valid_len: 0,
+            },
+        ));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(PersistError::BadMagic {
+            expected: *MAGIC,
+            found: [bytes[0], bytes[1], bytes[2], bytes[3]],
+        });
+    }
+    if bytes[4] != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: bytes[4] });
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    let mut valid_len = pos;
+    while pos < bytes.len() {
+        // Record header: a partial one is a torn tail.
+        if pos + 8 > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let sum = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Err(PersistError::WalCorrupt {
+                offset: pos as u64,
+                reason: format!("payload length {len} exceeds the {MAX_PAYLOAD}-byte bound"),
+            });
+        }
+        let body_start = pos + 8;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            // Payload cut short: torn tail.
+            break;
+        }
+        let payload = &bytes[body_start..body_end];
+        let computed = crc32(payload);
+        if computed != sum {
+            if body_end == bytes.len() {
+                // A bad-checksum *final* record is a crash artifact
+                // under the relaxed fsync policies (length page written
+                // back before the payload page): end-of-log, drop it.
+                break;
+            }
+            // Mid-log, a fully framed record with wrong bytes cannot
+            // come from a crash — refuse.
+            return Err(PersistError::WalCorrupt {
+                offset: pos as u64,
+                reason: format!("checksum mismatch: header {sum:#010x}, computed {computed:#010x}"),
+            });
+        }
+        records.push(decode_payload(payload, pos as u64)?);
+        pos = body_end;
+        valid_len = pos;
+    }
+    let torn = (bytes.len() - valid_len) as u64;
+    if torn > 0 {
+        truncate_to(path, valid_len as u64)?;
+    }
+    Ok((
+        records,
+        WalRecovery {
+            torn_bytes: torn,
+            valid_len: valid_len as u64,
+        },
+    ))
+}
+
+fn truncate_to(path: &Path, len: u64) -> Result<(), PersistError> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("batchhl_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_batches() -> Vec<(u64, Vec<Edit>)> {
+        vec![
+            (0, vec![Edit::Insert(0, 5), Edit::Remove(2, 3)]),
+            (1, vec![Edit::InsertWeighted(1, 4, 9)]),
+            (2, vec![Edit::SetWeight(1, 4, 2), Edit::Insert(7, 8)]),
+        ]
+    }
+
+    fn write_sample(path: &Path) {
+        let mut w = WalWriter::create(path).unwrap();
+        for (seq, edits) in sample_batches() {
+            w.append(seq, &edits, true).unwrap();
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = tmp("roundtrip.wal");
+        write_sample(&path);
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(records.len(), 3);
+        for (rec, (seq, edits)) in records.iter().zip(sample_batches()) {
+            assert_eq!(rec.seq, seq);
+            assert_eq!(rec.edits, edits);
+        }
+        // Appending after reopen extends the same log.
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append(3, &[Edit::Insert(9, 9)], true).unwrap();
+        let (records, _) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3].seq, 3);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let (records, info) = recover_wal(tmp("never_written.wal")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(info, WalRecovery::default());
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_the_clean_prefix() {
+        let path = tmp("torn.wal");
+        write_sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        // Record boundaries for the expected clean prefix count.
+        let (all, _) = recover_wal(&path).unwrap();
+        assert_eq!(all.len(), 3);
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (records, info) = recover_wal(&path).unwrap_or_else(|e| {
+                panic!("cut at {cut}: recovery must not fail, got {e}");
+            });
+            // Replay must be a prefix of the originally logged batches.
+            for (rec, (seq, edits)) in records.iter().zip(sample_batches()) {
+                assert_eq!(rec.seq, seq, "cut {cut}");
+                assert_eq!(&rec.edits, &edits, "cut {cut}");
+            }
+            assert!(records.len() <= 3);
+            // After truncation the file re-recovers cleanly.
+            let reread = std::fs::read(&path).unwrap();
+            assert_eq!(reread.len() as u64, info.valid_len);
+            let (again, info2) = recover_wal(&path).unwrap();
+            assert_eq!(again.len(), records.len());
+            assert_eq!(info2.torn_bytes, 0, "cut {cut}: second pass clean");
+        }
+    }
+
+    #[test]
+    fn mid_log_checksum_flip_is_typed_corruption() {
+        let path = tmp("flip.wal");
+        write_sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one byte of the first record's stored checksum: the bad
+        // record is *followed* by good ones, so this is corruption.
+        let mut bad = full.clone();
+        bad[8 + 4] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            recover_wal(&path),
+            Err(PersistError::WalCorrupt { .. })
+        ));
+        // Flip one payload byte instead: same verdict.
+        let mut bad = full.clone();
+        bad[8 + 8 + 2] ^= 0x10;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            recover_wal(&path),
+            Err(PersistError::WalCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn final_record_checksum_flip_is_a_torn_tail() {
+        // An unsynced append can leave a length-complete final record
+        // with wrong bytes (out-of-order page writeback): recovery must
+        // drop it and replay the prefix, not refuse the whole log.
+        let path = tmp("flip_tail.wal");
+        write_sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        let mut bad = full.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // last payload byte of the final record
+        std::fs::write(&path, &bad).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 2, "clean prefix replays");
+        assert!(info.torn_bytes > 0);
+        // The file was truncated: a second pass is clean.
+        let (again, info2) = recover_wal(&path).unwrap();
+        assert_eq!(again.len(), 2);
+        assert_eq!(info2.torn_bytes, 0);
+    }
+
+    #[test]
+    fn open_append_rewrites_a_headerless_file() {
+        // A crash during create can leave a file shorter than the
+        // header; recovery truncates it to zero. Appending must rebuild
+        // the header, not produce an unreadable log.
+        let path = tmp("headerless.wal");
+        std::fs::write(&path, b"BWA").unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(info.valid_len, 0);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append(0, &[Edit::Insert(1, 2)], true).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(info.torn_bytes, 0);
+    }
+
+    #[test]
+    fn bad_header_is_typed() {
+        let path = tmp("header.wal");
+        std::fs::write(&path, b"XXXXWAL?").unwrap();
+        assert!(matches!(
+            recover_wal(&path),
+            Err(PersistError::BadMagic { .. })
+        ));
+        std::fs::write(&path, [b'B', b'W', b'A', b'L', 9, 0, 0, 0]).unwrap();
+        assert!(matches!(
+            recover_wal(&path),
+            Err(PersistError::UnsupportedVersion { found: 9 })
+        ));
+    }
+}

@@ -318,11 +318,53 @@ impl WeightedBatchIndex {
         })
     }
 
+    /// Assemble an index from externally persisted parts (the weighted
+    /// load path of `crate::persist`): a graph plus a previously
+    /// constructed labelling.
+    ///
+    /// Performs structural validation (dimensions, highway diagonal);
+    /// it does *not* prove the labelling matches the graph.
+    pub fn from_parts(graph: WeightedGraph, lab: Labelling) -> Result<Self, LabelError> {
+        let n = graph.num_vertices();
+        if lab.num_vertices() != n {
+            return Err(LabelError::VertexCountMismatch {
+                labelling: lab.num_vertices(),
+                graph: n,
+            });
+        }
+        for i in 0..lab.num_landmarks() {
+            if lab.highway(i, i) != 0 {
+                return Err(LabelError::CorruptHighwayDiagonal { index: i });
+            }
+        }
+        let view = WeightedCsrDelta::from_weighted(&graph);
+        let work = WeightedSnapshot { graph, lab, view };
+        Ok(WeightedBatchIndex {
+            store: LabelStore::new(work.clone()),
+            work,
+            recycler: engine::Recycler::new(),
+            threads: 1,
+            compaction: CompactionPolicy::default(),
+            ws: DijkstraWorkspace::new(n),
+            engine: BiDijkstra::new(n),
+        })
+    }
+
     /// Use landmark-level parallelism for updates (the weighted BHLₚ —
     /// a capability the unified engine provides to every variant).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Worker threads used for landmark-parallel updates.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The CSR compaction policy of published views.
+    pub fn compaction(&self) -> CompactionPolicy {
+        self.compaction
     }
 
     /// Builder-style [`WeightedBatchIndex::set_compaction`].

@@ -34,6 +34,33 @@ impl DynamicDiGraph {
         g
     }
 
+    /// Assemble from complete per-vertex *out*-adjacency lists (each
+    /// sorted) — the load path of the binary CSR snapshot format in
+    /// [`crate::io`]. The in-lists are rebuilt, so only the forward
+    /// direction is persisted. Structural validation included.
+    pub fn try_from_out_adjacency(out: Vec<Vec<Vertex>>) -> Result<Self, String> {
+        let n = out.len();
+        let mut inn = vec![Vec::new(); n];
+        for (u, nbrs) in out.iter().enumerate() {
+            for &v in nbrs {
+                if (v as usize) >= n {
+                    return Err(format!("dangling neighbour {v} of {u}"));
+                }
+                // `u` ascends across the outer loop, so each in-list is
+                // built already sorted.
+                inn[v as usize].push(u as Vertex);
+            }
+        }
+        let num_edges = out.iter().map(Vec::len).sum();
+        let g = DynamicDiGraph {
+            out,
+            inn,
+            num_edges,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
     pub fn num_vertices(&self) -> usize {
         self.out.len()
     }

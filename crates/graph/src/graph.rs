@@ -43,6 +43,24 @@ impl DynamicGraph {
         g
     }
 
+    /// Assemble from complete per-vertex adjacency lists (each sorted,
+    /// mirrored on both endpoints) — the load path of the binary CSR
+    /// snapshot format in [`crate::io`]. The lists are validated
+    /// structurally; invalid input gets an error, never a graph that
+    /// breaks invariants later.
+    pub fn try_from_adjacency(adj: Vec<Vec<Vertex>>) -> Result<Self, String> {
+        let half_edges: usize = adj.iter().map(Vec::len).sum();
+        let g = DynamicGraph {
+            adj,
+            num_edges: half_edges / 2,
+        };
+        if !half_edges.is_multiple_of(2) {
+            return Err("odd half-edge count: adjacency not mirrored".into());
+        }
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Build from an edge list, sizing the vertex set to the largest id.
     pub fn from_edges_auto(edges: &[(Vertex, Vertex)]) -> Self {
         let n = edges

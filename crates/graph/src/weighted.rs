@@ -71,6 +71,23 @@ impl WeightedGraph {
         g
     }
 
+    /// Assemble from complete per-vertex `(neighbour, weight)` lists
+    /// (each sorted by neighbour, mirrored with equal weights on both
+    /// endpoints) — the load path of the binary CSR snapshot format in
+    /// [`crate::io`]. Structural validation included.
+    pub fn try_from_adjacency(adj: Vec<Vec<(Vertex, Weight)>>) -> Result<Self, String> {
+        let half_edges: usize = adj.iter().map(Vec::len).sum();
+        if !half_edges.is_multiple_of(2) {
+            return Err("odd half-edge count: adjacency not mirrored".into());
+        }
+        let g = WeightedGraph {
+            adj,
+            num_edges: half_edges / 2,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
     pub fn num_vertices(&self) -> usize {
         self.adj.len()
     }

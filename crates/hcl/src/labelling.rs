@@ -42,6 +42,13 @@ pub enum LabelError {
     },
     /// The same vertex appears twice in the landmark list.
     DuplicateLandmark { landmark: Vertex },
+    /// Externally supplied label rows / highway matrix have the wrong
+    /// dimensions for the declared `n` and landmark count.
+    ShapeMismatch {
+        what: &'static str,
+        expected: usize,
+        found: usize,
+    },
     /// A labelling loaded from external parts covers a different vertex
     /// set than the graph it is paired with.
     VertexCountMismatch { labelling: usize, graph: usize },
@@ -65,6 +72,11 @@ impl fmt::Display for LabelError {
             LabelError::DuplicateLandmark { landmark } => {
                 write!(f, "duplicate landmark {landmark}")
             }
+            LabelError::ShapeMismatch {
+                what,
+                expected,
+                found,
+            } => write!(f, "{what}: expected {expected} entries, found {found}"),
             LabelError::VertexCountMismatch { labelling, graph } => write!(
                 f,
                 "labelling covers {labelling} vertices, graph has {graph}"
@@ -77,6 +89,33 @@ impl fmt::Display for LabelError {
 }
 
 impl std::error::Error for LabelError {}
+
+/// Validate a landmark list against `n` and build the inverse
+/// vertex → landmark-index map (shared by [`Labelling::empty`] and
+/// [`Labelling::from_parts`]).
+fn index_landmarks(n: usize, landmarks: &[Vertex]) -> Result<Vec<u16>, LabelError> {
+    let r = landmarks.len();
+    if r >= NOT_LANDMARK as usize {
+        return Err(LabelError::TooManyLandmarks {
+            count: r,
+            max: NOT_LANDMARK as usize - 1,
+        });
+    }
+    let mut lm_index = vec![NOT_LANDMARK; n];
+    for (i, &v) in landmarks.iter().enumerate() {
+        if (v as usize) >= n {
+            return Err(LabelError::LandmarkOutOfBounds {
+                landmark: v,
+                num_vertices: n,
+            });
+        }
+        if lm_index[v as usize] != NOT_LANDMARK {
+            return Err(LabelError::DuplicateLandmark { landmark: v });
+        }
+        lm_index[v as usize] = i as u16;
+    }
+    Ok(lm_index)
+}
 
 /// A highway cover labelling `Γ = (H, L)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,25 +139,7 @@ impl Labelling {
     /// address, a landmark id is `>= n`, or a landmark repeats.
     pub fn empty(n: usize, landmarks: Vec<Vertex>) -> Result<Self, LabelError> {
         let r = landmarks.len();
-        if r >= NOT_LANDMARK as usize {
-            return Err(LabelError::TooManyLandmarks {
-                count: r,
-                max: NOT_LANDMARK as usize - 1,
-            });
-        }
-        let mut lm_index = vec![NOT_LANDMARK; n];
-        for (i, &v) in landmarks.iter().enumerate() {
-            if (v as usize) >= n {
-                return Err(LabelError::LandmarkOutOfBounds {
-                    landmark: v,
-                    num_vertices: n,
-                });
-            }
-            if lm_index[v as usize] != NOT_LANDMARK {
-                return Err(LabelError::DuplicateLandmark { landmark: v });
-            }
-            lm_index[v as usize] = i as u16;
-        }
+        let lm_index = index_landmarks(n, &landmarks)?;
         let mut highway = vec![INF; r * r];
         for i in 0..r {
             highway[i * r + i] = 0;
@@ -129,6 +150,62 @@ impl Labelling {
             labels: (0..r)
                 .map(|_| vec![NO_LABEL; n].into_boxed_slice())
                 .collect(),
+            highway,
+        })
+    }
+
+    /// Assemble a labelling from externally loaded parts (e.g. the
+    /// persistence layer): dense label rows (one per landmark, each of
+    /// length `n`, [`NO_LABEL`] marking absent entries) and a row-major
+    /// `r × r` highway matrix.
+    ///
+    /// Validates the landmark set exactly like [`Labelling::empty`],
+    /// checks every dimension against `n`/`r`, and requires a zero
+    /// highway diagonal — loaders get a typed error instead of an index
+    /// that panics later.
+    pub fn from_parts(
+        n: usize,
+        landmarks: Vec<Vertex>,
+        rows: Vec<Box<[Dist]>>,
+        highway: Vec<Dist>,
+    ) -> Result<Self, LabelError> {
+        // Validate landmarks and assemble directly from the supplied
+        // buffers — no throwaway r×n allocation on the load path, where
+        // a restarted serving process is most memory-constrained.
+        let lm_index = index_landmarks(n, &landmarks)?;
+        let r = landmarks.len();
+        if rows.len() != r {
+            return Err(LabelError::ShapeMismatch {
+                what: "label row count",
+                expected: r,
+                found: rows.len(),
+            });
+        }
+        for row in &rows {
+            if row.len() != n {
+                return Err(LabelError::ShapeMismatch {
+                    what: "label row length",
+                    expected: n,
+                    found: row.len(),
+                });
+            }
+        }
+        if highway.len() != r * r {
+            return Err(LabelError::ShapeMismatch {
+                what: "highway matrix",
+                expected: r * r,
+                found: highway.len(),
+            });
+        }
+        for i in 0..r {
+            if highway[i * r + i] != 0 {
+                return Err(LabelError::CorruptHighwayDiagonal { index: i });
+            }
+        }
+        Ok(Labelling {
+            landmarks,
+            lm_index,
+            labels: rows,
             highway,
         })
     }

@@ -39,4 +39,5 @@ pub use build::{build_labelling, build_labelling_parallel};
 pub use labelling::{LabelError, Labelling, NO_LABEL};
 pub use landmarks::LandmarkSelection;
 pub use query::{QueryEngine, SourcePlan, SWEEP_MIN_TARGETS};
+pub use serde_io::SnapshotError;
 pub use store::{LabelStore, ReaderHandle, Versioned};

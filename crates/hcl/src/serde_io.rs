@@ -13,12 +13,86 @@
 //! magic "BHL1" | u64 n | u64 r | r × u32 landmark ids
 //! r × r × u32 highway | r rows × n × u32 labels (NO_LABEL = absent)
 //! ```
+//!
+//! The same block (magic included) is embedded as the labelling
+//! section(s) of the full-oracle `BHL2` checkpoint format
+//! (`batchhl_core::persist`), length-prefixed there so a corrupt block
+//! cannot consume the sections after it.
+//!
+//! # Load-path hardening
+//!
+//! [`read_labelling`] treats the input as hostile: the magic, the
+//! landmark-count bound, landmark ranges and every dimension are
+//! validated with a typed [`SnapshotError`] instead of trusting the
+//! file. Bulk payloads (highway matrix, label rows) are read in small
+//! chunks and the labelling is assembled only *after* the bytes are in
+//! hand, so a corrupt `u64 n` fails fast with
+//! [`SnapshotError::Truncated`] rather than attempting a multi-GB
+//! up-front allocation.
 
-use crate::labelling::Labelling;
+use crate::labelling::{LabelError, Labelling};
+use batchhl_common::binio::{self, CHUNK_ENTRIES};
 use batchhl_common::{Dist, Vertex};
+use std::fmt;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 
 const MAGIC: &[u8; 4] = b"BHL1";
+
+/// Why a labelling snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the expected magic.
+    BadMagic { expected: [u8; 4], found: [u8; 4] },
+    /// The stream ended before the section the header promised.
+    Truncated { section: &'static str },
+    /// A header field is out of its documented range.
+    Header { reason: String },
+    /// The decoded parts do not form a valid labelling.
+    Label(LabelError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "labelling snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found),
+            ),
+            SnapshotError::Truncated { section } => {
+                write!(f, "stream truncated while reading {section}")
+            }
+            SnapshotError::Header { reason } => write!(f, "invalid header: {reason}"),
+            SnapshotError::Label(e) => write!(f, "decoded labelling is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Label(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<LabelError> for SnapshotError {
+    fn from(e: LabelError) -> Self {
+        SnapshotError::Label(e)
+    }
+}
 
 /// Serialize a labelling.
 pub fn write_labelling<W: Write>(lab: &Labelling, writer: W) -> io::Result<()> {
@@ -44,65 +118,85 @@ pub fn write_labelling<W: Write>(lab: &Labelling, writer: W) -> io::Result<()> {
     out.flush()
 }
 
-/// Deserialize a labelling written by [`write_labelling`].
-pub fn read_labelling<R: Read>(reader: R) -> io::Result<Labelling> {
+/// The number of bytes [`write_labelling`] emits for `lab` (used by the
+/// checkpoint format to length-prefix the block).
+pub fn labelling_encoded_len(lab: &Labelling) -> u64 {
+    let n = lab.num_vertices() as u64;
+    let r = lab.num_landmarks() as u64;
+    4 + 8 + 8 + 4 * r + 4 * r * r + 4 * r * n
+}
+
+/// Deserialize a labelling written by [`write_labelling`], validating
+/// the header and every dimension (see the module docs on hardening).
+pub fn read_labelling<R: Read>(reader: R) -> Result<Labelling, SnapshotError> {
     let mut inp = BufReader::new(reader);
     let mut magic = [0u8; 4];
-    inp.read_exact(&mut magic)?;
+    inp.read_exact(&mut magic)
+        .map_err(|e| truncated(e, "magic"))?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a BHL1 labelling snapshot",
-        ));
+        return Err(SnapshotError::BadMagic {
+            expected: *MAGIC,
+            found: magic,
+        });
     }
-    let n = read_u64(&mut inp)? as usize;
-    let r = read_u64(&mut inp)? as usize;
+    let n = read_u64(&mut inp, "header")? as usize;
+    let r = read_u64(&mut inp, "header")? as usize;
     if r > u16::MAX as usize - 1 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "landmark count out of range",
-        ));
+        return Err(SnapshotError::Header {
+            reason: format!("landmark count {r} out of range"),
+        });
+    }
+    if n > u32::MAX as usize {
+        return Err(SnapshotError::Header {
+            reason: format!("vertex count {n} exceeds the u32 vertex-id space"),
+        });
     }
     let mut landmarks = Vec::with_capacity(r);
     for _ in 0..r {
-        let v = read_u32(&mut inp)?;
+        let v = read_u32(&mut inp, "landmark list")?;
         if v as usize >= n {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("landmark {v} out of bounds (n = {n})"),
-            ));
+            return Err(SnapshotError::Label(LabelError::LandmarkOutOfBounds {
+                landmark: v as Vertex,
+                num_vertices: n,
+            }));
         }
         landmarks.push(v as Vertex);
     }
-    let mut lab = Labelling::empty(n, landmarks)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    for i in 0..r {
-        for j in 0..r {
-            lab.set_highway_row(i, j, read_u32(&mut inp)?);
-        }
+    // Bulk sections are read chunk-by-chunk: allocation tracks the data
+    // actually present in the stream, never the header's claim.
+    let highway = read_dists(&mut inp, r * r, "highway matrix")?;
+    let mut rows = Vec::with_capacity(r.min(CHUNK_ENTRIES));
+    for _ in 0..r {
+        rows.push(read_dists(&mut inp, n, "label row")?.into_boxed_slice());
     }
-    for i in 0..r {
-        let row = lab.label_row_mut(i);
-        // Bulk-read each row to avoid 4-byte syscall chatter.
-        let mut buf = vec![0u8; n * 4];
-        inp.read_exact(&mut buf)?;
-        for (v, chunk) in buf.chunks_exact(4).enumerate() {
-            row[v] = Dist::from_le_bytes(chunk.try_into().unwrap());
-        }
-    }
-    Ok(lab)
+    Ok(Labelling::from_parts(n, landmarks, rows, highway)?)
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+fn truncated(e: io::Error, section: &'static str) -> SnapshotError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        SnapshotError::Truncated { section }
+    } else {
+        SnapshotError::Io(e)
+    }
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// Read `count` little-endian `u32` distances in bounded chunks
+/// ([`binio`]): allocation tracks the data actually present, never the
+/// untrusted header's claim.
+fn read_dists<R: Read>(
+    r: &mut R,
+    count: usize,
+    section: &'static str,
+) -> Result<Vec<Dist>, SnapshotError> {
+    binio::read_u32s(r, count, |e| truncated(e, section))
+}
+
+fn read_u64<R: Read>(r: &mut R, section: &'static str) -> Result<u64, SnapshotError> {
+    binio::read_u64(r, |e| truncated(e, section))
+}
+
+fn read_u32<R: Read>(r: &mut R, section: &'static str) -> Result<u32, SnapshotError> {
+    binio::read_u32(r, |e| truncated(e, section))
 }
 
 #[cfg(test)]
@@ -118,22 +212,69 @@ mod tests {
             let lab = build_labelling(&g, LandmarkSelection::TopDegree(6).select(&g)).unwrap();
             let mut buf = Vec::new();
             write_labelling(&lab, &mut buf).unwrap();
+            assert_eq!(buf.len() as u64, labelling_encoded_len(&lab));
             let back = read_labelling(buf.as_slice()).unwrap();
             assert_eq!(lab, back);
         }
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(read_labelling(&b"NOPE"[..]).is_err());
-        assert!(read_labelling(&b"BHL1\x01"[..]).is_err(), "truncated");
+    fn rejects_garbage_with_typed_errors() {
+        assert!(matches!(
+            read_labelling(&b"NOPE"[..]),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            read_labelling(&b"BHL1\x01"[..]),
+            Err(SnapshotError::Truncated { .. })
+        ));
         // Landmark id out of range.
         let mut buf = Vec::new();
         buf.extend_from_slice(b"BHL1");
         buf.extend_from_slice(&2u64.to_le_bytes()); // n = 2
         buf.extend_from_slice(&1u64.to_le_bytes()); // r = 1
         buf.extend_from_slice(&9u32.to_le_bytes()); // landmark 9 >= n
-        assert!(read_labelling(buf.as_slice()).is_err());
+        assert!(matches!(
+            read_labelling(buf.as_slice()),
+            Err(SnapshotError::Label(LabelError::LandmarkOutOfBounds { .. }))
+        ));
+    }
+
+    #[test]
+    fn corrupt_headers_fail_without_huge_allocation() {
+        // An absurd n must fail with Truncated once the (short) stream
+        // runs out — not attempt to allocate n × 4 bytes up front.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BHL1");
+        buf.extend_from_slice(&(1u64 << 30).to_le_bytes()); // n ~ 10^9
+        buf.extend_from_slice(&1u64.to_le_bytes()); // r = 1
+        buf.extend_from_slice(&0u32.to_le_bytes()); // landmark 0
+        buf.extend_from_slice(&0u32.to_le_bytes()); // highway[0][0]
+        buf.extend_from_slice(&[0u8; 64]); // a far-too-short label row
+        assert!(matches!(
+            read_labelling(buf.as_slice()),
+            Err(SnapshotError::Truncated {
+                section: "label row"
+            })
+        ));
+        // n past the vertex-id space is a header error outright.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BHL1");
+        buf.extend_from_slice(&(u64::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_labelling(buf.as_slice()),
+            Err(SnapshotError::Header { .. })
+        ));
+        // An absurd landmark count is rejected before any allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BHL1");
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        assert!(matches!(
+            read_labelling(buf.as_slice()),
+            Err(SnapshotError::Header { .. })
+        ));
     }
 
     #[test]

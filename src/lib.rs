@@ -25,6 +25,13 @@
 //! assert_eq!(fanout[2], Some(1));
 //! ```
 //!
+//! Oracles are crash-safe: [`DistanceOracle::persist_to`] attaches a
+//! `BHL2` checkpoint + batch write-ahead log ([`DurabilityConfig`]
+//! picks the fsync and auto-checkpoint policy), every committed
+//! session is logged before it is applied, and
+//! [`DistanceOracle::open`] restores the checkpoint and replays the
+//! WAL tail — the warm-restart path (see `examples/warm_restart.rs`).
+//!
 //! The underlying crates remain available for callers that want a
 //! specific index family or the lower-level machinery: [`core`]
 //! (batch-dynamic indexes + unified update engine), [`hcl`] (highway
@@ -33,7 +40,14 @@
 
 pub mod oracle;
 
-pub use oracle::{DistanceOracle, Oracle, OracleBuilder, OracleReader, UpdateSession};
+pub use oracle::{
+    DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleReader,
+    UpdateSession,
+};
+
+// The persistence vocabulary (checkpoints + write-ahead log).
+pub use batchhl_core::persist::{CheckpointMeta, PersistError};
+pub use batchhl_core::wal::{recover_wal, WalRecord, WalRecovery, WalWriter};
 
 // The family-erased backend surface (for callers extending the oracle
 // with a fourth family, or inspecting errors).

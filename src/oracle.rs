@@ -44,17 +44,78 @@
 
 use batchhl_common::{Dist, Vertex};
 use batchhl_core::backend::{
-    build_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource, OracleError,
+    build_backend, edits_supported, load_backend, Backend, BackendFamily, BackendReader, Edit,
+    GraphSource, OracleError,
 };
 use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
+use batchhl_core::persist::{write_checkpoint, CheckpointMeta, PersistError};
 use batchhl_core::stats::UpdateStats;
+use batchhl_core::wal::{recover_wal, WalWriter};
 use batchhl_graph::weighted::Weight;
 use batchhl_hcl::LandmarkSelection;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// File names inside an oracle's durability directory.
+const CHECKPOINT_FILE: &str = "checkpoint.bhl2";
+const CHECKPOINT_TMP: &str = "checkpoint.bhl2.tmp";
+const WAL_FILE: &str = "batches.wal";
+
+/// When the write-ahead log is forced to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` the WAL on every committed batch (write-ahead in the
+    /// strict sense: an acknowledged commit survives power loss).
+    #[default]
+    EveryCommit,
+    /// Only checkpoints are synced; WAL appends ride the OS cache. A
+    /// crash may lose the most recent batches but never corrupts —
+    /// recovery truncates the torn tail.
+    CheckpointOnly,
+    /// Nothing is synced explicitly (tests, throwaway runs).
+    Never,
+}
+
+/// Durability tuning for [`DistanceOracle::persist_to`] /
+/// [`DistanceOracle::open_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Write a fresh checkpoint (and rotate the WAL) automatically
+    /// after this many committed batches; `None` = only on explicit
+    /// [`DistanceOracle::save`] calls.
+    pub checkpoint_every: Option<u64>,
+    /// WAL sync policy.
+    pub fsync: FsyncPolicy,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: Some(64),
+            fsync: FsyncPolicy::EveryCommit,
+        }
+    }
+}
+
+/// Attached durability state: the directory, the open WAL, and the
+/// auto-checkpoint cadence counter.
+struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    config: DurabilityConfig,
+    batches_since_checkpoint: u64,
+}
 
 /// A batch-dynamic distance oracle over one of the index families,
 /// chosen at build time and erased behind [`Backend`].
 pub struct DistanceOracle {
     backend: Box<dyn Backend>,
+    /// Total batches committed over the oracle's lifetime (across
+    /// restarts — restored from the checkpoint + WAL replay). This is
+    /// the WAL sequence cursor.
+    batches_committed: u64,
+    durability: Option<Durability>,
 }
 
 /// The short name the builder examples use (`Oracle::builder()`).
@@ -148,11 +209,170 @@ impl DistanceOracle {
     /// Open an update session: edits accumulate on the session and
     /// [`UpdateSession::commit`] applies them as **one** batch.
     /// Dropping the session without committing discards the edits.
+    ///
+    /// When durability is attached ([`DistanceOracle::persist_to`] or
+    /// [`DistanceOracle::open`]), `commit` appends the batch to the
+    /// write-ahead log *before* applying it, so an acknowledged commit
+    /// survives a crash.
     pub fn update(&mut self) -> UpdateSession<'_> {
         UpdateSession {
-            backend: self.backend.as_mut(),
+            oracle: self,
             edits: Vec::new(),
         }
+    }
+
+    /// Total batches committed over this oracle's lifetime, counted
+    /// across restarts (it is the write-ahead-log sequence cursor).
+    pub fn batches_committed(&self) -> u64 {
+        self.batches_committed
+    }
+
+    /// The durability directory, when durability is attached.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Write a `BHL2` checkpoint of the full oracle state into `dir`
+    /// (atomically: temp file + rename). If durability is attached to
+    /// the same directory, the write-ahead log is rotated afterwards —
+    /// the checkpoint subsumes every logged batch.
+    ///
+    /// The checkpoint captures the graph, labelling(s), landmark set,
+    /// update configuration and generation metadata for whichever
+    /// family serves this oracle; [`DistanceOracle::open`] restores an
+    /// oracle that answers and maintains identically.
+    pub fn save(&mut self, dir: impl AsRef<Path>) -> Result<(), PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let sync = self
+            .durability
+            .as_ref()
+            .map(|d| d.config.fsync != FsyncPolicy::Never)
+            .unwrap_or(true);
+        let tmp = dir.join(CHECKPOINT_TMP);
+        let meta = CheckpointMeta {
+            batch_seq: self.batches_committed,
+            version: self.backend.version(),
+        };
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        write_checkpoint(self.backend.as_ref(), meta, &mut out)?;
+        let file = out.into_inner().map_err(|e| PersistError::Io(e.into()))?;
+        if sync {
+            file.sync_all()?;
+        }
+        drop(file);
+        std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
+        if sync {
+            // Persist the rename itself (best effort — not all
+            // platforms let a directory be fsynced).
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // Only now that the superseding checkpoint is durable may the
+        // log be rotated — and a *stale* WAL from an earlier process in
+        // this directory must be reset too, or `open` would replay
+        // foreign batches on top of this checkpoint.
+        match &mut self.durability {
+            Some(d) if d.dir == dir => {
+                d.wal = WalWriter::create(dir.join(WAL_FILE))?;
+                d.batches_since_checkpoint = 0;
+            }
+            _ => {
+                if dir.join(WAL_FILE).exists() {
+                    WalWriter::create(dir.join(WAL_FILE))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach durability: write an initial checkpoint into `dir`, start
+    /// a fresh write-ahead log, and from now on log every committed
+    /// batch (checkpointing automatically per
+    /// [`DurabilityConfig::checkpoint_every`]).
+    pub fn persist_to(
+        &mut self,
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<(), PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Attach without truncating any existing log: an earlier
+        // process's acknowledged batches stay recoverable until the
+        // superseding checkpoint has been renamed into place — `save`
+        // rotates the WAL only after that point.
+        let wal = WalWriter::open_append(dir.join(WAL_FILE))?;
+        self.durability = Some(Durability {
+            dir: dir.clone(),
+            wal,
+            config,
+            batches_since_checkpoint: 0,
+        });
+        self.save(&dir)
+    }
+
+    /// Reopen a persisted oracle: load the checkpoint in `dir`, replay
+    /// the write-ahead-log tail (truncating a torn final record), and
+    /// resume with durability attached — the warm-restart path.
+    ///
+    /// Fails with a typed [`PersistError`] on a missing checkpoint or
+    /// any corruption; it never panics and never serves a state that
+    /// mixes checkpoint and half-applied batches.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::open_with(dir, DurabilityConfig::default())
+    }
+
+    /// [`DistanceOracle::open`] with explicit durability tuning.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: DurabilityConfig,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        let ckpt = dir.join(CHECKPOINT_FILE);
+        let file = match File::open(&ckpt) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(PersistError::MissingCheckpoint {
+                    path: ckpt.display().to_string(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (mut backend, meta) = load_backend(BufReader::new(file))?;
+        // Replay the records committed after the checkpoint was cut.
+        // Records the checkpoint already covers are skipped by their
+        // sequence number (a checkpoint may race ahead of WAL rotation).
+        let (records, _recovery) = recover_wal(dir.join(WAL_FILE))?;
+        let mut cursor = meta.batch_seq;
+        let mut replayed = 0u64;
+        for rec in records {
+            if rec.seq < meta.batch_seq {
+                continue;
+            }
+            if rec.seq != cursor {
+                return Err(PersistError::WalCorrupt {
+                    offset: 0,
+                    reason: format!("sequence gap: expected batch {cursor}, found {}", rec.seq),
+                });
+            }
+            backend
+                .commit_edits(&rec.edits)
+                .map_err(PersistError::Replay)?;
+            cursor += 1;
+            replayed += 1;
+        }
+        let wal = WalWriter::open_append(dir.join(WAL_FILE))?;
+        Ok(DistanceOracle {
+            backend,
+            batches_committed: cursor,
+            durability: Some(Durability {
+                dir,
+                wal,
+                config,
+                batches_since_checkpoint: replayed,
+            }),
+        })
     }
 
     /// A `Send + Sync` reader with the identical query-plan surface,
@@ -272,6 +492,8 @@ impl OracleBuilder {
         }
         Ok(DistanceOracle {
             backend: build_backend(source, self.config)?,
+            batches_committed: 0,
+            durability: None,
         })
     }
 }
@@ -284,7 +506,7 @@ impl OracleBuilder {
 /// commits nothing.
 #[must_use = "edits are applied only by `commit()`"]
 pub struct UpdateSession<'a> {
-    backend: &'a mut dyn Backend,
+    oracle: &'a mut DistanceOracle,
     edits: Vec<Edit>,
 }
 
@@ -332,9 +554,38 @@ impl UpdateSession<'_> {
     /// Apply every queued edit as **one** batch (normalization, batch
     /// search, batch repair, publication) and return the update stats.
     /// On error (e.g. weight edits on an unweighted oracle) nothing is
-    /// applied.
+    /// applied — and nothing is logged.
+    ///
+    /// With durability attached, the batch is validated, appended to
+    /// the write-ahead log (synced per the [`FsyncPolicy`]) and only
+    /// then applied; a crash after the append replays the batch on
+    /// [`DistanceOracle::open`].
     pub fn commit(self) -> Result<UpdateStats, OracleError> {
-        self.backend.commit_edits(&self.edits)
+        let oracle = self.oracle;
+        // Validate *before* logging: a batch the family would refuse
+        // must never become durable (it would poison every replay).
+        edits_supported(oracle.backend.family(), &self.edits)?;
+        if let Some(d) = &mut oracle.durability {
+            let sync = d.config.fsync == FsyncPolicy::EveryCommit;
+            d.wal
+                .append(oracle.batches_committed, &self.edits, sync)
+                .map_err(|e| OracleError::Durability {
+                    reason: e.to_string(),
+                })?;
+        }
+        let stats = oracle.backend.commit_edits(&self.edits)?;
+        oracle.batches_committed += 1;
+        let due = oracle.durability.as_mut().and_then(|d| {
+            d.batches_since_checkpoint += 1;
+            let every = d.config.checkpoint_every?;
+            (d.batches_since_checkpoint >= every).then(|| d.dir.clone())
+        });
+        if let Some(dir) = due {
+            oracle.save(&dir).map_err(|e| OracleError::Durability {
+                reason: e.to_string(),
+            })?;
+        }
+        Ok(stats)
     }
 
     /// Explicitly throw the queued edits away.
@@ -398,6 +649,203 @@ mod tests {
     use batchhl_graph::generators::path;
     use batchhl_graph::weighted::WeightedGraph;
     use batchhl_graph::DynamicDiGraph;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("batchhl_oracle_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_open_roundtrip_preserves_answers_and_resumes() {
+        let dir = tmp_dir("roundtrip");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(8))
+            .unwrap();
+        oracle.update().insert(0, 7).commit().unwrap();
+        oracle.save(&dir).unwrap();
+
+        let mut back = Oracle::open(&dir).unwrap();
+        assert_eq!(back.family(), BackendFamily::Undirected);
+        assert_eq!(back.batches_committed(), 1);
+        for s in 0..8u32 {
+            for t in 0..8u32 {
+                assert_eq!(back.query(s, t), oracle.query(s, t), "({s},{t})");
+            }
+        }
+        // The reopened oracle keeps maintaining — and logging.
+        back.update().remove(3, 4).commit().unwrap();
+        assert_eq!(back.query(3, 4), Some(7), "rerouted 3-2-1-0-7-6-5-4");
+    }
+
+    #[test]
+    fn wal_tail_replays_after_simulated_crash() {
+        let dir = tmp_dir("crash");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(10))
+            .unwrap();
+        // Disable auto-checkpointing so the WAL holds the tail.
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        oracle.update().insert(0, 9).commit().unwrap();
+        oracle.update().insert(2, 7).remove(4, 5).commit().unwrap();
+        let expected: Vec<_> = (0..10u32).map(|t| oracle.query(0, t)).collect();
+        // Simulate the crash: drop without saving.
+        drop(oracle);
+
+        let mut revived = Oracle::open(&dir).unwrap();
+        assert_eq!(revived.batches_committed(), 2);
+        let got: Vec<_> = (0..10u32).map(|t| revived.query(0, t)).collect();
+        assert_eq!(got, expected, "replayed state must match pre-crash answers");
+    }
+
+    #[test]
+    fn save_into_a_stale_directory_resets_the_foreign_wal() {
+        let dir = tmp_dir("stale_wal");
+        // Process A leaves a checkpoint + WAL tail behind.
+        let mut a = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        a.persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        a.update().insert(0, 5).commit().unwrap();
+        drop(a);
+        // Process B checkpoints a *different* oracle into the same
+        // directory without attaching durability: A's logged batches
+        // must not replay onto B's state.
+        let mut b = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(4))
+            .unwrap();
+        b.save(&dir).unwrap();
+        let mut revived = Oracle::open(&dir).unwrap();
+        assert_eq!(revived.num_vertices(), 4);
+        assert_eq!(revived.batches_committed(), 0);
+        assert_eq!(revived.query(0, 3), Some(3), "B's path, no foreign edits");
+    }
+
+    #[test]
+    fn reattaching_persistence_preserves_the_old_log_until_checkpointed() {
+        // `persist_to` over an existing durable directory must not
+        // truncate the WAL before the new checkpoint is in place (a
+        // crash in between would lose acknowledged batches). Observable
+        // effect: after a successful persist_to, the directory is
+        // self-consistent and the new oracle's state wins.
+        let dir = tmp_dir("reattach");
+        let mut a = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(7))
+            .unwrap();
+        a.persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        a.update().insert(0, 6).commit().unwrap();
+        drop(a);
+        let mut b = Oracle::open(&dir).unwrap();
+        assert_eq!(b.query(0, 6), Some(1));
+        // Re-attach (fresh epoch): rotation happens after the new
+        // checkpoint, and the reopened state carries A's batch.
+        b.persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        drop(b);
+        let mut c = Oracle::open(&dir).unwrap();
+        assert_eq!(c.query(0, 6), Some(1), "A's batch survived re-attachment");
+    }
+
+    #[test]
+    fn open_missing_checkpoint_is_typed() {
+        let dir = tmp_dir("missing");
+        assert!(matches!(
+            Oracle::open(&dir),
+            Err(PersistError::MissingCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn rejected_batches_are_never_logged() {
+        let dir = tmp_dir("reject");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        let err = oracle.update().set_weight(0, 1, 5).commit().unwrap_err();
+        assert!(matches!(err, OracleError::WeightedEditsUnsupported { .. }));
+        oracle.update().insert(0, 5).commit().unwrap();
+        drop(oracle);
+        // Replay sees only the accepted batch.
+        let mut revived = Oracle::open(&dir).unwrap();
+        assert_eq!(revived.batches_committed(), 1);
+        assert_eq!(revived.query(0, 5), Some(1));
+    }
+
+    #[test]
+    fn auto_checkpoint_rotates_the_wal() {
+        let dir = tmp_dir("auto");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(12))
+            .unwrap();
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: Some(2),
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        oracle.update().insert(0, 11).commit().unwrap();
+        oracle.update().insert(1, 10).commit().unwrap(); // triggers checkpoint
+        oracle.update().insert(2, 9).commit().unwrap(); // in the fresh WAL
+        let (records, _) = batchhl_core::wal::recover_wal(dir.join("batches.wal")).unwrap();
+        assert_eq!(
+            records.len(),
+            1,
+            "rotation left only the post-checkpoint tail"
+        );
+        assert_eq!(records[0].seq, 2);
+        drop(oracle);
+        let mut revived = Oracle::open(&dir).unwrap();
+        assert_eq!(revived.batches_committed(), 3);
+        assert_eq!(revived.query(2, 9), Some(1));
+        assert_eq!(revived.query(0, 11), Some(1));
+    }
 
     #[test]
     fn builder_infers_family_from_source() {

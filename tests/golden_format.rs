@@ -1,0 +1,131 @@
+//! Golden-format pin for the on-disk persistence formats.
+//!
+//! A fixed, fully deterministic scenario is serialized and compared
+//! byte-for-byte against fixtures checked into `tests/fixtures/`. Any
+//! accidental change to the `BHL2` checkpoint layout or the WAL record
+//! framing fails this test — a deliberate format change must regenerate
+//! the fixtures (`UPDATE_GOLDEN=1 cargo test --test golden_format`) and
+//! bump the format version so old files are refused, not misread.
+//!
+//! The second half loads the *checked-in* fixture (not the freshly
+//! written bytes) and asserts the revived oracle's answers, proving old
+//! files keep decoding as the format evolves compatibly.
+
+use batchhl::graph::DynamicGraph;
+use batchhl::{DurabilityConfig, FsyncPolicy, LandmarkSelection, Oracle};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("batchhl_golden").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The pinned scenario: everything about it must stay deterministic.
+fn write_scenario(dir: &Path) {
+    let g = DynamicGraph::from_edges(
+        10,
+        &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4),
+            (2, 5),
+            (3, 6),
+            (4, 7),
+            (5, 8),
+            (6, 9),
+            (7, 9),
+        ],
+    );
+    let mut oracle = Oracle::builder()
+        .landmarks(LandmarkSelection::TopDegree(3))
+        .build(g)
+        .expect("undirected source");
+    oracle
+        .persist_to(
+            dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .expect("checkpoint");
+    // Two batches that live only in the WAL (checkpointing is off).
+    oracle.update().insert(8, 9).remove(0, 3).commit().unwrap();
+    oracle.update().insert(1, 6).commit().unwrap();
+}
+
+#[test]
+fn golden_bytes_are_stable() {
+    let dir = scratch_dir("write");
+    write_scenario(&dir);
+    let got_ckpt = std::fs::read(dir.join("checkpoint.bhl2")).unwrap();
+    let got_wal = std::fs::read(dir.join("batches.wal")).unwrap();
+
+    let fixtures = fixtures_dir();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&fixtures).unwrap();
+        std::fs::write(fixtures.join("golden.bhl2"), &got_ckpt).unwrap();
+        std::fs::write(fixtures.join("golden.wal"), &got_wal).unwrap();
+        eprintln!("golden fixtures regenerated — bump the format version if the layout changed");
+        return;
+    }
+
+    let want_ckpt = std::fs::read(fixtures.join("golden.bhl2"))
+        .expect("missing fixture: run UPDATE_GOLDEN=1 cargo test --test golden_format");
+    let want_wal = std::fs::read(fixtures.join("golden.wal")).unwrap();
+    assert_eq!(
+        got_ckpt, want_ckpt,
+        "BHL2 checkpoint bytes drifted — format change without a version bump?"
+    );
+    assert_eq!(
+        got_wal, want_wal,
+        "WAL record framing drifted — format change without a version bump?"
+    );
+}
+
+#[test]
+fn golden_fixture_loads_and_answers() {
+    // Load the *checked-in* files, not freshly written ones.
+    let fixtures = fixtures_dir();
+    let ckpt = fixtures.join("golden.bhl2");
+    if !ckpt.exists() && std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // first generation run
+    }
+    let dir = scratch_dir("load");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::copy(ckpt, dir.join("checkpoint.bhl2")).unwrap();
+    std::fs::copy(fixtures.join("golden.wal"), dir.join("batches.wal")).unwrap();
+
+    let mut oracle = Oracle::open(&dir).expect("checked-in fixture must load");
+    assert_eq!(
+        oracle.batches_committed(),
+        2,
+        "checkpoint + replayed WAL tail"
+    );
+    assert_eq!(oracle.num_vertices(), 10);
+    // Spot distances of the post-replay graph (tree + the two batches).
+    assert_eq!(oracle.query(8, 9), Some(1), "WAL batch 0 insert");
+    assert_eq!(
+        oracle.query(0, 3),
+        Some(3),
+        "0-1-6-3 after removal + insert"
+    );
+    assert_eq!(oracle.query(1, 6), Some(1), "WAL batch 1 insert");
+    assert_eq!(oracle.query(0, 9), Some(3), "0-1-6-9");
+    assert_eq!(oracle.query(5, 5), Some(0));
+    // A live mirror of the same scenario agrees everywhere.
+    let live_dir = scratch_dir("mirror");
+    write_scenario(&live_dir);
+    let mut live = Oracle::open(&live_dir).unwrap();
+    for s in 0..10 {
+        for t in 0..10 {
+            assert_eq!(oracle.query(s, t), live.query(s, t), "({s},{t})");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Property-based persistence round-trips for the `DistanceOracle`
+//! facade, across all three index families.
+//!
+//! Random graphs + random batch sequences; at every generation the
+//! oracle is checkpointed (`save`) and reopened (`open`), and the
+//! revived oracle must answer *identically* to the live one — and both
+//! must agree with a from-scratch BFS/Dijkstra ground truth on a mirror
+//! graph (the same truth harness `tests/oracle_equivalence.rs` uses).
+//! The revived oracle then commits the *next* batch too, pinning the
+//! save→load→resume path, not just save→load→query.
+
+use batchhl::graph::bfs::bfs_distances;
+use batchhl::graph::weighted::{dijkstra, WeightedGraph};
+use batchhl::graph::{DynamicDiGraph, DynamicGraph, Vertex};
+use batchhl::{DistanceOracle, DurabilityConfig, FsyncPolicy, LandmarkSelection, Oracle, INF};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const N: usize = 30;
+
+static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> PathBuf {
+    let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("batchhl_proptest_persistence")
+        .join(format!("case_{id}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn no_sync() -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: None,
+        fsync: FsyncPolicy::Never,
+    }
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex), 10..70)
+}
+
+fn updates_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex), 1..16)
+}
+
+fn weighted_updates_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex, u32)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex, 1..6u32), 1..16)
+}
+
+/// Assert `loaded` and `live` agree with each other and with `truth`
+/// on a dense pair sample.
+fn assert_equivalent(
+    live: &mut DistanceOracle,
+    loaded: &mut DistanceOracle,
+    truth: &dyn Fn(Vertex) -> Vec<u32>,
+    ctx: &str,
+) -> Result<(), String> {
+    for s in (0..N as Vertex).step_by(3) {
+        let dist = truth(s);
+        for t in 0..N as Vertex {
+            let want = (dist[t as usize] != INF).then_some(dist[t as usize]);
+            prop_assert_eq!(live.query(s, t), want, "{}: live ({},{})", ctx, s, t);
+            prop_assert_eq!(loaded.query(s, t), want, "{}: loaded ({},{})", ctx, s, t);
+        }
+    }
+    // The batched plans agree too (one pinned generation each).
+    let pairs: Vec<(Vertex, Vertex)> = (0..N as Vertex)
+        .step_by(4)
+        .flat_map(|s| (0..N as Vertex).step_by(5).map(move |t| (s, t)))
+        .collect();
+    prop_assert_eq!(
+        live.query_many(&pairs),
+        loaded.query_many(&pairs),
+        "{}: query_many",
+        ctx
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn undirected_save_load_answers_identically(
+        edges in edges_strategy(),
+        b1 in updates_strategy(),
+        b2 in updates_strategy(),
+        b3 in updates_strategy(),
+    ) {
+        let mut mirror = DynamicGraph::from_edges(N, &edges);
+        let mut live = Oracle::builder()
+            .landmarks(LandmarkSelection::TopDegree(4))
+            .build(mirror.clone())
+            .expect("undirected source");
+        let batches = [b1, b2, b3];
+        for (round, pairs) in batches.iter().enumerate() {
+            let mut session = live.update();
+            for &(x, y) in pairs {
+                if x == y {
+                    continue;
+                }
+                if mirror.has_edge(x, y) {
+                    mirror.remove_edge(x, y);
+                    session = session.remove(x, y);
+                } else {
+                    mirror.insert_edge(x, y);
+                    session = session.insert(x, y);
+                }
+            }
+            session.commit().expect("structural edits");
+
+            let dir = fresh_dir();
+            live.save(&dir).expect("save");
+            let mut loaded = Oracle::open_with(&dir, no_sync()).expect("open");
+            prop_assert_eq!(loaded.batches_committed(), live.batches_committed());
+            assert_equivalent(&mut live, &mut loaded, &|s| bfs_distances(&mirror, s),
+                &format!("undirected round {round}"))?;
+
+            // The revived oracle resumes maintenance identically: apply
+            // the next round's toggles to both (without mutating the
+            // mirror — this is a what-if divergence check).
+            if let Some(next) = batches.get(round + 1) {
+                let mut a = live.update();
+                let mut b = loaded.update();
+                for &(x, y) in next {
+                    if x == y {
+                        continue;
+                    }
+                    if mirror.has_edge(x, y) {
+                        a = a.remove(x, y);
+                        b = b.remove(x, y);
+                    } else {
+                        a = a.insert(x, y);
+                        b = b.insert(x, y);
+                    }
+                }
+                a.discard(); // the live oracle replays this batch next round
+                b.commit().expect("loaded oracle resumes");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_save_load_answers_identically(
+        arcs in prop::collection::vec((0..N as Vertex, 0..N as Vertex), 10..90),
+        b1 in updates_strategy(),
+        b2 in updates_strategy(),
+    ) {
+        let mut mirror = DynamicDiGraph::from_edges(N, &arcs);
+        let mut live = Oracle::builder()
+            .directed(true)
+            .landmarks(LandmarkSelection::TopDegree(4))
+            .build(mirror.clone())
+            .expect("directed source");
+        for (round, pairs) in [b1, b2].iter().enumerate() {
+            let mut session = live.update();
+            for &(x, y) in pairs {
+                if x == y {
+                    continue;
+                }
+                if mirror.has_edge(x, y) {
+                    mirror.remove_edge(x, y);
+                    session = session.remove(x, y);
+                } else {
+                    mirror.insert_edge(x, y);
+                    session = session.insert(x, y);
+                }
+            }
+            session.commit().expect("structural edits");
+
+            let dir = fresh_dir();
+            live.save(&dir).expect("save");
+            let mut loaded = Oracle::open_with(&dir, no_sync()).expect("open");
+            assert_equivalent(&mut live, &mut loaded, &|s| bfs_distances(&mirror, s),
+                &format!("directed round {round}"))?;
+        }
+    }
+
+    #[test]
+    fn weighted_save_load_answers_identically(
+        edges in prop::collection::vec((0..N as Vertex, 0..N as Vertex, 1..6u32), 10..70),
+        b1 in weighted_updates_strategy(),
+        b2 in weighted_updates_strategy(),
+    ) {
+        let mut mirror = WeightedGraph::new(N);
+        for &(x, y, w) in &edges {
+            if x != y {
+                mirror.insert_edge(x, y, w);
+            }
+        }
+        let mut live = Oracle::builder()
+            .weighted(true)
+            .landmarks(LandmarkSelection::TopDegree(4))
+            .build(mirror.clone())
+            .expect("weighted source");
+        for (round, triples) in [b1, b2].iter().enumerate() {
+            // The weighted index keeps only the *first* update of an
+            // edge per batch — dedupe so the mirror agrees.
+            let mut seen = std::collections::HashSet::new();
+            let mut session = live.update();
+            for &(x, y, w) in triples {
+                if x == y || !seen.insert((x.min(y), x.max(y))) {
+                    continue;
+                }
+                if mirror.has_edge(x, y) {
+                    if w % 2 == 0 {
+                        mirror.remove_edge(x, y);
+                        session = session.remove(x, y);
+                    } else {
+                        mirror.set_weight(x, y, w);
+                        session = session.set_weight(x, y, w);
+                    }
+                } else {
+                    mirror.insert_edge(x, y, w);
+                    session = session.insert_weighted(x, y, w);
+                }
+            }
+            session.commit().expect("weighted edits");
+
+            let dir = fresh_dir();
+            live.save(&dir).expect("save");
+            let mut loaded = Oracle::open_with(&dir, no_sync()).expect("open");
+            assert_equivalent(&mut live, &mut loaded, &|s| dijkstra(&mirror, s),
+                &format!("weighted round {round}"))?;
+        }
+    }
+
+    // Crash-shaped property: commit a durable batch stream, "crash"
+    // (drop without a fresh checkpoint), reopen, and the revived oracle
+    // must hold exactly the pre-crash distances. This is the
+    // WAL-replay path under random inputs, for every family shape the
+    // WAL can carry.
+    #[test]
+    fn wal_replay_recovers_pre_crash_state(
+        edges in edges_strategy(),
+        b1 in updates_strategy(),
+        b2 in updates_strategy(),
+    ) {
+        let mirror0 = DynamicGraph::from_edges(N, &edges);
+        let mut mirror = mirror0.clone();
+        let mut live = Oracle::builder()
+            .landmarks(LandmarkSelection::TopDegree(4))
+            .build(mirror0)
+            .expect("undirected source");
+        let dir = fresh_dir();
+        live.persist_to(&dir, no_sync()).expect("attach durability");
+        for pairs in [b1, b2] {
+            let mut session = live.update();
+            for (x, y) in pairs {
+                if x == y {
+                    continue;
+                }
+                if mirror.has_edge(x, y) {
+                    mirror.remove_edge(x, y);
+                    session = session.remove(x, y);
+                } else {
+                    mirror.insert_edge(x, y);
+                    session = session.insert(x, y);
+                }
+            }
+            session.commit().expect("durable commit");
+        }
+        let committed = live.batches_committed();
+        drop(live); // crash: both batches live only in the WAL
+
+        let mut revived = Oracle::open_with(&dir, no_sync()).expect("recovery");
+        prop_assert_eq!(revived.batches_committed(), committed);
+        for s in (0..N as Vertex).step_by(2) {
+            let dist = bfs_distances(&mirror, s);
+            for t in 0..N as Vertex {
+                let want = (dist[t as usize] != INF).then_some(dist[t as usize]);
+                prop_assert_eq!(revived.query(s, t), want, "replayed ({},{})", s, t);
+            }
+        }
+    }
+}
