@@ -1,0 +1,98 @@
+//! Warm restart: checkpoint load + WAL replay versus cold rebuild.
+//!
+//! Builds an oracle on a BA graph, commits a few durable batches,
+//! "crashes" (drops the oracle without a final checkpoint), and then
+//! compares two ways back to serving: `Oracle::open` (load the
+//! checkpoint, replay the WAL tail) against reconstructing the index
+//! from the raw graph. Prints both timings and verifies the revived
+//! oracle answers exactly like the one that crashed.
+
+use batchhl::common::SplitMix64;
+use batchhl::graph::generators::barabasi_albert;
+use batchhl::{DurabilityConfig, FsyncPolicy, LandmarkSelection, Oracle, Vertex};
+use std::time::Instant;
+
+fn main() {
+    let n = 150_000usize;
+    let g = barabasi_albert(n, 4, 42);
+    let dir = std::env::temp_dir().join("batchhl_warm_restart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold construction (the price a restart pays without persistence).
+    let t = Instant::now();
+    let mut oracle = Oracle::builder()
+        .landmarks(LandmarkSelection::TopDegree(16))
+        .build(g.clone())
+        .expect("undirected source");
+    let cold_build = t.elapsed();
+    println!(
+        "cold build:        {cold_build:>10.2?}  ({n} vertices, {} label entries)",
+        oracle.label_entries()
+    );
+
+    // Go durable, then commit a few batches that land in the WAL only
+    // (auto-checkpointing off so the replay path is exercised).
+    let t = Instant::now();
+    oracle
+        .persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::CheckpointOnly,
+            },
+        )
+        .expect("checkpoint written");
+    println!("checkpoint write:  {:>10.2?}", t.elapsed());
+
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..3 {
+        let mut session = oracle.update();
+        for _ in 0..200 {
+            let a = rng.below(n as u64) as Vertex;
+            let b = rng.below(n as u64) as Vertex;
+            if a != b {
+                session = session.insert(a, b);
+            }
+        }
+        session.commit().expect("durable commit");
+    }
+
+    let probes: Vec<(Vertex, Vertex)> = (0..2_000)
+        .map(|_| (rng.below(n as u64) as Vertex, rng.below(n as u64) as Vertex))
+        .collect();
+    let expected = oracle.query_many(&probes);
+    drop(oracle); // simulated crash: WAL tail not checkpointed
+
+    // Warm restart: checkpoint load + replay of the 3 logged batches.
+    let t = Instant::now();
+    let mut revived = Oracle::open(&dir).expect("warm restart");
+    let warm_open = t.elapsed();
+    println!(
+        "warm open:         {warm_open:>10.2?}  (replayed to batch {})",
+        revived.batches_committed()
+    );
+
+    // Cold alternative: rebuild from the raw graph, re-apply batches.
+    let t = Instant::now();
+    let _cold = Oracle::builder()
+        .landmarks(LandmarkSelection::TopDegree(16))
+        .build(g)
+        .expect("rebuild");
+    let cold_again = t.elapsed();
+    println!("cold rebuild:      {cold_again:>10.2?}  (before any batch replay)");
+
+    let speedup = cold_again.as_secs_f64() / warm_open.as_secs_f64().max(1e-9);
+    println!("warm/cold speedup: {speedup:>9.1}x");
+
+    let got = revived.query_many(&probes);
+    assert_eq!(got, expected, "revived oracle must answer identically");
+    println!(
+        "verified: {} sampled queries identical after restart",
+        probes.len()
+    );
+
+    assert!(
+        warm_open < cold_again,
+        "checkpoint load must beat cold construction"
+    );
+}
