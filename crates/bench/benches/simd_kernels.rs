@@ -1,0 +1,123 @@
+//! SIMD vs scalar min-plus kernels on the bench graph's real packed
+//! data: the dense `accumulate_via` highway-row scan, the sparse
+//! `gather_min` target pricing, and the end-to-end Eq. 3 plan-and-price
+//! (one `SourcePlan` + 256 `bound_to` calls) against the dense
+//! `upper_bound_dense` double loop.
+//!
+//! The dispatched side reflects this CPU (`active_kernel()` is printed
+//! by the group names); the scalar side is the portable fallback, so
+//! the gap is exactly what runtime feature detection buys.
+
+use batchhl_bench::bench_config;
+use batchhl_bench::bench_support::{bench_graph, bench_index, bench_queries, BENCH_LANDMARKS};
+use batchhl_core::index::Algorithm;
+use batchhl_hcl::kernel::{
+    accumulate_via, accumulate_via_scalar, gather_min, gather_min_scalar, CLAMP_INF,
+};
+use batchhl_hcl::{active_kernel, SourcePlan};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let g = bench_graph();
+    let pairs = bench_queries(&g, 256);
+    let index = bench_index(&g, Algorithm::BhlPlus, BENCH_LANDMARKS);
+    let lab = index.labelling();
+    let packed = lab.packed();
+    let kernel = active_kernel().name();
+
+    // Primitive 1: dense accumulate over every highway row (the
+    // SourcePlan fill pattern), via scratch exactly as queries use it.
+    let r = lab.num_landmarks();
+    let mut via = vec![CLAMP_INF; r];
+    let mut group = c.benchmark_group("simd_accumulate_via");
+    group.bench_function(kernel, |b| {
+        b.iter(|| {
+            via.fill(CLAMP_INF);
+            for i in 0..r {
+                accumulate_via(&mut via, (i as u32) % 7, packed.highway.row(i));
+            }
+            black_box(via[r - 1]);
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            via.fill(CLAMP_INF);
+            for i in 0..r {
+                accumulate_via_scalar(&mut via, (i as u32) % 7, packed.highway.row(i));
+            }
+            black_box(via[r - 1]);
+        })
+    });
+    group.finish();
+
+    // Primitive 2: sparse gather over the packed label rows of the 256
+    // bench targets (the per-target Eq. 3 pricing).
+    let via = vec![3u32; r];
+    let targets: Vec<_> = pairs.iter().map(|&(_, t)| t).collect();
+    let mut group = c.benchmark_group("simd_gather_min");
+    group.throughput(criterion::Throughput::Elements(targets.len() as u64));
+    group.bench_function(kernel, |b| {
+        b.iter(|| {
+            for &t in &targets {
+                let row = packed.labels.row(t);
+                black_box(gather_min(&via, row.ids, row.dists));
+            }
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            for &t in &targets {
+                let row = packed.labels.row(t);
+                black_box(gather_min_scalar(&via, row.ids, row.dists));
+            }
+        })
+    });
+    group.finish();
+
+    // Long rows, where the hardware gather pays off (real bench-graph
+    // rows average ~5 entries and dispatch below GATHER_SIMD_MIN_LEN,
+    // so this group drives the AVX2 gather path directly).
+    let long_r = 256usize;
+    let long_via: Vec<u32> = (0..long_r as u32).map(|i| 3 + (i * 7) % 50).collect();
+    let long_ids: Vec<u16> = (0..long_r as u16).collect();
+    let long_d8: Vec<u8> = (0..long_r as u32).map(|i| (1 + i % 200) as u8).collect();
+    let long_row = batchhl_hcl::packed::NarrowSlice::U8(&long_d8);
+    let mut group = c.benchmark_group("simd_gather_min_long_row");
+    group.throughput(criterion::Throughput::Elements(long_r as u64));
+    group.bench_function(kernel, |b| {
+        b.iter(|| black_box(gather_min(&long_via, &long_ids, long_row)))
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(gather_min_scalar(&long_via, &long_ids, long_row)))
+    });
+    group.finish();
+
+    // End-to-end Eq. 3: plan + price 256 pairs through the packed
+    // kernels vs the pre-packed dense double loop.
+    let mut group = c.benchmark_group("simd_eq3_bound");
+    group.throughput(criterion::Throughput::Elements(pairs.len() as u64));
+    group.bench_function(format!("packed_{kernel}"), |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                let plan = SourcePlan::new(lab, lab, s);
+                black_box(plan.bound_to(lab, t));
+            }
+        })
+    });
+    group.bench_function("dense_loop", |b| {
+        b.iter(|| {
+            for &(s, t) in &pairs {
+                black_box(lab.upper_bound_dense(s, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config!();
+    targets = bench
+}
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [flags] <id>...        ids: table2 table3 table4 table5
 //!                                         table6 fig2 fig5 fig6 fig7
-//!                                         fig8 | all
+//!                                         fig8 label_memory | all
 //!   --scale tiny|small|medium|large  dataset scale       (default small)
 //!   --seed N                         workload seed       (default 42)
 //!   --landmarks K                    landmark count      (default 20)
@@ -21,7 +21,17 @@ use batchhl_bench::experiments::{self, ExpContext};
 use std::process::exit;
 
 const ALL_IDS: &[&str] = &[
-    "table2", "fig2", "fig5", "table3", "table4", "table5", "fig6", "fig7", "fig8", "table6",
+    "table2",
+    "fig2",
+    "fig5",
+    "table3",
+    "table4",
+    "table5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table6",
+    "label_memory",
 ];
 
 fn usage() -> ! {
@@ -98,6 +108,7 @@ fn main() {
             "fig6" => experiments::fig6::run(&ctx),
             "fig7" => experiments::fig7::run(&ctx),
             "fig8" => experiments::fig8::run(&ctx),
+            "label_memory" => experiments::label_memory::run(&ctx),
             "table6" => experiments::table6::run(&ctx),
             other => {
                 eprintln!("unknown experiment {other:?}");

@@ -30,16 +30,17 @@ use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::{AdjacencyView, Batch, CsrDiDelta, DynamicDiGraph, Reversed, Update};
 use batchhl_hcl::{
-    build_labelling_parallel, LabelError, LabelStore, Labelling, SourcePlan, Versioned, NO_LABEL,
+    build_labelling_parallel, LabelError, LabelStore, Labelling, SourcePlan, Versioned,
 };
 use std::sync::Arc;
 use std::time::Instant;
 
 pub use crate::index::{Algorithm, CompactionPolicy, IndexConfig};
 
-/// Batched directed calls switch to a single forward sweep at this many
-/// unresolved targets (mirrors [`batchhl_hcl::SWEEP_MIN_TARGETS`]).
-use batchhl_hcl::SWEEP_MIN_TARGETS;
+/// Batched directed calls switch to a single forward sweep once the
+/// adaptive threshold of unresolved targets is reached (mirrors
+/// [`batchhl_hcl::sweep_min_targets`]).
+use batchhl_hcl::sweep_min_targets;
 
 /// One immutable generation of the directed index. `graph` is the
 /// writer's mutation substrate; `view` is the frozen two-direction CSR
@@ -437,7 +438,7 @@ pub(crate) fn directed_query_dist<A: AdjacencyView>(
 /// The directed one-to-many path, shared by the owning index and its
 /// readers: one [`SourcePlan`] over the backward labels of `s` prices
 /// every target's Eq. 3 bound in `O(|R|)`, and once
-/// [`SWEEP_MIN_TARGETS`] targets need search refinement a single
+/// [`sweep_min_targets`] targets need search refinement a single
 /// bounded forward BFS sweep of `G[V\R]` from `s` replaces the
 /// per-target bidirectional searches.
 pub(crate) fn directed_distances_from<A: AdjacencyView>(
@@ -479,7 +480,7 @@ pub(crate) fn directed_distances_from<A: AdjacencyView>(
         out[k] = plan.bound_to(fwd, t);
         refine.push(k);
     }
-    if refine.len() >= SWEEP_MIN_TARGETS {
+    if refine.len() >= sweep_min_targets(n) {
         let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
         bibfs.sweep(graph, s, horizon, usize::MAX, |v| !fwd.is_landmark(v));
         for &k in &refine {
@@ -495,28 +496,11 @@ pub(crate) fn directed_distances_from<A: AdjacencyView>(
     out
 }
 
-/// Eq. 3 over a backward/forward labelling pair.
+/// Eq. 3 over a backward/forward labelling pair: the shared packed
+/// implementation with `s` priced from the backward labels and the
+/// highway + target labels from the forward labelling.
 pub(crate) fn directed_upper_bound(fwd: &Labelling, bwd: &Labelling, s: Vertex, t: Vertex) -> Dist {
-    let r = fwd.num_landmarks();
-    let mut best = u64::from(INF);
-    for i in 0..r {
-        let ls = bwd.label(i, s);
-        if ls == NO_LABEL {
-            continue;
-        }
-        for j in 0..r {
-            let h = fwd.highway(i, j);
-            if h == INF {
-                continue;
-            }
-            let lt = fwd.label(j, t);
-            if lt == NO_LABEL {
-                continue;
-            }
-            best = best.min(ls as u64 + h as u64 + lt as u64);
-        }
-    }
-    best.min(u64::from(INF)) as Dist
+    batchhl_hcl::upper_bound_pair(bwd, fwd, fwd, s, t)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! `BHL2` full-oracle checkpoints: persistence for every index family.
 //!
-//! The labelling-only `BHL1` snapshot (`batchhl_hcl::serde_io`) saves
+//! The labelling-only snapshot (`batchhl_hcl::serde_io`) saves
 //! reconstruction work but still forces a restarted process to re-read
 //! the graph from its original source and re-derive everything else. A
 //! `BHL2` checkpoint serializes the *complete* oracle state — the graph
@@ -17,12 +17,12 @@
 //! u64 batch_seq | u64 published_version
 //! family body:
 //!   undirected: u8 algorithm | u32 threads | f32 fraction | u64 min_entries
-//!               | u64 len | BGU2 graph | u64 len | BHL1 labelling
+//!               | u64 len | BGU2 graph | u64 len | BHL3 labelling
 //!   directed:   u8 algorithm | u32 threads | f32 fraction | u64 min_entries
-//!               | u64 len | BGD2 graph | u64 len | BHL1 forward
-//!               | u64 len | BHL1 backward
+//!               | u64 len | BGD2 graph | u64 len | BHL3 forward
+//!               | u64 len | BHL3 backward
 //!   weighted:   u32 threads | f32 fraction | u64 min_entries
-//!               | u64 len | BGW2 graph | u64 len | BHL1 labelling
+//!               | u64 len | BGW2 graph | u64 len | BHL3 labelling
 //! u32 CRC-32 over every preceding byte (magic included)
 //! ```
 //!
@@ -30,6 +30,12 @@
 //! silently consume the sections after it, and the whole file is sealed
 //! with a CRC-32 trailer: a checkpoint either decodes to exactly the
 //! bytes that were written or fails with a typed [`PersistError`].
+//!
+//! The embedded labelling block carries its own magic: new checkpoints
+//! write the packed `BHL3` layout, while the labelling reader also
+//! accepts the legacy dense `BHL1` block, so checkpoints written before
+//! the packed layout keep loading without a container version bump —
+//! the container framing itself is unchanged (format stays 2).
 //!
 //! # Recovery semantics
 //!

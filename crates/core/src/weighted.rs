@@ -44,7 +44,7 @@ use batchhl_graph::weighted::{
     BiDijkstra, Weight, WeightedAdjacencyView, WeightedGraph, WeightedUpdate,
 };
 use batchhl_graph::WeightedCsrDelta;
-use batchhl_hcl::{LabelError, LabelStore, Labelling, SourcePlan, Versioned, SWEEP_MIN_TARGETS};
+use batchhl_hcl::{sweep_min_targets, LabelError, LabelStore, Labelling, SourcePlan, Versioned};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -598,7 +598,7 @@ pub(crate) fn weighted_query_dist<W: WeightedAdjacencyView>(
 /// The weighted one-to-many path, shared by the owning index and its
 /// readers (mirrors the unweighted `QueryEngine::distances_from`): one
 /// [`SourcePlan`] prices every target's Eq. 3 bound in `O(|R|)`, and
-/// once [`SWEEP_MIN_TARGETS`] targets need search refinement a single
+/// once [`sweep_min_targets`] targets need search refinement a single
 /// bounded Dijkstra sweep of `G[V\R]` from `s` replaces the per-target
 /// bidirectional searches.
 pub(crate) fn weighted_distances_from<W: WeightedAdjacencyView>(
@@ -638,7 +638,7 @@ pub(crate) fn weighted_distances_from<W: WeightedAdjacencyView>(
         out[k] = plan.bound_to(lab, t);
         refine.push(k);
     }
-    if refine.len() >= SWEEP_MIN_TARGETS {
+    if refine.len() >= sweep_min_targets(n) {
         let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
         engine.sweep(graph, s, horizon, usize::MAX, |v| !lab.is_landmark(v));
         for &k in &refine {

@@ -16,9 +16,18 @@
 //! The *logical* labelling — the set of `(landmark, dist)` pairs at
 //! non-sentinel slots — is exactly the paper's minimal highway cover
 //! labelling; sizes are reported over logical entries.
+//!
+//! Queries read through a second, derived layout: the packed
+//! vertex-major mirror of [`crate::packed`] (landmark ids ascending,
+//! distances width-narrowed per row), sealed lazily on first query use
+//! via [`Labelling::packed`] and invalidated by every mutation. Dense
+//! rows stay canonical for repair; the packed mirror is what the Eq. 3
+//! scans and the SIMD kernels of [`crate::kernel`] operate on.
 
+use crate::packed::PackedIndex;
 use batchhl_common::{Dist, LandmarkLength, Vertex, INF};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Sentinel stored in a label row when the vertex holds no label for
 /// that landmark (either unreachable or covered via another landmark).
@@ -118,7 +127,14 @@ fn index_landmarks(n: usize, landmarks: &[Vertex]) -> Result<Vec<u16>, LabelErro
 }
 
 /// A highway cover labelling `Γ = (H, L)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The dense landmark-major rows are the canonical, mutable substrate
+/// (batch repair owns disjoint rows). The `packed` field is a lazily
+/// built vertex-major query mirror ([`PackedIndex`]): first query use
+/// seals it, every `&mut` accessor invalidates it, so a published
+/// (immutable) generation builds it at most once and repair passes
+/// never pay for it. Equality ignores the cache.
+#[derive(Debug, Clone)]
 pub struct Labelling {
     /// Landmarks in selection order; `landmarks[i]` is the vertex id of
     /// landmark `i`.
@@ -129,7 +145,23 @@ pub struct Labelling {
     labels: Vec<Box<[Dist]>>,
     /// Row-major `|R| × |R|` matrix of exact landmark distances.
     highway: Vec<Dist>,
+    /// Lazily sealed packed query mirror (see [`crate::packed`]).
+    packed: OnceLock<PackedIndex>,
 }
+
+impl PartialEq for Labelling {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed cache is derived state: two labellings are equal
+        // iff their logical content is, whether or not either has been
+        // queried yet.
+        self.landmarks == other.landmarks
+            && self.lm_index == other.lm_index
+            && self.labels == other.labels
+            && self.highway == other.highway
+    }
+}
+
+impl Eq for Labelling {}
 
 impl Labelling {
     /// An empty labelling (no labels, infinite highway) over `n`
@@ -151,6 +183,7 @@ impl Labelling {
                 .map(|_| vec![NO_LABEL; n].into_boxed_slice())
                 .collect(),
             highway,
+            packed: OnceLock::new(),
         })
     }
 
@@ -207,6 +240,7 @@ impl Labelling {
             lm_index,
             labels: rows,
             highway,
+            packed: OnceLock::new(),
         })
     }
 
@@ -250,11 +284,13 @@ impl Labelling {
 
     #[inline]
     pub fn set_label(&mut self, i: usize, v: Vertex, d: Dist) {
+        self.packed.take();
         self.labels[i][v as usize] = d;
     }
 
     #[inline]
     pub fn remove_label(&mut self, i: usize, v: Vertex) {
+        self.packed.take();
         self.labels[i][v as usize] = NO_LABEL;
     }
 
@@ -266,6 +302,7 @@ impl Labelling {
 
     #[inline]
     pub fn label_row_mut(&mut self, i: usize) -> &mut [Dist] {
+        self.packed.take();
         &mut self.labels[i]
     }
 
@@ -283,6 +320,7 @@ impl Labelling {
     /// write-disjoint. Use [`Labelling::set_highway_sym`] elsewhere.
     #[inline]
     pub fn set_highway_row(&mut self, i: usize, j: usize, d: Dist) {
+        self.packed.take();
         let r = self.landmarks.len();
         self.highway[i * r + j] = d;
     }
@@ -291,6 +329,7 @@ impl Labelling {
     /// graphs).
     #[inline]
     pub fn set_highway_sym(&mut self, i: usize, j: usize, d: Dist) {
+        self.packed.take();
         let r = self.landmarks.len();
         self.highway[i * r + j] = d;
         self.highway[j * r + i] = d;
@@ -348,7 +387,17 @@ impl Labelling {
 
     /// The upper bound `d⊤(s, t)` of Eq. 3: the length of the best
     /// `s → r_i → r_j → t` route through the highway, `INF` if none.
+    /// Served from the packed query mirror — `O(|L(s)|·|L(t)|)` over
+    /// logical entries instead of `O(|R|²)` over dense rows.
     pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
+        crate::query::upper_bound_pair(self, self, self, s, t)
+    }
+
+    /// Reference Eq. 3 evaluation over the dense rows, bypassing the
+    /// packed mirror. Kept for the equivalence test suites; prefer
+    /// [`Labelling::upper_bound`].
+    #[doc(hidden)]
+    pub fn upper_bound_dense(&self, s: Vertex, t: Vertex) -> Dist {
         let r = self.landmarks.len();
         let mut best = u64::from(INF);
         for i in 0..r {
@@ -369,6 +418,28 @@ impl Labelling {
             }
         }
         best.min(u64::from(INF)) as Dist
+    }
+
+    /// The packed vertex-major query mirror, sealed on first use (see
+    /// [`crate::packed`]). Any later mutation invalidates it.
+    #[inline]
+    pub fn packed(&self) -> &PackedIndex {
+        self.packed.get_or_init(|| PackedIndex::build(self))
+    }
+
+    /// Whether the packed mirror is currently sealed (diagnostics —
+    /// memory reports want to know what is resident).
+    pub fn packed_is_sealed(&self) -> bool {
+        self.packed.get().is_some()
+    }
+
+    /// Resident bytes of the dense landmark-major representation
+    /// (label rows + highway + landmark maps).
+    pub fn dense_resident_bytes(&self) -> usize {
+        self.labels.len() * self.num_vertices() * 4
+            + self.highway.len() * 4
+            + self.lm_index.len() * 2
+            + self.landmarks.len() * 4
     }
 
     /// Logical label entries of one vertex, `(landmark index, dist)`.
@@ -408,6 +479,7 @@ impl Labelling {
         if n <= self.num_vertices() {
             return;
         }
+        self.packed.take();
         self.lm_index.resize(n, NOT_LANDMARK);
         for row in &mut self.labels {
             let mut v = std::mem::take(row).into_vec();
@@ -419,6 +491,7 @@ impl Labelling {
     /// Mutable access to one landmark's label row and highway row (the
     /// only parts of `Γ′` that landmark `i`'s repair writes).
     pub fn row_mut(&mut self, i: usize) -> (&mut [Dist], &mut [Dist]) {
+        self.packed.take();
         let r = self.landmarks.len();
         (&mut self.labels[i], &mut self.highway[i * r..(i + 1) * r])
     }
@@ -426,6 +499,7 @@ impl Labelling {
     /// Disjoint mutable views of every label row together with the
     /// matching highway row, for landmark-parallel repair.
     pub fn rows_mut(&mut self) -> (Vec<RowPair<'_>>, &[Vertex]) {
+        self.packed.take();
         let r = self.landmarks.len();
         let mut out = Vec::with_capacity(r);
         let mut labels: &mut [Box<[Dist]>] = &mut self.labels;
@@ -547,6 +621,43 @@ mod tests {
         assert_eq!(l.landmark_index(9), None);
         // Old content survives.
         assert_eq!(l.label(0, 1), 1);
+    }
+
+    #[test]
+    fn packed_cache_seals_lazily_and_invalidates_on_mutation() {
+        let mut l = sample();
+        assert!(!l.packed_is_sealed());
+        assert_eq!(l.upper_bound(1, 4), 4);
+        assert!(l.packed_is_sealed());
+        // Mutation drops the mirror; the next query resews it and sees
+        // the new label (route 1 → r0 → 4 = 1 + 0 + 2).
+        l.set_label(0, 4, 2);
+        assert!(!l.packed_is_sealed());
+        assert_eq!(l.upper_bound(1, 4), 3);
+        assert_eq!(l.upper_bound(1, 4), l.upper_bound_dense(1, 4));
+        // Every mutator family invalidates.
+        l.upper_bound(1, 4);
+        l.row_mut(0);
+        assert!(!l.packed_is_sealed());
+        l.upper_bound(1, 4);
+        l.rows_mut();
+        assert!(!l.packed_is_sealed());
+        l.upper_bound(1, 4);
+        l.ensure_vertices(9);
+        assert!(!l.packed_is_sealed());
+        l.upper_bound(1, 4);
+        l.set_highway_sym(0, 1, 3);
+        assert!(!l.packed_is_sealed());
+    }
+
+    #[test]
+    fn equality_ignores_the_packed_cache() {
+        let a = sample();
+        let b = a.clone();
+        a.packed(); // seal one side only
+        assert_eq!(a, b);
+        assert!(a.packed_is_sealed());
+        assert!(a.dense_resident_bytes() > 0);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * [`labelling`] — storage (landmark-major label rows + highway
 //!   matrix) and the `d^L` landmark-distance oracle,
 //! * [`landmarks`] — landmark-selection strategies,
+//! * [`packed`] — the packed vertex-major query mirror: per-vertex
+//!   label rows with ascending landmark ids and width-narrowed
+//!   distances (u8/u16 tiers, u32 escape), plus the width-narrowed
+//!   highway matrix,
+//! * [`kernel`] — SIMD min-plus kernels (SSE2/AVX2 with runtime
+//!   detection, branch-free scalar default) serving the Eq. 3 scans,
 //! * [`build`] — construction by flagged BFS (sequential and parallel),
 //! * [`query`] — the combined labelling + bounded-search query engine,
 //! * [`store`] — the generation-based shared label store: immutable
@@ -28,16 +34,20 @@
 //! * [`oracle`] — brute-force reference implementations used by tests.
 
 pub mod build;
+pub mod kernel;
 pub mod labelling;
 pub mod landmarks;
 pub mod oracle;
+pub mod packed;
 pub mod query;
 pub mod serde_io;
 pub mod store;
 
 pub use build::{build_labelling, build_labelling_parallel};
+pub use kernel::{active_kernel, Kernel};
 pub use labelling::{LabelError, Labelling, NO_LABEL};
 pub use landmarks::LandmarkSelection;
-pub use query::{QueryEngine, SourcePlan, SWEEP_MIN_TARGETS};
+pub use packed::{PackedHighway, PackedIndex, PackedLabels};
+pub use query::{sweep_min_targets, upper_bound_pair, QueryEngine, SourcePlan, SWEEP_MIN_TARGETS};
 pub use serde_io::SnapshotError;
 pub use store::{LabelStore, ReaderHandle, Versioned};

@@ -1,0 +1,589 @@
+//! Packed, cache-friendly query-side label layout.
+//!
+//! The canonical [`Labelling`] stores dense landmark-major rows — the
+//! right substrate for batch repair, whose per-landmark passes own one
+//! contiguous row each. Queries have the opposite access pattern: they
+//! read *one vertex's* labels across all landmarks. This module holds
+//! the vertex-major mirror served to queries:
+//!
+//! * [`PackedLabels`] — a CSR over logical label entries: per vertex,
+//!   its landmark ids (`u16`, ascending) and its distances narrowed to
+//!   the smallest width tier the row needs (`u8`/`u16`, with a `u32`
+//!   escape). Most real-world hop distances fit a byte, so a typical
+//!   entry costs ~3 bytes instead of the dense layout's amortized
+//!   `4·|R| / avg|L(v)|`.
+//! * [`PackedHighway`] — the `|R| × |R|` highway matrix narrowed to one
+//!   width tier for the whole matrix, rows contiguous (each row is the
+//!   cache block the `via` accumulation streams through), `T::MAX`
+//!   encoding the unreachable sentinel.
+//!
+//! A [`PackedIndex`] is built lazily from a `Labelling` on first query
+//! use (see [`Labelling::packed`]) and invalidated by every mutation,
+//! so repair never pays for it and published generations build it at
+//! most once.
+//!
+//! # Width tiers and the clamped SIMD domain
+//!
+//! Tier selection reserves `T::MAX` in every narrow tier (a row whose
+//! largest distance is 255 is promoted to `u16`), so the sentinel value
+//! never collides with data. Rows and matrices whose finite values all
+//! sit at or below [`CLAMP_SAFE_MAX`] are `clamp_safe`: the SIMD
+//! kernels ([`crate::kernel`]) evaluate them in a clamped `u32` domain
+//! where the sentinel widens to `CLAMP_INF` and a three-operand Eq. 3
+//! sum provably stays below it (see the kernel module docs). Larger
+//! (weighted-graph) distances take tier 8 — stored as raw `u32` and
+//! evaluated only by the exact scalar `u64` paths.
+
+use crate::kernel::CLAMP_SAFE_MAX;
+use crate::labelling::{Labelling, NO_LABEL};
+use batchhl_common::{Dist, Vertex, INF};
+
+/// Distance width tier of one packed label row: bytes per distance,
+/// with `8` marking the exact-only `u32` escape (values above
+/// [`CLAMP_SAFE_MAX`], outside the clamped SIMD domain).
+pub const TIER_U8: u8 = 1;
+pub const TIER_U16: u8 = 2;
+pub const TIER_U32: u8 = 4;
+pub const TIER_U32_EXACT: u8 = 8;
+
+/// Bytes per stored distance for a tier byte.
+#[inline]
+pub fn tier_width(tier: u8) -> usize {
+    if tier == TIER_U32_EXACT {
+        4
+    } else {
+        tier as usize
+    }
+}
+
+/// A borrowed slice of width-narrowed distances (one label row's
+/// payload, or one highway row).
+#[derive(Debug, Clone, Copy)]
+pub enum NarrowSlice<'a> {
+    U8(&'a [u8]),
+    U16(&'a [u16]),
+    U32(&'a [u32]),
+}
+
+impl<'a> NarrowSlice<'a> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            NarrowSlice::U8(s) => s.len(),
+            NarrowSlice::U16(s) => s.len(),
+            NarrowSlice::U32(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Widen entry `k` without sentinel mapping (label-row payloads:
+    /// tier selection guarantees `T::MAX` never appears as data).
+    #[inline]
+    pub fn get(&self, k: usize) -> Dist {
+        match self {
+            NarrowSlice::U8(s) => s[k] as Dist,
+            NarrowSlice::U16(s) => s[k] as Dist,
+            NarrowSlice::U32(s) => s[k],
+        }
+    }
+
+    /// Widen entry `k`, mapping the tier sentinel `T::MAX` to [`INF`]
+    /// (highway rows, where unreachable pairs are stored as sentinel).
+    #[inline]
+    pub fn get_exact(&self, k: usize) -> Dist {
+        match self {
+            NarrowSlice::U8(s) => {
+                let v = s[k];
+                if v == u8::MAX {
+                    INF
+                } else {
+                    v as Dist
+                }
+            }
+            NarrowSlice::U16(s) => {
+                let v = s[k];
+                if v == u16::MAX {
+                    INF
+                } else {
+                    v as Dist
+                }
+            }
+            NarrowSlice::U32(s) => s[k],
+        }
+    }
+
+    /// The slice from element `from` on (scalar tails of SIMD loops).
+    #[inline]
+    pub fn tail(self, from: usize) -> NarrowSlice<'a> {
+        match self {
+            NarrowSlice::U8(s) => NarrowSlice::U8(&s[from..]),
+            NarrowSlice::U16(s) => NarrowSlice::U16(&s[from..]),
+            NarrowSlice::U32(s) => NarrowSlice::U32(&s[from..]),
+        }
+    }
+}
+
+/// One vertex's packed label row: landmark ids ascending, distances in
+/// the row's width tier. `clamp_safe` is false only for tier-8 rows
+/// (distances above [`CLAMP_SAFE_MAX`]), which must take the exact
+/// scalar paths.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRow<'a> {
+    pub ids: &'a [u16],
+    pub dists: NarrowSlice<'a>,
+    pub clamp_safe: bool,
+}
+
+impl PackedRow<'_> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Entry `k` as `(landmark index, exact distance)`.
+    #[inline]
+    pub fn entry(&self, k: usize) -> (u16, Dist) {
+        (self.ids[k], self.dists.get(k))
+    }
+}
+
+/// Vertex-major CSR over the logical label entries (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLabels {
+    r: usize,
+    /// `n + 1` offsets into `ids`; row `v` is `ids[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    /// Landmark indices, strictly ascending within each row.
+    ids: Vec<u16>,
+    /// Per-row width tier ([`TIER_U8`] | [`TIER_U16`] | [`TIER_U32`] |
+    /// [`TIER_U32_EXACT`]).
+    tiers: Vec<u8>,
+    /// Per-row start index into the tier's distance blob.
+    dist_start: Vec<u32>,
+    d8: Vec<u8>,
+    d16: Vec<u16>,
+    d32: Vec<u32>,
+}
+
+/// Pick the width tier for one row's maximum finite distance. The
+/// `TIER_U32` / `TIER_U32_EXACT` boundary is [`CLAMP_SAFE_MAX`], not
+/// `CLAMP_INF`: three clamp-safe operands must sum below `CLAMP_INF`
+/// for the kernels' sentinel to stay unambiguous (`kernel` module
+/// docs). Both tiers serialize 4-byte-wide; only the query routing
+/// differs.
+#[inline]
+fn tier_for_max(max: Dist) -> u8 {
+    if max < u8::MAX as Dist {
+        TIER_U8
+    } else if max < u16::MAX as Dist {
+        TIER_U16
+    } else if max <= CLAMP_SAFE_MAX {
+        TIER_U32
+    } else {
+        TIER_U32_EXACT
+    }
+}
+
+impl PackedLabels {
+    /// Transpose the dense landmark-major rows of `lab` into the
+    /// vertex-major packed layout. Two passes over the `r × n` dense
+    /// data: count + per-row max (tier selection), then fill — ids come
+    /// out ascending per row because landmarks are visited in order.
+    pub fn build(lab: &Labelling) -> Self {
+        let n = lab.num_vertices();
+        let r = lab.num_landmarks();
+        let mut counts = vec![0u32; n];
+        let mut row_max = vec![0 as Dist; n];
+        for i in 0..r {
+            for (v, &d) in lab.label_row(i).iter().enumerate() {
+                if d != NO_LABEL {
+                    counts[v] += 1;
+                    if d > row_max[v] {
+                        row_max[v] = d;
+                    }
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total64 = 0u64;
+        offsets.push(0);
+        for &c in &counts {
+            total64 += c as u64;
+            assert!(
+                total64 <= u32::MAX as u64,
+                "packed label CSR exceeds u32 offset space"
+            );
+            offsets.push(total64 as u32);
+        }
+        let total = total64 as u32;
+        let tiers: Vec<u8> = (0..n).map(|v| tier_for_max(row_max[v])).collect();
+        let mut dist_start = vec![0u32; n];
+        let (mut n8, mut n16, mut n32) = (0u32, 0u32, 0u32);
+        for v in 0..n {
+            let slot = match tiers[v] {
+                TIER_U8 => &mut n8,
+                TIER_U16 => &mut n16,
+                _ => &mut n32,
+            };
+            dist_start[v] = *slot;
+            *slot += counts[v];
+        }
+        let mut ids = vec![0u16; total as usize];
+        let mut d8 = vec![0u8; n8 as usize];
+        let mut d16 = vec![0u16; n16 as usize];
+        let mut d32 = vec![0u32; n32 as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for i in 0..r {
+            for (v, &d) in lab.label_row(i).iter().enumerate() {
+                if d == NO_LABEL {
+                    continue;
+                }
+                let k = cursor[v];
+                cursor[v] += 1;
+                ids[k as usize] = i as u16;
+                let di = (dist_start[v] + (k - offsets[v])) as usize;
+                match tiers[v] {
+                    TIER_U8 => d8[di] = d as u8,
+                    TIER_U16 => d16[di] = d as u16,
+                    _ => d32[di] = d,
+                }
+            }
+        }
+        PackedLabels {
+            r,
+            offsets,
+            ids,
+            tiers,
+            dist_start,
+            d8,
+            d16,
+            d32,
+        }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.tiers.len()
+    }
+
+    #[inline]
+    pub fn num_landmarks(&self) -> usize {
+        self.r
+    }
+
+    /// Total logical label entries, `Σ_v |L(v)|`.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Width tier of row `v`.
+    #[inline]
+    pub fn row_tier(&self, v: Vertex) -> u8 {
+        self.tiers[v as usize]
+    }
+
+    /// The packed label row of `v`.
+    #[inline]
+    pub fn row(&self, v: Vertex) -> PackedRow<'_> {
+        let v = v as usize;
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        let len = hi - lo;
+        let ds = self.dist_start[v] as usize;
+        let tier = self.tiers[v];
+        let dists = match tier {
+            TIER_U8 => NarrowSlice::U8(&self.d8[ds..ds + len]),
+            TIER_U16 => NarrowSlice::U16(&self.d16[ds..ds + len]),
+            _ => NarrowSlice::U32(&self.d32[ds..ds + len]),
+        };
+        PackedRow {
+            ids: &self.ids[lo..hi],
+            dists,
+            clamp_safe: tier != TIER_U32_EXACT,
+        }
+    }
+
+    /// Bytes of narrowed distance payload (the serialized dist blob).
+    pub fn dist_bytes(&self) -> usize {
+        self.d8.len() + 2 * self.d16.len() + 4 * self.d32.len()
+    }
+
+    /// Resident bytes of the packed structure (payload + CSR overhead).
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.ids.len() * 2
+            + self.tiers.len()
+            + self.dist_start.len() * 4
+            + self.dist_bytes()
+    }
+}
+
+/// The highway matrix narrowed to one width tier (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedHighway {
+    r: usize,
+    data: HighwayData,
+    clamp_safe: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum HighwayData {
+    U8(Vec<u8>),
+    U16(Vec<u16>),
+    U32(Vec<u32>),
+}
+
+impl PackedHighway {
+    /// Narrow the dense highway matrix of `lab`. `INF` maps to the
+    /// tier sentinel `T::MAX`; the tier is chosen so no finite entry
+    /// collides with it.
+    pub fn build(lab: &Labelling) -> Self {
+        let r = lab.num_landmarks();
+        let mut max = 0 as Dist;
+        for i in 0..r {
+            for j in 0..r {
+                let h = lab.highway(i, j);
+                if h != INF && h > max {
+                    max = h;
+                }
+            }
+        }
+        let entry = |i: usize, j: usize| lab.highway(i, j);
+        let cells = (0..r).flat_map(|i| (0..r).map(move |j| (i, j)));
+        let data = if max < u8::MAX as Dist {
+            HighwayData::U8(
+                cells
+                    .map(|(i, j)| {
+                        let h = entry(i, j);
+                        if h == INF {
+                            u8::MAX
+                        } else {
+                            h as u8
+                        }
+                    })
+                    .collect(),
+            )
+        } else if max < u16::MAX as Dist {
+            HighwayData::U16(
+                cells
+                    .map(|(i, j)| {
+                        let h = entry(i, j);
+                        if h == INF {
+                            u16::MAX
+                        } else {
+                            h as u16
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            HighwayData::U32(cells.map(|(i, j)| entry(i, j)).collect())
+        };
+        PackedHighway {
+            r,
+            data,
+            clamp_safe: max <= CLAMP_SAFE_MAX,
+        }
+    }
+
+    #[inline]
+    pub fn num_landmarks(&self) -> usize {
+        self.r
+    }
+
+    /// Bytes per stored highway entry (1, 2 or 4).
+    pub fn width(&self) -> u8 {
+        match self.data {
+            HighwayData::U8(_) => 1,
+            HighwayData::U16(_) => 2,
+            HighwayData::U32(_) => 4,
+        }
+    }
+
+    /// Whether every finite entry sits at or below [`CLAMP_SAFE_MAX`]
+    /// (the SIMD kernels' clamped domain).
+    #[inline]
+    pub fn clamp_safe(&self) -> bool {
+        self.clamp_safe
+    }
+
+    /// Row `i` of the matrix — one contiguous cache block.
+    #[inline]
+    pub fn row(&self, i: usize) -> NarrowSlice<'_> {
+        let lo = i * self.r;
+        let hi = lo + self.r;
+        match &self.data {
+            HighwayData::U8(d) => NarrowSlice::U8(&d[lo..hi]),
+            HighwayData::U16(d) => NarrowSlice::U16(&d[lo..hi]),
+            HighwayData::U32(d) => NarrowSlice::U32(&d[lo..hi]),
+        }
+    }
+
+    /// Exact `δ_H(r_i, r_j)` (`INF` for the sentinel).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Dist {
+        let k = i * self.r + j;
+        match &self.data {
+            HighwayData::U8(d) => {
+                let v = d[k];
+                if v == u8::MAX {
+                    INF
+                } else {
+                    v as Dist
+                }
+            }
+            HighwayData::U16(d) => {
+                let v = d[k];
+                if v == u16::MAX {
+                    INF
+                } else {
+                    v as Dist
+                }
+            }
+            HighwayData::U32(d) => d[k],
+        }
+    }
+
+    /// Resident bytes of the narrowed matrix.
+    pub fn resident_bytes(&self) -> usize {
+        self.r * self.r * self.width() as usize
+    }
+}
+
+/// The packed query-side mirror of one `Labelling` generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedIndex {
+    pub labels: PackedLabels,
+    pub highway: PackedHighway,
+}
+
+impl PackedIndex {
+    pub fn build(lab: &Labelling) -> Self {
+        PackedIndex {
+            labels: PackedLabels::build(lab),
+            highway: PackedHighway::build(lab),
+        }
+    }
+
+    /// Total resident bytes (labels + highway).
+    pub fn resident_bytes(&self) -> usize {
+        self.labels.resident_bytes() + self.highway.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(extra: &[(usize, Vertex, Dist)]) -> Labelling {
+        let mut l = Labelling::empty(6, vec![0, 3]).unwrap();
+        l.set_highway_sym(0, 1, 2);
+        l.set_label(0, 1, 1);
+        l.set_label(0, 2, 1);
+        l.set_label(1, 2, 1);
+        l.set_label(1, 4, 1);
+        for &(i, v, d) in extra {
+            l.set_label(i, v, d);
+        }
+        l
+    }
+
+    #[test]
+    fn packed_rows_mirror_dense_entries() {
+        let l = sample(&[]);
+        let p = PackedIndex::build(&l);
+        assert_eq!(p.labels.num_entries(), l.size_entries());
+        for v in 0..6u32 {
+            let row = p.labels.row(v);
+            let want: Vec<(u16, Dist)> = l.label_entries(v).map(|(i, d)| (i as u16, d)).collect();
+            let got: Vec<(u16, Dist)> = (0..row.len()).map(|k| row.entry(k)).collect();
+            assert_eq!(got, want, "row {v}");
+            // Ids strictly ascending.
+            assert!(row.ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn highway_narrowing_is_lossless() {
+        let l = sample(&[]);
+        let p = PackedHighway::build(&l);
+        assert_eq!(p.width(), 1);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(p.get(i, j), l.highway(i, j));
+            }
+        }
+        // An INF entry survives as INF (two landmarks, disconnected).
+        let l2 = Labelling::empty(4, vec![0, 1]).unwrap();
+        let p2 = PackedHighway::build(&l2);
+        assert_eq!(p2.get(0, 1), INF);
+        assert_eq!(p2.get(0, 0), 0);
+    }
+
+    #[test]
+    fn tier_boundaries_promote_rows() {
+        // 254 stays u8; 255 promotes to u16; 65535 promotes to u32;
+        // anything past CLAMP_SAFE_MAX promotes to the exact escape
+        // tier (three such values must sum below CLAMP_INF).
+        let cases = [
+            (254, TIER_U8),
+            (255, TIER_U16),
+            (65_534, TIER_U16),
+            (65_535, TIER_U32),
+            (CLAMP_SAFE_MAX, TIER_U32),
+            (CLAMP_SAFE_MAX + 1, TIER_U32_EXACT),
+            (INF - 1, TIER_U32_EXACT),
+        ];
+        for (d, want_tier) in cases {
+            let l = sample(&[(0, 5, d)]);
+            let p = PackedLabels::build(&l);
+            assert_eq!(p.row_tier(5), want_tier, "distance {d}");
+            let row = p.row(5);
+            assert_eq!(row.entry(0), (0, d));
+            assert_eq!(row.clamp_safe, want_tier != TIER_U32_EXACT);
+        }
+    }
+
+    #[test]
+    fn highway_tiers_promote_like_rows() {
+        for (d, want_width, want_safe) in [
+            (254, 1u8, true),
+            (255, 2, true),
+            (65_535, 4, true),
+            (CLAMP_SAFE_MAX, 4, true),
+            (CLAMP_SAFE_MAX + 1, 4, false),
+        ] {
+            let mut l = Labelling::empty(4, vec![0, 1]).unwrap();
+            l.set_highway_sym(0, 1, d);
+            let p = PackedHighway::build(&l);
+            assert_eq!(p.width(), want_width, "highway {d}");
+            assert_eq!(p.clamp_safe(), want_safe);
+            assert_eq!(p.get(0, 1), d);
+        }
+    }
+
+    #[test]
+    fn packed_is_denser_than_dense_rows() {
+        let mut l = Labelling::empty(100, (0..10).collect()).unwrap();
+        for v in 0..100u32 {
+            l.set_label((v % 10) as usize, v, 1 + v % 7);
+        }
+        let p = PackedIndex::build(&l);
+        let dense = 10 * 100 * 4 + 10 * 10 * 4;
+        assert!(
+            p.resident_bytes() < dense / 2,
+            "{} vs {dense}",
+            p.resident_bytes()
+        );
+    }
+}

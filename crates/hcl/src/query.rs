@@ -23,19 +23,38 @@
 //! ([`BiBfs::sweep`]), amortizing the source side of Section 4's search
 //! across the whole call.
 
+use crate::kernel::{self, clamp_to_inf, CLAMP_INF};
 use crate::labelling::{Labelling, NO_LABEL};
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::AdjacencyView;
 
-/// Batched one-to-many calls switch from per-target bidirectional
-/// searches to a single source sweep at this many unresolved targets.
-/// The sweep costs one bounded traversal of `s`'s component (the
-/// highway bound rarely stops it before the ball covers the graph on
-/// small-diameter networks), while a single bounded BiBFS is typically
-/// ~1µs — measured on the bench graph the crossover sits around 60
-/// targets (`oracle_api` in `BENCH_api.json`).
+/// Calibration anchor for [`sweep_min_targets`]: the measured sweep /
+/// per-search cost crossover on the standard bench graph (~2 000
+/// vertices, `oracle_api` in `BENCH_api.json` put it near 60 unresolved
+/// targets; 48 leaves margin for the grouped-query shape).
 pub const SWEEP_MIN_TARGETS: usize = 48;
+
+/// Vertex count of the bench graph [`SWEEP_MIN_TARGETS`] was measured
+/// on (the youtube stand-in at `Scale::Tiny`).
+const SWEEP_CAL_N: usize = 2_000;
+
+/// Batched one-to-many calls switch from per-target bidirectional
+/// searches to a single source sweep once this many targets remain
+/// unresolved. The sweep costs one bounded traversal of `s`'s
+/// component while a single bounded BiBFS grows with the search ball —
+/// roughly `√n` frontier work per side — so the crossover *moves down*
+/// as graphs grow (`BENCH_api.json`). The threshold scales the
+/// measured [`SWEEP_MIN_TARGETS`] anchor by `√(cal_n / n)`, clamped to
+/// `[8, 96]`: tiny test graphs keep per-target searches (they are
+/// near-free there), million-vertex graphs sweep almost immediately.
+pub fn sweep_min_targets(n: usize) -> usize {
+    if n == 0 {
+        return SWEEP_MIN_TARGETS;
+    }
+    let scaled = SWEEP_MIN_TARGETS as f64 * (SWEEP_CAL_N as f64 / n as f64).sqrt();
+    (scaled.round() as usize).clamp(8, 96)
+}
 
 /// The reusable source side of Eq. 3: `via[j]` is the cheapest
 /// `s → r_i → r_j` route into each landmark `r_j` (`INF` when none).
@@ -49,30 +68,79 @@ pub const SWEEP_MIN_TARGETS: usize = 48;
 #[derive(Debug, Clone)]
 pub struct SourcePlan {
     source: Vertex,
+    /// In the clamped kernel domain when `clamped` (sentinel
+    /// [`CLAMP_INF`], every slot `≤ CLAMP_INF`), otherwise in the exact
+    /// domain with `INF` marking no route.
     via: Box<[Dist]>,
+    clamped: bool,
+}
+
+/// Fill `via` (clamped domain, pre-initialized to [`CLAMP_INF`]) from
+/// `s`'s packed label row and the packed highway — `|L(s)|` dense
+/// min-plus kernel calls. Returns `false` (leaving `via` untouched)
+/// when the inputs fall outside the clamped domain.
+fn fill_via_clamped(
+    source_lab: &Labelling,
+    highway_lab: &Labelling,
+    s: Vertex,
+    via: &mut [Dist],
+) -> bool {
+    let sp = source_lab.packed();
+    let hp = &highway_lab.packed().highway;
+    if !hp.clamp_safe() {
+        return false;
+    }
+    let srow = sp.labels.row(s);
+    if !srow.clamp_safe {
+        return false;
+    }
+    for k in 0..srow.len() {
+        let (i, ls) = srow.entry(k);
+        kernel::accumulate_via(via, ls, hp.row(i as usize));
+    }
+    true
+}
+
+/// Exact-domain `via` fill over the dense rows (`INF` sentinel, `u64`
+/// accumulation) — the escape path for distances at or above
+/// [`CLAMP_INF`], bit-identical to the pre-packed implementation.
+fn fill_via_exact(source_lab: &Labelling, highway_lab: &Labelling, s: Vertex, via: &mut [Dist]) {
+    for i in 0..source_lab.num_landmarks() {
+        let ls = source_lab.label(i, s);
+        if ls == NO_LABEL {
+            continue;
+        }
+        for (j, slot) in via.iter_mut().enumerate() {
+            let h = highway_lab.highway(i, j);
+            if h == INF {
+                continue;
+            }
+            let cand = ls as u64 + h as u64;
+            if cand < *slot as u64 {
+                *slot = cand as Dist;
+            }
+        }
+    }
 }
 
 impl SourcePlan {
     pub fn new(source_lab: &Labelling, highway_lab: &Labelling, s: Vertex) -> Self {
         let r = highway_lab.num_landmarks();
-        let mut via = vec![INF; r].into_boxed_slice();
-        for i in 0..source_lab.num_landmarks() {
-            let ls = source_lab.label(i, s);
-            if ls == NO_LABEL {
-                continue;
-            }
-            for (j, slot) in via.iter_mut().enumerate() {
-                let h = highway_lab.highway(i, j);
-                if h == INF {
-                    continue;
-                }
-                let cand = ls as u64 + h as u64;
-                if cand < *slot as u64 {
-                    *slot = cand as Dist;
-                }
-            }
+        let mut via = vec![CLAMP_INF; r].into_boxed_slice();
+        if fill_via_clamped(source_lab, highway_lab, s, &mut via) {
+            return SourcePlan {
+                source: s,
+                via,
+                clamped: true,
+            };
         }
-        SourcePlan { source: s, via }
+        via.fill(INF);
+        fill_via_exact(source_lab, highway_lab, s, &mut via);
+        SourcePlan {
+            source: s,
+            via,
+            clamped: false,
+        }
     }
 
     /// The source vertex this plan prices routes from.
@@ -83,8 +151,27 @@ impl SourcePlan {
 
     /// The Eq. 3 upper bound `d⊤(s, t)` priced against `t`'s labels in
     /// `target_lab` — equal to `Labelling::upper_bound(s, t)` but
-    /// `O(|R|)` per target instead of `O(|L(s)|·|R|)`.
+    /// `O(|L(t)|)` per target instead of `O(|L(s)|·|R|)`. Clamped plans
+    /// use the sparse gather min-plus kernel over `t`'s packed row.
     pub fn bound_to(&self, target_lab: &Labelling, t: Vertex) -> Dist {
+        if self.clamped {
+            let trow = target_lab.packed().labels.row(t);
+            if trow.clamp_safe {
+                return clamp_to_inf(kernel::gather_min(&self.via, trow.ids, trow.dists));
+            }
+            // Huge (weighted) target distances: exact u64 over the
+            // packed row, clamped via slots mapped back to INF.
+            let mut best = u64::from(INF);
+            for k in 0..trow.len() {
+                let (j, lt) = trow.entry(k);
+                let via = self.via[j as usize];
+                if via >= CLAMP_INF {
+                    continue;
+                }
+                best = best.min(via as u64 + lt as u64);
+            }
+            return best.min(u64::from(INF)) as Dist;
+        }
         let mut best = u64::from(INF);
         for (j, &via) in self.via.iter().enumerate() {
             if via == INF {
@@ -103,18 +190,75 @@ impl SourcePlan {
     }
 }
 
+/// Eq. 3 over a `(source, highway, target)` labelling triple, served
+/// from the packed mirrors: `min_{i,j} ls_i + δ_H(r_i, r_j) + lt_j`
+/// over *logical* entries — `O(|L(s)|·|L(t)|)` instead of the dense
+/// `O(|R|²)`. Undirected callers pass the same labelling three times
+/// ([`Labelling::upper_bound`] does); the directed index passes
+/// `(bwd, fwd, fwd)`. Exact for every width tier (`u64` accumulation).
+pub fn upper_bound_pair(
+    source_lab: &Labelling,
+    highway_lab: &Labelling,
+    target_lab: &Labelling,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let srow = source_lab.packed().labels.row(s);
+    let trow = target_lab.packed().labels.row(t);
+    if srow.is_empty() || trow.is_empty() {
+        return INF;
+    }
+    let hp = &highway_lab.packed().highway;
+    let mut best = u64::from(INF);
+    for a in 0..srow.len() {
+        let (i, ls) = srow.entry(a);
+        for b in 0..trow.len() {
+            let (j, lt) = trow.entry(b);
+            let h = hp.get(i as usize, j as usize);
+            if h == INF {
+                continue;
+            }
+            best = best.min(ls as u64 + h as u64 + lt as u64);
+        }
+    }
+    best.min(u64::from(INF)) as Dist
+}
+
 /// Reusable query engine for undirected graphs: owns the bidirectional
-/// search workspace so back-to-back queries allocate nothing.
+/// search workspace and a `via` scratch buffer so back-to-back queries
+/// allocate nothing.
 #[derive(Debug, Default)]
 pub struct QueryEngine {
     bibfs: BiBfs,
+    /// Per-pair Eq. 3 scratch: the clamped `via` accumulator, reused
+    /// across queries (see [`QueryEngine::pair_bound`]).
+    via: Vec<Dist>,
 }
 
 impl QueryEngine {
     pub fn new(n: usize) -> Self {
         QueryEngine {
             bibfs: BiBfs::new(n),
+            via: Vec::new(),
         }
+    }
+
+    /// The Eq. 3 bound for one pair through the SIMD kernels: refill
+    /// the engine's `via` scratch from `s`'s packed row (dense
+    /// accumulate min-plus per source label), then price `t` with one
+    /// sparse gather. Falls back to the exact packed double loop when
+    /// the labelling leaves the clamped domain.
+    fn pair_bound(&mut self, lab: &Labelling, s: Vertex, t: Vertex) -> Dist {
+        let r = lab.num_landmarks();
+        self.via.clear();
+        self.via.resize(r, CLAMP_INF);
+        if fill_via_clamped(lab, lab, s, &mut self.via) {
+            let trow = lab.packed().labels.row(t);
+            if trow.clamp_safe {
+                return clamp_to_inf(kernel::gather_min(&self.via, trow.ids, trow.dists));
+            }
+        }
+        upper_bound_pair(lab, lab, lab, s, t)
     }
 
     /// Exact distance between `s` and `t` on the graph `g` that `lab`
@@ -148,7 +292,7 @@ impl QueryEngine {
             (Some(i), None) => lab.landmark_to_vertex(i, t),
             (None, Some(j)) => lab.landmark_to_vertex(j, s),
             (None, None) => {
-                let bound = lab.upper_bound(s, t);
+                let bound = self.pair_bound(lab, s, t);
                 let found = self.bibfs.run(g, s, t, bound, |v| !lab.is_landmark(v));
                 found.unwrap_or(bound)
             }
@@ -162,9 +306,10 @@ impl QueryEngine {
 
     /// One source, many targets (see the module docs): build a
     /// [`SourcePlan`] once, price every target's Eq. 3 bound in
-    /// `O(|R|)`, then refine non-landmark targets — per-target bounded
-    /// BiBFS when few remain, or a single bounded sweep of `G[V\R]`
-    /// from `s` once [`SWEEP_MIN_TARGETS`] of them need search.
+    /// `O(|L(t)|)`, then refine non-landmark targets — per-target
+    /// bounded BiBFS when few remain, or a single bounded sweep of
+    /// `G[V\R]` from `s` once [`sweep_min_targets`] of them need
+    /// search.
     ///
     /// Answers equal [`QueryEngine::query_dist`] pair by pair; `INF`
     /// marks disconnected or out-of-range endpoints.
@@ -206,7 +351,7 @@ impl QueryEngine {
             out[k] = plan.bound_to(lab, t);
             refine.push(k);
         }
-        if refine.len() >= SWEEP_MIN_TARGETS {
+        if refine.len() >= sweep_min_targets(n) {
             // One sweep bounded by the largest per-target bound: a
             // restricted path shorter than its pair's bound lies within
             // the horizon, so min(bound, sweep) is exact per pair.
@@ -365,8 +510,26 @@ mod tests {
             assert_eq!(plan.source(), s);
             for t in 0..100u32 {
                 assert_eq!(plan.bound_to(&lab, t), lab.upper_bound(s, t), "({s},{t})");
+                // Packed + kernel paths agree with the dense reference.
+                assert_eq!(
+                    lab.upper_bound(s, t),
+                    lab.upper_bound_dense(s, t),
+                    "({s},{t})"
+                );
             }
         }
+    }
+
+    #[test]
+    fn sweep_threshold_scales_down_with_graph_size() {
+        // Calibrated to the anchor on the bench-sized graph…
+        assert_eq!(sweep_min_targets(2_000), SWEEP_MIN_TARGETS);
+        // …moving down as graphs grow, up (clamped) as they shrink.
+        assert!(sweep_min_targets(1_000_000) < SWEEP_MIN_TARGETS);
+        assert_eq!(sweep_min_targets(usize::MAX / 4), 8);
+        assert_eq!(sweep_min_targets(1), 96);
+        assert_eq!(sweep_min_targets(0), SWEEP_MIN_TARGETS);
+        assert!(sweep_min_targets(400_000) <= sweep_min_targets(2_000));
     }
 
     #[test]
@@ -376,9 +539,12 @@ mod tests {
             let lms = LandmarkSelection::TopDegree(k).select(&g);
             let lab = build_labelling(&g, lms).unwrap();
             let mut engine = QueryEngine::new(g.num_vertices());
-            let all: Vec<Vertex> = (0..60).collect();
+            let threshold = sweep_min_targets(g.num_vertices());
+            // Enough (repeated) targets to cross the adaptive sweep
+            // threshold, and a short list that stays under it.
+            let all: Vec<Vertex> = (0..60).chain(0..60).collect();
             let few: Vec<Vertex> = (0..60).step_by(11).collect();
-            assert!(few.len() < SWEEP_MIN_TARGETS && all.len() >= SWEEP_MIN_TARGETS);
+            assert!(few.len() < threshold && all.len() >= threshold);
             for s in 0..60u32 {
                 // Both the sweep path (many targets) and the per-target
                 // BiBFS path (few targets) must agree with query_dist.

@@ -8,7 +8,10 @@
 //! non-friends — `top_k_closest` finds them directly, and
 //! `distances_from` prices a wider friends-of-friends candidate pool
 //! in one call (one source plan + one sweep instead of a query per
-//! candidate).
+//! candidate). A final stage computes *mutual* k-NN pairs over the
+//! watched users: `u` and `v` are mutual neighbours when each appears
+//! in the other's top-k — the symmetric, highest-precision tier of a
+//! recommendation pipeline.
 //!
 //! ```sh
 //! cargo run --release --example social_recommendations
@@ -104,5 +107,49 @@ fn main() {
                 fof.join(", ")
             );
         }
+
+        // Plan C: mutual k-NN across the hub accounts (the early,
+        // high-degree vertices of the preferential-attachment graph).
+        // One top-k scan per user, then the symmetric intersection:
+        // (u, v) is reported only when u ranks in v's top-k AND v
+        // ranks in u's.
+        let hubs: Vec<Vertex> = (0..12).collect();
+        let mutual = mutual_knn(&mut oracle, &hubs, MUTUAL_K);
+        let shown: Vec<String> = mutual
+            .iter()
+            .take(6)
+            .map(|&(u, v, d)| format!("{u}~{v} (d={d})"))
+            .collect();
+        println!(
+            "  mutual {}-NN pairs among hubs: {} (closest: {})",
+            MUTUAL_K,
+            mutual.len(),
+            shown.join(", ")
+        );
     }
+}
+
+const MUTUAL_K: usize = 50;
+
+/// Mutual k-NN over `users`: pairs `(u, v, d)` such that `v` is one of
+/// `u`'s `k` closest vertices *and* vice versa, sorted by distance then
+/// pair. One `top_k_closest` sweep per user — each sweep rides the
+/// packed one-to-many path — and a set intersection after.
+fn mutual_knn(oracle: &mut Oracle, users: &[Vertex], k: usize) -> Vec<(Vertex, Vertex, u32)> {
+    let tops: Vec<Vec<(Vertex, u32)>> = users.iter().map(|&u| oracle.top_k_closest(u, k)).collect();
+    let mut pairs = Vec::new();
+    for (a, &u) in users.iter().enumerate() {
+        for (b, &v) in users.iter().enumerate().skip(a + 1) {
+            if u == v {
+                continue;
+            }
+            let d_uv = tops[a].iter().find(|&&(x, _)| x == v).map(|&(_, d)| d);
+            let v_has_u = tops[b].iter().any(|&(x, _)| x == u);
+            if let (Some(d), true) = (d_uv, v_has_u) {
+                pairs.push((u.min(v), u.max(v), d));
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|&(u, v, d)| (d, u, v));
+    pairs
 }

@@ -10,6 +10,12 @@
 //! The second half loads the *checked-in* fixture (not the freshly
 //! written bytes) and asserts the revived oracle's answers, proving old
 //! files keep decoding as the format evolves compatibly.
+//!
+//! `golden_pre_packed.*` pin the *previous* generation: a checkpoint
+//! whose embedded labelling block is the legacy dense `BHL1` layout
+//! (current checkpoints embed the packed `BHL3` block). Those fixtures
+//! are frozen — never regenerated — and must keep loading and answering
+//! identically for as long as the `BHL1` decoder is kept.
 
 use batchhl::graph::DynamicGraph;
 use batchhl::{DurabilityConfig, FsyncPolicy, LandmarkSelection, Oracle};
@@ -89,18 +95,15 @@ fn golden_bytes_are_stable() {
     );
 }
 
-#[test]
-fn golden_fixture_loads_and_answers() {
-    // Load the *checked-in* files, not freshly written ones.
+/// Load a checked-in fixture pair into `scratch` and assert the revived
+/// oracle's answers, including full agreement with a live mirror of the
+/// same scenario.
+fn assert_fixture_answers(ckpt_name: &str, wal_name: &str, scratch: &str) {
     let fixtures = fixtures_dir();
-    let ckpt = fixtures.join("golden.bhl2");
-    if !ckpt.exists() && std::env::var_os("UPDATE_GOLDEN").is_some() {
-        return; // first generation run
-    }
-    let dir = scratch_dir("load");
+    let dir = scratch_dir(scratch);
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::copy(ckpt, dir.join("checkpoint.bhl2")).unwrap();
-    std::fs::copy(fixtures.join("golden.wal"), dir.join("batches.wal")).unwrap();
+    std::fs::copy(fixtures.join(ckpt_name), dir.join("checkpoint.bhl2")).unwrap();
+    std::fs::copy(fixtures.join(wal_name), dir.join("batches.wal")).unwrap();
 
     let mut oracle = Oracle::open(&dir).expect("checked-in fixture must load");
     assert_eq!(
@@ -120,7 +123,7 @@ fn golden_fixture_loads_and_answers() {
     assert_eq!(oracle.query(0, 9), Some(3), "0-1-6-9");
     assert_eq!(oracle.query(5, 5), Some(0));
     // A live mirror of the same scenario agrees everywhere.
-    let live_dir = scratch_dir("mirror");
+    let live_dir = scratch_dir(&format!("{scratch}_mirror"));
     write_scenario(&live_dir);
     let mut live = Oracle::open(&live_dir).unwrap();
     for s in 0..10 {
@@ -128,4 +131,24 @@ fn golden_fixture_loads_and_answers() {
             assert_eq!(oracle.query(s, t), live.query(s, t), "({s},{t})");
         }
     }
+}
+
+#[test]
+fn golden_fixture_loads_and_answers() {
+    if !fixtures_dir().join("golden.bhl2").exists() && std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // first generation run
+    }
+    assert_fixture_answers("golden.bhl2", "golden.wal", "load");
+}
+
+#[test]
+fn pre_packed_fixture_still_loads_and_answers() {
+    // The frozen previous-generation fixture: its checkpoint embeds the
+    // dense `BHL1` labelling block. It must decode through the legacy
+    // path and answer exactly like the current format.
+    assert_fixture_answers(
+        "golden_pre_packed.bhl2",
+        "golden_pre_packed.wal",
+        "load_pre_packed",
+    );
 }

@@ -1,0 +1,244 @@
+//! Property-based equivalence of the packed query layout + SIMD
+//! kernels against the dense canonical representation.
+//!
+//! The packed vertex-major mirror (`batchhl::hcl::packed`) and the
+//! min-plus kernels (`batchhl::hcl::kernel`) are pure accelerations:
+//! every bound they produce must equal what the dense landmark-major
+//! rows produce entry for entry — including at the width-tier
+//! boundaries (254/255, 65534/65535, the `CLAMP_INF` escape) and for
+//! unreachable pairs — and the runtime-dispatched SIMD kernels must be
+//! bit-identical to the branch-free scalar fallback on arbitrary plans.
+
+use batchhl::core::directed::DirectedBatchIndex;
+use batchhl::core::index::{Algorithm, IndexConfig};
+use batchhl::core::weighted::WeightedBatchIndex;
+use batchhl::graph::weighted::WeightedGraph;
+use batchhl::graph::{DynamicDiGraph, DynamicGraph, Vertex};
+use batchhl::hcl::kernel::{
+    accumulate_via, accumulate_via_scalar, gather_min, gather_min_scalar, CLAMP_INF, CLAMP_SAFE_MAX,
+};
+use batchhl::hcl::labelling::Labelling;
+use batchhl::hcl::packed::NarrowSlice;
+use batchhl::hcl::serde_io::{read_labelling, write_labelling};
+use batchhl::hcl::{build_labelling, LandmarkSelection, SourcePlan};
+use batchhl::{Dist, INF};
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex), 0..70)
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex), 1..30)
+}
+
+/// Distances that straddle every width-tier boundary of the packed
+/// layout, plus the exact-escape and near-infinite extremes.
+const TIER_EDGE_DISTS: [Dist; 11] = [
+    0,
+    1,
+    253,
+    254, // largest u8-tier value
+    255, // first value forcing the u16 tier
+    65_534,
+    65_535,             // first value forcing the u32 tier
+    CLAMP_SAFE_MAX,     // largest clamp-safe value
+    CLAMP_SAFE_MAX + 1, // exact-escape tier: outside the SIMD clamp domain
+    CLAMP_INF + 17,
+    INF - 1,
+];
+
+/// Eq. 3 computed straight off the dense accessors — the reference the
+/// packed paths must reproduce.
+fn dense_pair_bound(
+    bwd: &Labelling,
+    hw: &Labelling,
+    fwd: &Labelling,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let r = hw.num_landmarks();
+    let mut best = u64::from(INF);
+    for i in 0..r {
+        let ls = bwd.label(i, s);
+        if ls == INF {
+            continue;
+        }
+        for j in 0..r {
+            let (h, lt) = (hw.highway(i, j), fwd.label(j, t));
+            if h == INF || lt == INF {
+                continue;
+            }
+            best = best.min(u64::from(ls) + u64::from(h) + u64::from(lt));
+        }
+    }
+    best.min(u64::from(INF)) as Dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Undirected family: the packed mirror stores exactly the dense
+    // entries, and every packed bound path (public `upper_bound`,
+    // reusable `SourcePlan`) equals the dense double loop.
+    #[test]
+    fn packed_bounds_match_dense_undirected(
+        edges in edges_strategy(),
+        pairs in pairs_strategy(),
+    ) {
+        let g = DynamicGraph::from_edges(N, &edges);
+        let lab = build_labelling(&g, LandmarkSelection::TopDegree(5).select(&g)).unwrap();
+        let packed = lab.packed();
+        for i in 0..lab.num_landmarks() {
+            for v in 0..N as Vertex {
+                let dense = lab.label(i, v);
+                let row = packed.labels.row(v);
+                let found = (0..row.len())
+                    .map(|k| row.entry(k))
+                    .find(|&(id, _)| id as usize == i);
+                match found {
+                    Some((_, d)) => prop_assert_eq!(d, dense, "entry ({}, {})", i, v),
+                    None => prop_assert_eq!(dense, INF, "missing entry ({}, {})", i, v),
+                }
+            }
+            for j in 0..lab.num_landmarks() {
+                prop_assert_eq!(packed.highway.get(i, j), lab.highway(i, j));
+            }
+        }
+        for &(s, t) in &pairs {
+            let dense = lab.upper_bound_dense(s, t);
+            prop_assert_eq!(lab.upper_bound(s, t), dense, "upper_bound({}, {})", s, t);
+            let plan = SourcePlan::new(&lab, &lab, s);
+            prop_assert_eq!(plan.bound_to(&lab, t), dense, "plan bound ({}, {})", s, t);
+        }
+    }
+
+    // Directed family: the forward/backward packed bound equals Eq. 3
+    // off the dense accessors of both labellings.
+    #[test]
+    fn packed_bounds_match_dense_directed(
+        arcs in edges_strategy(),
+        pairs in pairs_strategy(),
+    ) {
+        let g = DynamicDiGraph::from_edges(N, &arcs);
+        let idx = DirectedBatchIndex::build(g, IndexConfig {
+            selection: LandmarkSelection::TopDegree(5),
+            algorithm: Algorithm::BhlPlus,
+            threads: 1,
+            ..IndexConfig::default()
+        });
+        let (fwd, bwd) = (idx.forward_labelling(), idx.backward_labelling());
+        for &(s, t) in &pairs {
+            prop_assert_eq!(
+                idx.upper_bound(s, t),
+                dense_pair_bound(bwd, fwd, fwd, s, t),
+                "directed bound ({}, {})", s, t
+            );
+        }
+    }
+
+    // Weighted family: large weights drive label rows into the u16/u32
+    // tiers; packed and dense bounds must still agree exactly.
+    #[test]
+    fn packed_bounds_match_dense_weighted(
+        edges in prop::collection::vec(
+            (0..N as Vertex, 0..N as Vertex, 1..70_000u32), 0..60),
+        pairs in pairs_strategy(),
+    ) {
+        let g = WeightedGraph::from_edges(N, &edges);
+        let idx = WeightedBatchIndex::build(g, 5);
+        let lab = idx.labelling();
+        for &(s, t) in &pairs {
+            prop_assert_eq!(lab.upper_bound(s, t), lab.upper_bound_dense(s, t));
+        }
+    }
+
+    // Tier boundaries: hand-built labellings whose entries sit exactly
+    // on the u8/u16/u32/escape edges (plus unreachable landmarks) keep
+    // packed == dense and survive a packed-snapshot round trip.
+    #[test]
+    fn tier_edges_and_unreachables_stay_exact(
+        cells in prop::collection::vec(
+            (0..3usize, 0..8 as Vertex, 0..TIER_EDGE_DISTS.len()), 1..20),
+        hw_cells in prop::collection::vec(
+            (0..3usize, 0..3usize, 0..TIER_EDGE_DISTS.len()), 0..6),
+        pairs in prop::collection::vec((0..8 as Vertex, 0..8 as Vertex), 1..12),
+    ) {
+        let mut lab = Labelling::empty(8, vec![0, 3, 6]).unwrap();
+        for &(i, v, d) in &cells {
+            lab.set_label(i, v, TIER_EDGE_DISTS[d]);
+        }
+        for &(i, j, d) in &hw_cells {
+            if i != j {
+                lab.set_highway_sym(i, j, TIER_EDGE_DISTS[d]);
+            }
+        }
+        for &(s, t) in &pairs {
+            prop_assert_eq!(lab.upper_bound(s, t), lab.upper_bound_dense(s, t));
+            let plan = SourcePlan::new(&lab, &lab, s);
+            prop_assert_eq!(plan.bound_to(&lab, t), lab.upper_bound_dense(s, t));
+        }
+        let mut buf = Vec::new();
+        write_labelling(&lab, &mut buf).unwrap();
+        prop_assert_eq!(&read_labelling(buf.as_slice()).unwrap(), &lab);
+    }
+
+    // The dispatched kernels (AVX2/SSE2 where the CPU has them) are
+    // bit-identical to the scalar fallback on arbitrary plans, at every
+    // distance width.
+    #[test]
+    fn simd_kernels_match_scalar(
+        via_seed in prop::collection::vec(0..CLAMP_INF + 1, 1..70),
+        ls in 0..CLAMP_INF,
+        row8_raw in prop::collection::vec(0u16..256, 1..70),
+        row16_raw in prop::collection::vec(0u32..65_536, 1..70),
+        row32_seed in prop::collection::vec(0..CLAMP_INF, 1..70),
+    ) {
+        // Each tier's unreachable sentinel lands in the ranges above
+        // (u8::MAX / u16::MAX); plant the u32 sentinel explicitly. The
+        // finite-u32 cap of CLAMP_INF is the kernels' documented
+        // highway-row domain (the clamp_safe gates enforce it).
+        let row8: Vec<u8> = row8_raw.iter().map(|&x| x as u8).collect();
+        let row16: Vec<u16> = row16_raw.iter().map(|&x| x as u16).collect();
+        let mut row32 = row32_seed;
+        row32[0] = INF;
+        // Gather inputs are label rows, which never hold a sentinel.
+        let g32: Vec<u32> = row32.iter().map(|&x| if x == INF { 7 } else { x }).collect();
+        let r = via_seed.len();
+        let rows = [
+            NarrowSlice::U8(&row8[..r.min(row8.len())]),
+            NarrowSlice::U16(&row16[..r.min(row16.len())]),
+            NarrowSlice::U32(&row32[..r.min(row32.len())]),
+        ];
+        for hrow in rows {
+            let k = hrow.len();
+            let mut simd = via_seed[..k].to_vec();
+            let mut scalar = simd.clone();
+            accumulate_via(&mut simd, ls, hrow);
+            accumulate_via_scalar(&mut scalar, ls, hrow);
+            prop_assert_eq!(&simd, &scalar, "accumulate width {}", hrow.len());
+
+            // Gather over every index of the plan, then over a sparse
+            // stride-3 subset (exercises the tail paths). Label rows
+            // carry no sentinel, so gather dists use the raw values.
+            let ids: Vec<u16> = (0..k as u16).collect();
+            let gdists = match hrow {
+                NarrowSlice::U32(_) => NarrowSlice::U32(&g32[..k]),
+                other => other,
+            };
+            prop_assert_eq!(
+                gather_min(&scalar, &ids, gdists),
+                gather_min_scalar(&scalar, &ids, gdists)
+            );
+            let sparse: Vec<u16> = (0..k as u16).step_by(3).collect();
+            let sub16: Vec<u16> =
+                sparse.iter().map(|&i| row16[i as usize % row16.len()]).collect();
+            prop_assert_eq!(
+                gather_min(&scalar, &sparse, NarrowSlice::U16(&sub16)),
+                gather_min_scalar(&scalar, &sparse, NarrowSlice::U16(&sub16))
+            );
+        }
+    }
+}
