@@ -1,0 +1,212 @@
+//! Deterministic, test-controlled fault-injection points ("failpoints").
+//!
+//! The commit path of the oracle threads a handful of *named sites*
+//! through its most failure-sensitive steps (WAL append, mid-repair,
+//! checkpoint rename, …). A test arms a site with an [`Action`] — return
+//! an error or panic — and the next time execution reaches that site the
+//! action fires, byte-deterministically, with no file mangling or timing
+//! games required.
+//!
+//! # Zero cost when disabled
+//!
+//! The whole registry only exists behind the `failpoints` cargo feature.
+//! With the feature off (the default, and the configuration every
+//! production build uses) [`check`] is an `#[inline(always)]` empty
+//! function returning `Ok(())` — the optimizer erases the call entirely,
+//! so instrumented code compiles to exactly what it was before.
+//!
+//! # Usage
+//!
+//! ```
+//! use batchhl_common::failpoint;
+//!
+//! // In library code, at the fault-sensitive site:
+//! fn append_record() -> Result<(), String> {
+//!     failpoint::check("wal::before_append")?;
+//!     // ... the real work ...
+//!     Ok(())
+//! }
+//!
+//! // In a test (requires `--features failpoints`):
+//! #[cfg(feature = "failpoints")]
+//! {
+//!     let _guard = failpoint::arm("wal::before_append", failpoint::Action::Error);
+//!     assert!(append_record().is_err());
+//! }
+//! // Guard dropped: the site is disarmed again.
+//! # let _ = append_record();
+//! ```
+//!
+//! Sites fire **once** per arming by default ([`Action::Error`],
+//! [`Action::Panic`]); use `arm_times` to let a site fire on the Nth
+//! hit instead of the first. The registry is global, so tests that arm
+//! failpoints must serialize among themselves (the chaos suite holds a
+//! test-local mutex for this).
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// [`check`] returns `Err(site_name)` — models an I/O or logic error
+    /// surfacing through the normal `Result` plumbing.
+    Error,
+    /// [`check`] panics with a message naming the site — models a bug or
+    /// assertion failure in the middle of the operation.
+    Panic,
+}
+
+#[cfg(feature = "failpoints")]
+mod registry {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Armed {
+        action: Action,
+        /// Hits remaining before the action fires (0 = fire on next hit).
+        skip: u32,
+        /// Whether the site stays armed after firing.
+        fired: bool,
+    }
+
+    fn table() -> &'static Mutex<HashMap<&'static str, Armed>> {
+        static TABLE: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<&'static str, Armed>> {
+        // A panic *while holding this lock* never happens ([`check`]
+        // releases the guard before panicking), but a panicking test
+        // thread that armed a site can still poison unrelated state;
+        // recover unconditionally — the map is always consistent.
+        table().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// RAII disarm: dropping the guard removes the site from the registry.
+    pub struct ArmGuard {
+        site: &'static str,
+    }
+
+    impl Drop for ArmGuard {
+        fn drop(&mut self) {
+            lock().remove(self.site);
+        }
+    }
+
+    /// Arm `site` to fire `action` on the next hit. Returns a guard that
+    /// disarms the site when dropped.
+    #[must_use = "dropping the guard disarms the failpoint immediately"]
+    pub fn arm(site: &'static str, action: Action) -> ArmGuard {
+        arm_times(site, action, 0)
+    }
+
+    /// Arm `site` to fire `action` on the `(skip + 1)`-th hit, passing
+    /// through the first `skip` hits unharmed.
+    #[must_use = "dropping the guard disarms the failpoint immediately"]
+    pub fn arm_times(site: &'static str, action: Action, skip: u32) -> ArmGuard {
+        lock().insert(
+            site,
+            Armed {
+                action,
+                skip,
+                fired: false,
+            },
+        );
+        ArmGuard { site }
+    }
+
+    /// Disarm every site (belt-and-braces cleanup for tests).
+    pub fn disarm_all() {
+        lock().clear();
+    }
+
+    /// The instrumented sites call this; fires the armed action, if any.
+    pub fn check(site: &str) -> Result<(), String> {
+        let action = {
+            let mut map = lock();
+            match map.get_mut(site) {
+                Some(armed) if !armed.fired => {
+                    if armed.skip > 0 {
+                        armed.skip -= 1;
+                        return Ok(());
+                    }
+                    armed.fired = true;
+                    armed.action
+                }
+                _ => return Ok(()),
+            }
+            // Guard dropped here, before any panic below.
+        };
+        match action {
+            Action::Error => Err(format!("failpoint '{site}' injected error")),
+            Action::Panic => panic!("failpoint '{site}' injected panic"),
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use registry::{arm, arm_times, check, disarm_all, ArmGuard};
+
+/// No-op stand-in compiled when the `failpoints` feature is off: the
+/// call inlines to nothing and instrumented code is unchanged.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_site: &str) -> Result<(), String> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; keep these tests serialized.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_site_is_ok() {
+        let _s = serial();
+        assert!(check("tests::nothing").is_ok());
+    }
+
+    #[test]
+    fn armed_error_fires_once() {
+        let _s = serial();
+        let _g = arm("tests::err", Action::Error);
+        let err = check("tests::err").unwrap_err();
+        assert!(err.contains("tests::err"));
+        assert!(check("tests::err").is_ok(), "fires once, then passes");
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        let _s = serial();
+        {
+            let _g = arm("tests::scoped", Action::Error);
+            assert!(check("tests::scoped").is_err());
+        }
+        assert!(check("tests::scoped").is_ok());
+    }
+
+    #[test]
+    fn skip_counts_hits() {
+        let _s = serial();
+        let _g = arm_times("tests::nth", Action::Error, 2);
+        assert!(check("tests::nth").is_ok());
+        assert!(check("tests::nth").is_ok());
+        assert!(check("tests::nth").is_err());
+        assert!(check("tests::nth").is_ok());
+    }
+
+    #[test]
+    fn panic_action_panics_and_registry_survives() {
+        let _s = serial();
+        let _g = arm("tests::boom", Action::Panic);
+        let caught = std::panic::catch_unwind(|| check("tests::boom"));
+        assert!(caught.is_err());
+        // Registry still usable afterwards (no lock poisoning escape).
+        disarm_all();
+        assert!(check("tests::boom").is_ok());
+    }
+}

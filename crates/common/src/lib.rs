@@ -20,7 +20,10 @@
 //! * [`binio`] — bounded binary-stream readers shared by those formats
 //!   (chunked bulk reads so corrupt headers cannot force allocations),
 //! * [`rng`] — a tiny deterministic SplitMix64 generator for internal
-//!   shuffling that must not depend on external crates.
+//!   shuffling that must not depend on external crates,
+//! * [`failpoint`] — deterministic fault-injection sites for the chaos
+//!   test suite (compiled out entirely unless the `failpoints` feature
+//!   is on).
 //!
 //! Everything here is deliberately free of dependencies so that the hot
 //! paths of the index are fully under our control.
@@ -30,6 +33,7 @@ pub mod bitset;
 pub mod cache;
 pub mod checksum;
 pub mod dist;
+pub mod failpoint;
 pub mod hash;
 pub mod llen;
 pub mod queue;

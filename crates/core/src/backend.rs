@@ -134,6 +134,23 @@ pub enum OracleError {
     /// write-ahead log could not be appended or synced). The batch was
     /// **not** applied. Carries the rendered [`crate::persist::PersistError`].
     Durability { reason: String },
+    /// Batch admission refused the edit list before anything was logged
+    /// or applied: `index` is the position of the first offending edit
+    /// (see [`crate::admission::validate_batch`] for the rules). The
+    /// oracle is untouched.
+    InvalidBatch { index: usize, reason: String },
+    /// A panic was caught while the batch was being applied. The batch
+    /// was rolled back (readers keep the pre-batch generation, a WAL
+    /// abort record cancels the logged batch) and the oracle's write
+    /// path is poisoned until recovery.
+    CommitPanicked { reason: String },
+    /// The write path is unavailable after an earlier contained failure;
+    /// reads still serve the last good generation. Clear with
+    /// `Oracle::recover()` or by re-opening from disk.
+    WritesPoisoned { reason: String },
+    /// A deep integrity audit found the index inconsistent with the
+    /// graph it claims to describe.
+    Integrity { reason: String },
 }
 
 impl fmt::Display for OracleError {
@@ -150,6 +167,18 @@ impl fmt::Display for OracleError {
             OracleError::Label(e) => write!(f, "labelling construction failed: {e}"),
             OracleError::Durability { reason } => {
                 write!(f, "commit could not be made durable: {reason}")
+            }
+            OracleError::InvalidBatch { index, reason } => {
+                write!(f, "batch refused at edit {index}: {reason}")
+            }
+            OracleError::CommitPanicked { reason } => {
+                write!(f, "commit panicked and was rolled back: {reason}")
+            }
+            OracleError::WritesPoisoned { reason } => {
+                write!(f, "write path unavailable until recovery: {reason}")
+            }
+            OracleError::Integrity { reason } => {
+                write!(f, "integrity audit failed: {reason}")
             }
         }
     }
@@ -257,6 +286,63 @@ pub trait Backend: Send {
     /// body with the format header and CRC-32 trailer; the counterpart
     /// [`load_backend`] reads the framed form back.
     fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError>;
+
+    /// Capture a rollback token for the *currently published*
+    /// generation. Cheap: the token pins the published `Arc`, whose CSR
+    /// base and label buffers are shared across generations.
+    ///
+    /// The facade captures a token before `commit_edits` and, if the
+    /// commit fails or panics mid-way, hands it back to [`restore`] —
+    /// which is why it is an opaque `Any` rather than a family-specific
+    /// type (the trait must stay object-safe).
+    ///
+    /// [`restore`]: Backend::restore
+    fn rollback_token(&self) -> Box<dyn std::any::Any + Send>;
+
+    /// Restore the backend to the generation captured by a
+    /// [`rollback_token`], discarding the (possibly half-applied)
+    /// working state and republishing the captured content under a
+    /// fresh version number. Errors only if `token` came from a
+    /// different backend family.
+    ///
+    /// [`rollback_token`]: Backend::rollback_token
+    fn restore(&mut self, token: Box<dyn std::any::Any + Send>) -> Result<(), OracleError>;
+
+    /// Deep audit of the live index against ground truth:
+    /// family-specific structural checks (the labelling must equal the
+    /// minimal highway-cover labelling on the unweighted families) plus
+    /// `samples` sampled single-source truth sweeps (BFS / Dijkstra)
+    /// compared against the index's own answers. Expensive — intended
+    /// for operators and tests, not the hot path.
+    fn verify_integrity(&mut self, samples: usize) -> Result<(), OracleError>;
+}
+
+/// Deterministically sample `k` distinct source vertices for the
+/// integrity audit's truth sweeps.
+fn audit_sources(n: usize, k: usize) -> Vec<Vertex> {
+    let mut order: Vec<Vertex> = (0..n as Vertex).collect();
+    batchhl_common::rng::SplitMix64::new(0x5EED_AD17).shuffle(&mut order);
+    order.truncate(k);
+    order
+}
+
+/// Compare one source's truth vector against the index's answers.
+fn audit_source<Q: FnMut(Vertex) -> Option<Dist>>(
+    s: Vertex,
+    truth: &[Dist],
+    mut query: Q,
+) -> Result<(), OracleError> {
+    use batchhl_common::INF;
+    for (t, &want) in truth.iter().enumerate() {
+        let want = (want != INF).then_some(want);
+        let got = query(t as Vertex);
+        if got != want {
+            return Err(OracleError::Integrity {
+                reason: format!("query({s}, {t}) = {got:?}, ground truth says {want:?}"),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Deserialize a `BHL2` checkpoint into whichever backend family it
@@ -337,6 +423,12 @@ where
 
     fn clone_reader(&self) -> Box<dyn BackendReader> {
         Box::new(self.clone())
+    }
+}
+
+fn foreign_token(family: BackendFamily) -> OracleError {
+    OracleError::Integrity {
+        reason: format!("rollback token does not belong to the {family} backend"),
     }
 }
 
@@ -428,6 +520,27 @@ impl Backend for BatchIndex {
     fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
         persist::save_undirected(self, out)
     }
+
+    fn rollback_token(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.published())
+    }
+
+    fn restore(&mut self, token: Box<dyn std::any::Any + Send>) -> Result<(), OracleError> {
+        let snap = token
+            .downcast::<std::sync::Arc<batchhl_hcl::Versioned<crate::index::IndexSnapshot>>>()
+            .map_err(|_| foreign_token(BackendFamily::Undirected))?;
+        self.restore_generation(snap.value());
+        Ok(())
+    }
+
+    fn verify_integrity(&mut self, samples: usize) -> Result<(), OracleError> {
+        BatchIndex::verify(self).map_err(|reason| OracleError::Integrity { reason })?;
+        for s in audit_sources(self.num_vertices(), samples) {
+            let truth = batchhl_graph::bfs::bfs_distances(self.graph(), s);
+            audit_source(s, &truth, |t| BatchIndex::query(self, s, t))?;
+        }
+        Ok(())
+    }
 }
 
 impl Backend for DirectedBatchIndex {
@@ -498,6 +611,36 @@ impl Backend for DirectedBatchIndex {
 
     fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
         persist::save_directed(self, out)
+    }
+
+    fn rollback_token(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.published())
+    }
+
+    fn restore(&mut self, token: Box<dyn std::any::Any + Send>) -> Result<(), OracleError> {
+        let snap = token
+            .downcast::<std::sync::Arc<batchhl_hcl::Versioned<crate::directed::DirectedSnapshot>>>()
+            .map_err(|_| foreign_token(BackendFamily::Directed))?;
+        self.restore_generation(snap.value());
+        Ok(())
+    }
+
+    fn verify_integrity(&mut self, samples: usize) -> Result<(), OracleError> {
+        use batchhl_graph::Reversed;
+        batchhl_hcl::oracle::check_minimal(self.graph(), self.forward_labelling()).map_err(
+            |reason| OracleError::Integrity {
+                reason: format!("forward labelling: {reason}"),
+            },
+        )?;
+        batchhl_hcl::oracle::check_minimal(&Reversed(self.graph()), self.backward_labelling())
+            .map_err(|reason| OracleError::Integrity {
+                reason: format!("backward labelling: {reason}"),
+            })?;
+        for s in audit_sources(self.num_vertices(), samples) {
+            let truth = batchhl_graph::bfs::bfs_distances(self.graph(), s);
+            audit_source(s, &truth, |t| DirectedBatchIndex::query(self, s, t))?;
+        }
+        Ok(())
     }
 }
 
@@ -577,6 +720,29 @@ impl Backend for WeightedBatchIndex {
 
     fn save(&self, out: &mut dyn std::io::Write) -> Result<(), PersistError> {
         persist::save_weighted(self, out)
+    }
+
+    fn rollback_token(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.published())
+    }
+
+    fn restore(&mut self, token: Box<dyn std::any::Any + Send>) -> Result<(), OracleError> {
+        let snap = token
+            .downcast::<std::sync::Arc<batchhl_hcl::Versioned<crate::weighted::WeightedSnapshot>>>()
+            .map_err(|_| foreign_token(BackendFamily::Weighted))?;
+        self.restore_generation(snap.value());
+        Ok(())
+    }
+
+    fn verify_integrity(&mut self, samples: usize) -> Result<(), OracleError> {
+        // No minimality audit on the weighted family (the highway-cover
+        // minimality characterization is defined for unweighted
+        // labellings); sampled Dijkstra truth covers the query surface.
+        for s in audit_sources(self.num_vertices(), samples) {
+            let truth = batchhl_graph::weighted::dijkstra(self.graph(), s);
+            audit_source(s, &truth, |t| WeightedBatchIndex::query(self, s, t))?;
+        }
+        Ok(())
     }
 }
 

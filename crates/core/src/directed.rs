@@ -398,6 +398,19 @@ impl DirectedBatchIndex {
         // Retained retired buffers predate the rebuild.
         self.recycler.clear();
     }
+
+    /// Roll the writer back to the generation captured in `snap` and
+    /// republish it (see `BatchIndex::restore_generation`; same
+    /// contract, directed snapshot).
+    pub(crate) fn restore_generation(&mut self, snap: &DirectedSnapshot) {
+        self.work = snap.clone();
+        self.work.view.set_policy(self.config.compaction);
+        self.store.publish(self.work.clone());
+        self.recycler.clear();
+        let n = self.work.graph.num_vertices();
+        self.ws = UpdateWorkspace::new(n);
+        self.bibfs = BiBfs::new(n);
+    }
 }
 
 /// The arcs of a normalized batch as `(tail, head)` pairs — what the

@@ -119,6 +119,14 @@ where
     G: ?Sized + Sync,
     K: UpdateKernel<G>,
 {
+    // Chaos-suite injection point: by the time the pass reaches the
+    // landmark loop the working graph is already mutated, so a panic
+    // here leaves maximally half-applied writer state behind. There is
+    // no Result channel through a repair pass — an armed Error action
+    // panics too.
+    if let Err(msg) = batchhl_common::failpoint::check("engine::mid_repair_panic") {
+        panic!("{msg}");
+    }
     let n = new_lab.num_vertices();
     let r = new_lab.num_landmarks();
     let threads = threads.max(1).min(r.max(1));

@@ -375,6 +375,24 @@ impl BatchIndex {
         self.recycler.clear();
     }
 
+    /// Reset the writer to the generation captured in `snap` and
+    /// republish it, so readers re-pin content identical to `snap`
+    /// under a fresh version number. Used by the facade to roll back a
+    /// batch whose application failed mid-way: the working snapshot may
+    /// be arbitrarily damaged (even mid-panic), but `snap` is immutable
+    /// and shares its CSR base + label buffers behind `Arc`s, so the
+    /// restore is a cheap clone. Workspaces are rebuilt from scratch —
+    /// they may hold state from the aborted pass.
+    pub(crate) fn restore_generation(&mut self, snap: &IndexSnapshot) {
+        self.work = snap.clone();
+        self.work.view.set_policy(self.config.compaction);
+        self.store.publish(self.work.clone());
+        self.recycler.clear();
+        let n = self.work.graph.num_vertices();
+        self.ws = UpdateWorkspace::new(n);
+        self.engine = QueryEngine::new(n);
+    }
+
     /// One search+repair pass over a normalized, conflict-free batch:
     /// mutate the working graph, repair `Γ′` against the published `Γ`,
     /// publish, and recycle the previous generation's buffers.

@@ -94,6 +94,7 @@
 //! # let _ = d0;
 //! ```
 
+pub mod admission;
 pub mod backend;
 pub mod directed;
 pub mod engine;
@@ -110,6 +111,7 @@ pub mod wal;
 pub mod weighted;
 pub mod workspace;
 
+pub use admission::validate_batch;
 pub use backend::{
     build_backend, load_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource,
     OracleError,

@@ -92,6 +92,10 @@ pub enum PersistError {
     /// A WAL record is structurally corrupt (not merely torn at the
     /// tail — see [`crate::wal`] for the distinction).
     WalCorrupt { offset: u64, reason: String },
+    /// An append was refused because the encoded record would exceed
+    /// the reader's [`crate::wal`] payload bound — writing it would
+    /// produce a log our own recovery refuses as corrupt.
+    RecordTooLarge { len: u64, max: u64 },
     /// `open` was pointed at a directory with no checkpoint in it.
     MissingCheckpoint { path: String },
 }
@@ -123,6 +127,12 @@ impl fmt::Display for PersistError {
             PersistError::Replay(e) => write!(f, "WAL replay refused: {e}"),
             PersistError::WalCorrupt { offset, reason } => {
                 write!(f, "WAL corrupt at byte {offset}: {reason}")
+            }
+            PersistError::RecordTooLarge { len, max } => {
+                write!(
+                    f,
+                    "WAL record payload of {len} bytes exceeds the {max}-byte bound"
+                )
             }
             PersistError::MissingCheckpoint { path } => {
                 write!(f, "no checkpoint found at {path}")

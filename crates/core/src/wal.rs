@@ -8,18 +8,36 @@
 //! # Record framing (all integers little-endian)
 //!
 //! ```text
-//! file header: magic "BWAL" | u8 version = 1 | u8 ×3 reserved (0)
+//! file header: magic "BWAL" | u8 version = 2 | u8 ×3 reserved (0)
 //! record:      u32 payload_len | u32 CRC-32(payload) | payload
-//! payload:     u64 seq | u32 edit_count | edit_count × edit
+//! payload:     u8 kind | kind-specific body
+//!   kind 0 (batch): u64 seq | u32 edit_count | edit_count × edit
+//!   kind 1 (abort): u64 seq
 //! edit:        u8 tag | u32 a | u32 b [| u32 w]
 //!              tag 0 = Insert, 1 = InsertWeighted (w), 2 = Remove,
 //!              tag 3 = SetWeight (w)
 //! ```
 //!
+//! Version-1 logs (no `kind` byte; every payload is a batch body) keep
+//! decoding — recovery dispatches on the header version byte. New logs
+//! are always written as version 2.
+//!
 //! `seq` is the number of batches committed before this one (the
 //! checkpoint's `batch_seq` cursor): replay applies exactly the records
 //! with `seq >= checkpoint.batch_seq`, so a checkpoint written *after*
 //! some WAL records does not cause double application.
+//!
+//! # Abort records
+//!
+//! A batch record is appended *before* the batch is applied, so a batch
+//! that subsequently fails (or panics) mid-application is already
+//! durable. The commit path cancels it by appending an **abort record**
+//! carrying the same `seq`: recovery drops the most recent batch record
+//! with that `seq` and replays as if it was never logged. Cancellation
+//! is a record rather than a truncation deliberately — once an append
+//! has been fsynced the bytes may have been observed (e.g. by a replica
+//! tailing the log), so taking the batch back must itself be an
+//! append-only, checksummed event.
 //!
 //! # Torn vs. corrupt
 //!
@@ -44,11 +62,24 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"BWAL";
-const WAL_VERSION: u8 = 1;
+const WAL_VERSION: u8 = 2;
+/// Previous format generation (no record-kind byte, batch bodies only):
+/// still readable, never written.
+const LEGACY_WAL_VERSION: u8 = 1;
 const HEADER_LEN: u64 = 8;
 /// Upper bound on one record's payload (64 MiB ≈ 5.3M edits): anything
-/// larger is treated as corruption, not an allocation request.
+/// larger is treated as corruption, not an allocation request. The
+/// writer enforces the same bound on append so it can never produce a
+/// log its own reader refuses.
 const MAX_PAYLOAD: u32 = 64 << 20;
+
+const KIND_BATCH: u8 = 0;
+const KIND_ABORT: u8 = 1;
+
+/// Route a failpoint trigger into the persistence error channel.
+fn fail(site: &str) -> Result<(), PersistError> {
+    batchhl_common::failpoint::check(site).map_err(|m| PersistError::Io(std::io::Error::other(m)))
+}
 
 /// One recovered WAL record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +97,9 @@ pub struct WalRecovery {
     pub torn_bytes: u64,
     /// File length after recovery.
     pub valid_len: u64,
+    /// Batch records cancelled by a later abort record (their edits are
+    /// excluded from replay).
+    pub aborted_batches: u64,
 }
 
 /// Append-side handle on a WAL file.
@@ -112,16 +146,56 @@ impl WalWriter {
 
     /// Append one batch record; `sync` forces the bytes to disk before
     /// returning (the write-ahead guarantee).
+    ///
+    /// The append is all-or-nothing: a batch whose encoded payload would
+    /// exceed the reader's `MAX_PAYLOAD` bound (64 MiB) is refused with a typed
+    /// [`PersistError::RecordTooLarge`] before any byte is written, and
+    /// an I/O failure (or panic) mid-append truncates the file back to
+    /// its pre-append length so no torn record is left behind.
     pub fn append(&mut self, seq: u64, edits: &[Edit], sync: bool) -> Result<(), PersistError> {
-        let payload = encode_payload(seq, edits);
+        fail("wal::before_append")?;
+        let mut payload = Vec::with_capacity(13 + 13 * edits.len());
+        payload.push(KIND_BATCH);
+        encode_batch_body(&mut payload, seq, edits);
+        self.append_payload(&payload, sync)
+    }
+
+    /// Append an abort record cancelling the batch record with `seq`.
+    ///
+    /// Replay treats the pair as if the batch was never logged; see the
+    /// module docs for why cancellation is an append, not a truncation.
+    pub fn append_abort(&mut self, seq: u64, sync: bool) -> Result<(), PersistError> {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(KIND_ABORT);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        self.append_payload(&payload, sync)
+    }
+
+    fn append_payload(&mut self, payload: &[u8], sync: bool) -> Result<(), PersistError> {
+        if payload.len() as u64 > MAX_PAYLOAD as u64 {
+            return Err(PersistError::RecordTooLarge {
+                len: payload.len() as u64,
+                max: MAX_PAYLOAD as u64,
+            });
+        }
+        // All-or-nothing: on any exit other than success (error return
+        // *or* unwind), roll the file back to its pre-append length so
+        // recovery never sees a half-written, unacknowledged record.
+        let start = self.file.metadata()?.len();
+        let guard = TruncateOnDrop {
+            path: &self.path,
+            len: start,
+        };
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
+        fail("wal::after_write_before_sync")?;
         if sync {
             self.file.sync_data()?;
         }
+        std::mem::forget(guard);
         Ok(())
     }
 
@@ -136,8 +210,20 @@ impl WalWriter {
     }
 }
 
-fn encode_payload(seq: u64, edits: &[Edit]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + 13 * edits.len());
+/// Best-effort file rollback for a failed append; disarmed with
+/// `mem::forget` on success.
+struct TruncateOnDrop<'a> {
+    path: &'a Path,
+    len: u64,
+}
+
+impl Drop for TruncateOnDrop<'_> {
+    fn drop(&mut self) {
+        let _ = truncate_to(self.path, self.len);
+    }
+}
+
+fn encode_batch_body(out: &mut Vec<u8>, seq: u64, edits: &[Edit]) {
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(edits.len() as u32).to_le_bytes());
     for &e in edits {
@@ -166,10 +252,18 @@ fn encode_payload(seq: u64, edits: &[Edit]) -> Vec<u8> {
             }
         }
     }
-    out
 }
 
-fn decode_payload(bytes: &[u8], offset: u64) -> Result<WalRecord, PersistError> {
+/// One decoded record: either a batch to replay or an abort cancelling
+/// a prior batch with the same `seq`.
+enum DecodedRecord {
+    Batch(WalRecord),
+    Abort { seq: u64 },
+}
+
+/// Decode one record payload. `version` selects the framing: legacy v1
+/// payloads are bare batch bodies; v2 payloads carry a leading kind.
+fn decode_payload(bytes: &[u8], offset: u64, version: u8) -> Result<DecodedRecord, PersistError> {
     let corrupt = |reason: String| PersistError::WalCorrupt { offset, reason };
     let mut pos = 0usize;
     let mut take = |n: usize| -> Result<&[u8], PersistError> {
@@ -183,6 +277,22 @@ fn decode_payload(bytes: &[u8], offset: u64) -> Result<WalRecord, PersistError> 
         pos += n;
         Ok(s)
     };
+    if version >= WAL_VERSION {
+        match take(1)?[0] {
+            KIND_BATCH => {}
+            KIND_ABORT => {
+                let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                if pos != bytes.len() {
+                    return Err(corrupt(format!(
+                        "{} trailing bytes after abort record",
+                        bytes.len() - pos
+                    )));
+                }
+                return Ok(DecodedRecord::Abort { seq });
+            }
+            other => return Err(corrupt(format!("unknown record kind {other}"))),
+        }
+    }
     let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
     let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
     let mut edits = Vec::with_capacity(count.min(bytes.len() / 9));
@@ -210,7 +320,7 @@ fn decode_payload(bytes: &[u8], offset: u64) -> Result<WalRecord, PersistError> 
             bytes.len() - pos
         )));
     }
-    Ok(WalRecord { seq, edits })
+    Ok(DecodedRecord::Batch(WalRecord { seq, edits }))
 }
 
 /// Read every complete record of the log, truncating a torn final
@@ -237,6 +347,7 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
             WalRecovery {
                 torn_bytes: bytes.len() as u64,
                 valid_len: 0,
+                aborted_batches: 0,
             },
         ));
     }
@@ -246,10 +357,12 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
             found: [bytes[0], bytes[1], bytes[2], bytes[3]],
         });
     }
-    if bytes[4] != WAL_VERSION {
-        return Err(PersistError::UnsupportedVersion { found: bytes[4] });
+    let version = bytes[4];
+    if version != WAL_VERSION && version != LEGACY_WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
     }
     let mut records = Vec::new();
+    let mut aborted = 0u64;
     let mut pos = HEADER_LEN as usize;
     let mut valid_len = pos;
     while pos < bytes.len() {
@@ -287,7 +400,18 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
                 reason: format!("checksum mismatch: header {sum:#010x}, computed {computed:#010x}"),
             });
         }
-        records.push(decode_payload(payload, pos as u64)?);
+        match decode_payload(payload, pos as u64, version)? {
+            DecodedRecord::Batch(rec) => records.push(rec),
+            DecodedRecord::Abort { seq } => {
+                // Cancel the most recent batch with this seq. An abort
+                // with no matching batch is legal — the batch append
+                // itself may have failed before reaching disk.
+                if let Some(i) = records.iter().rposition(|r: &WalRecord| r.seq == seq) {
+                    records.remove(i);
+                    aborted += 1;
+                }
+            }
+        }
         pos = body_end;
         valid_len = pos;
     }
@@ -300,6 +424,7 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
         WalRecovery {
             torn_bytes: torn,
             valid_len: valid_len as u64,
+            aborted_batches: aborted,
         },
     ))
 }
@@ -450,6 +575,84 @@ mod tests {
         let (records, info) = recover_wal(&path).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(info.torn_bytes, 0);
+    }
+
+    #[test]
+    fn abort_record_cancels_its_batch() {
+        let path = tmp("abort.wal");
+        write_sample(&path);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_abort(2, true).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 2, "batch 2 cancelled");
+        assert_eq!(records.last().unwrap().seq, 1);
+        assert_eq!(info.aborted_batches, 1);
+        assert_eq!(info.torn_bytes, 0);
+        // A retry of the same seq after the abort replays normally.
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append(2, &[Edit::Insert(6, 7)], true).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].seq, 2);
+        assert_eq!(records[2].edits, vec![Edit::Insert(6, 7)]);
+        assert_eq!(info.aborted_batches, 1);
+    }
+
+    #[test]
+    fn abort_without_matching_batch_is_ignored() {
+        let path = tmp("abort_orphan.wal");
+        write_sample(&path);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_abort(99, true).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(info.aborted_batches, 0);
+    }
+
+    #[test]
+    fn oversized_batch_is_refused_before_any_byte_lands() {
+        let path = tmp("oversized.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(0, &[Edit::Insert(0, 1)], true).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // 7.5M unweighted edits encode to > 64 MiB of payload.
+        let huge = vec![Edit::Insert(0, 1); 7_500_000];
+        let err = w.append(1, &huge, true).unwrap_err();
+        assert!(
+            matches!(err, PersistError::RecordTooLarge { len, max }
+                if len > max && max == MAX_PAYLOAD as u64),
+            "got {err}"
+        );
+        // The refused append left the log byte-identical…
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        // …and the writer still works.
+        w.append(1, &[Edit::Insert(2, 3)], true).unwrap();
+        let (records, _) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn legacy_v1_log_still_decodes() {
+        // Hand-built version-1 file: no kind byte, bare batch payloads.
+        let path = tmp("legacy_v1.wal");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&[LEGACY_WAL_VERSION, 0, 0, 0]);
+        for (seq, edits) in sample_batches() {
+            let mut payload = Vec::new();
+            encode_batch_body(&mut payload, seq, &edits);
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(records.len(), 3);
+        for (rec, (seq, edits)) in records.iter().zip(sample_batches()) {
+            assert_eq!(rec.seq, seq);
+            assert_eq!(rec.edits, edits);
+        }
     }
 
     #[test]

@@ -388,6 +388,19 @@ impl WeightedBatchIndex {
         &self.work.lab
     }
 
+    /// Roll the writer back to the generation captured in `snap` and
+    /// republish it (see `BatchIndex::restore_generation`; same
+    /// contract, weighted snapshot).
+    pub(crate) fn restore_generation(&mut self, snap: &WeightedSnapshot) {
+        self.work = snap.clone();
+        self.work.view.set_policy(self.compaction);
+        self.store.publish(self.work.clone());
+        self.recycler.clear();
+        let n = self.work.graph.num_vertices();
+        self.ws = DijkstraWorkspace::new(n);
+        self.engine = BiDijkstra::new(n);
+    }
+
     pub fn num_vertices(&self) -> usize {
         self.work.graph.num_vertices()
     }

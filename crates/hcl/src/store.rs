@@ -76,6 +76,19 @@ struct Shared<S> {
     current: Mutex<Arc<Versioned<S>>>,
 }
 
+/// Lock `current`, recovering from poisoning: the guarded state is a
+/// single `Arc` swapped atomically in [`LabelStore::publish`], so a
+/// panic on another thread can never leave it half-updated. Treating
+/// poison as fatal here would turn one panicked writer into a permanent
+/// panic in every reader — exactly the cascade the generation design
+/// exists to prevent.
+fn lock_current<S>(shared: &Shared<S>) -> std::sync::MutexGuard<'_, Arc<Versioned<S>>> {
+    shared
+        .current
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Shared, versioned home of the current generation.
 ///
 /// Cloning the store yields another handle onto the *same* shared state
@@ -115,7 +128,7 @@ impl<S> LabelStore<S> {
 
     /// Pin the current generation.
     pub fn snapshot(&self) -> Arc<Versioned<S>> {
-        Arc::clone(&self.shared.current.lock().expect("label store poisoned"))
+        Arc::clone(&lock_current(&self.shared))
     }
 
     /// Publish `next` as the new current generation and return
@@ -123,7 +136,7 @@ impl<S> LabelStore<S> {
     /// `next`; readers holding the previous generation keep a fully
     /// consistent (if slightly stale) view until they re-pin.
     pub fn publish(&self, next: S) -> (Arc<Versioned<S>>, Arc<Versioned<S>>) {
-        let mut cur = self.shared.current.lock().expect("label store poisoned");
+        let mut cur = lock_current(&self.shared);
         let version = cur.version() + 1;
         let fresh = Arc::new(Versioned {
             version,
@@ -172,7 +185,7 @@ impl<S> ReaderHandle<S> {
     pub fn current(&mut self) -> &Arc<Versioned<S>> {
         let published = self.shared.version.load(Ordering::Acquire);
         if published != self.cached.version() {
-            self.cached = Arc::clone(&self.shared.current.lock().expect("label store poisoned"));
+            self.cached = Arc::clone(&lock_current(&self.shared));
         }
         &self.cached
     }
@@ -227,6 +240,31 @@ mod tests {
         let (_, prev) = store.publish(vec![7]);
         assert!(Arc::try_unwrap(prev).is_err());
         drop(pinned);
+    }
+
+    #[test]
+    fn poisoned_store_keeps_serving_readers_and_writers() {
+        // A thread that panics while holding the store lock poisons the
+        // mutex; since the guarded state is one atomically swapped Arc,
+        // every operation must recover and keep working.
+        let store = LabelStore::new(7i32);
+        let mut reader = store.reader();
+        let poisoner = store.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shared.current.lock().unwrap();
+            panic!("die while holding the store lock");
+        })
+        .join();
+        assert!(store.shared.current.is_poisoned(), "setup: lock poisoned");
+        assert_eq!(*store.snapshot().value(), 7, "snapshot recovers");
+        let (fresh, prev) = store.publish(8);
+        assert_eq!(fresh.version(), 1);
+        assert_eq!(*prev.value(), 7);
+        assert_eq!(
+            *reader.current().value(),
+            8,
+            "reader re-pins through poison"
+        );
     }
 
     #[test]

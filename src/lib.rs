@@ -41,9 +41,12 @@
 pub mod oracle;
 
 pub use oracle::{
-    DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleReader,
-    UpdateSession,
+    DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleHealth,
+    OracleReader, UpdateSession,
 };
+
+// Batch admission (also run internally by every `commit`).
+pub use batchhl_core::admission::validate_batch;
 
 // The persistence vocabulary (checkpoints + write-ahead log).
 pub use batchhl_core::persist::{CheckpointMeta, PersistError};

@@ -43,9 +43,10 @@
 //! internally), so no `&mut` ever crosses a thread boundary.
 
 use batchhl_common::{Dist, Vertex};
+use batchhl_core::admission::validate_batch;
 use batchhl_core::backend::{
-    build_backend, edits_supported, load_backend, Backend, BackendFamily, BackendReader, Edit,
-    GraphSource, OracleError,
+    build_backend, load_backend, Backend, BackendFamily, BackendReader, Edit, GraphSource,
+    OracleError,
 };
 use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
 use batchhl_core::persist::{write_checkpoint, CheckpointMeta, PersistError};
@@ -55,7 +56,26 @@ use batchhl_graph::weighted::Weight;
 use batchhl_hcl::LandmarkSelection;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+
+/// Failpoint shim: maps an injected failure at `site` onto the persist
+/// error surface. Compiles to `Ok(())` without the `failpoints`
+/// feature.
+fn fail(site: &str) -> Result<(), PersistError> {
+    batchhl_common::failpoint::check(site).map_err(|m| PersistError::Io(std::io::Error::other(m)))
+}
+
+/// Renders a caught panic payload for error messages.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// File names inside an oracle's durability directory.
 const CHECKPOINT_FILE: &str = "checkpoint.bhl2";
@@ -107,6 +127,31 @@ struct Durability {
     batches_since_checkpoint: u64,
 }
 
+/// Writer-path health of a [`DistanceOracle`]. Queries and readers are
+/// never blocked by health: they keep serving the last published
+/// generation in every state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleHealth {
+    /// Commits are accepted.
+    Healthy,
+    /// A post-commit durability step (the auto-checkpoint) failed
+    /// *after* the batch was applied and logged. The in-memory index
+    /// and the write-ahead log are intact and further commits are
+    /// accepted; a reopen replays from the older checkpoint.
+    Degraded {
+        /// What failed.
+        reason: String,
+    },
+    /// A batch failed or panicked mid-apply. The backend was rolled
+    /// back to the last published generation and (when durable) the
+    /// logged batch was cancelled with a WAL abort record; further
+    /// commits are refused until [`DistanceOracle::recover`].
+    WritesPoisoned {
+        /// What failed.
+        reason: String,
+    },
+}
+
 /// A batch-dynamic distance oracle over one of the index families,
 /// chosen at build time and erased behind [`Backend`].
 pub struct DistanceOracle {
@@ -116,6 +161,7 @@ pub struct DistanceOracle {
     /// the WAL sequence cursor.
     batches_committed: u64,
     durability: Option<Durability>,
+    health: OracleHealth,
 }
 
 /// The short name the builder examples use (`Oracle::builder()`).
@@ -227,6 +273,85 @@ impl DistanceOracle {
         self.batches_committed
     }
 
+    /// Writer-path health. [`OracleHealth::WritesPoisoned`] refuses
+    /// further commits until [`DistanceOracle::recover`];
+    /// [`OracleHealth::Degraded`] keeps accepting them. Queries and
+    /// readers serve the last published generation in every state.
+    pub fn health(&self) -> &OracleHealth {
+        &self.health
+    }
+
+    /// Return the oracle to [`OracleHealth::Healthy`] after a failed
+    /// commit.
+    ///
+    /// With durability attached this re-opens the directory from disk
+    /// — checkpoint load plus WAL replay, which skips any aborted
+    /// batch — and replaces `self` with the reloaded oracle, so it
+    /// lands on exactly the state a crash-restart would. Reader
+    /// handles taken *before* `recover` stay pinned to the old store
+    /// and no longer follow new commits; take fresh readers afterwards.
+    ///
+    /// Without durability the rollback already republished the last
+    /// good generation, so recovery just clears the poison.
+    ///
+    /// Fails (leaving health untouched) only if the durable reload
+    /// itself fails; the error names the cause.
+    pub fn recover(&mut self) -> Result<(), OracleError> {
+        if self.health == OracleHealth::Healthy {
+            return Ok(());
+        }
+        if let Some(d) = &self.durability {
+            let dir = d.dir.clone();
+            let config = d.config;
+            let reloaded = Self::open_with(&dir, config).map_err(|e| OracleError::Durability {
+                reason: format!("recover reload: {e}"),
+            })?;
+            *self = reloaded;
+        } else {
+            self.health = OracleHealth::Healthy;
+        }
+        Ok(())
+    }
+
+    /// Audit the live index against ground truth: labelling minimality
+    /// (unweighted families, Theorem 5.21) plus deterministic sampled
+    /// distance sweeps recomputed by BFS/Dijkstra on the current
+    /// graph. Returns [`OracleError::Integrity`] naming the first
+    /// discrepancy. Intended for tests and operational spot checks —
+    /// cost is a handful of full traversals.
+    pub fn verify_integrity(&mut self) -> Result<(), OracleError> {
+        self.backend.verify_integrity(8)
+    }
+
+    /// Cancel the in-flight batch (`seq == self.batches_committed`)
+    /// after a failed or panicked apply: append a WAL abort record
+    /// (always synced — the cancellation must be at least as durable
+    /// as the batch it cancels), restore the backend to the last
+    /// published generation, and poison writes. Returns the full
+    /// reason string recorded in the health state.
+    fn abort_batch(&mut self, token: Box<dyn std::any::Any + Send>, reason: &str) -> String {
+        let mut full = reason.to_string();
+        if let Some(d) = &mut self.durability {
+            let seq = self.batches_committed;
+            match catch_unwind(AssertUnwindSafe(|| d.wal.append_abort(seq, true))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    full.push_str(&format!("; abort record failed: {e}"));
+                }
+                Err(p) => {
+                    full.push_str(&format!("; abort record panicked: {}", panic_reason(p)));
+                }
+            }
+        }
+        if let Err(e) = self.backend.restore(token) {
+            full.push_str(&format!("; rollback failed: {e}"));
+        }
+        self.health = OracleHealth::WritesPoisoned {
+            reason: full.clone(),
+        };
+        full
+    }
+
     /// The durability directory, when durability is attached.
     pub fn durability_dir(&self) -> Option<&Path> {
         self.durability.as_ref().map(|d| d.dir.as_path())
@@ -257,10 +382,12 @@ impl DistanceOracle {
         let mut out = BufWriter::new(File::create(&tmp)?);
         write_checkpoint(self.backend.as_ref(), meta, &mut out)?;
         let file = out.into_inner().map_err(|e| PersistError::Io(e.into()))?;
+        fail("persist::after_tmp_write")?;
         if sync {
             file.sync_all()?;
         }
         drop(file);
+        fail("persist::before_rename")?;
         std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE))?;
         if sync {
             // Persist the rename itself (best effort — not all
@@ -318,7 +445,11 @@ impl DistanceOracle {
     ///
     /// Fails with a typed [`PersistError`] on a missing checkpoint or
     /// any corruption; it never panics and never serves a state that
-    /// mixes checkpoint and half-applied batches.
+    /// mixes checkpoint and half-applied batches. Batches cancelled by
+    /// a WAL abort record (a commit that failed mid-apply) are skipped
+    /// by replay, so a reopen after a poisoned commit lands on exactly
+    /// the last good state. The opened oracle is always
+    /// [`OracleHealth::Healthy`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
         Self::open_with(dir, DurabilityConfig::default())
     }
@@ -372,6 +503,7 @@ impl DistanceOracle {
                 config,
                 batches_since_checkpoint: replayed,
             }),
+            health: OracleHealth::Healthy,
         })
     }
 
@@ -494,6 +626,7 @@ impl OracleBuilder {
             backend: build_backend(source, self.config)?,
             batches_committed: 0,
             durability: None,
+            health: OracleHealth::Healthy,
         })
     }
 }
@@ -553,37 +686,119 @@ impl UpdateSession<'_> {
 
     /// Apply every queued edit as **one** batch (normalization, batch
     /// search, batch repair, publication) and return the update stats.
-    /// On error (e.g. weight edits on an unweighted oracle) nothing is
-    /// applied — and nothing is logged.
     ///
-    /// With durability attached, the batch is validated, appended to
-    /// the write-ahead log (synced per the [`FsyncPolicy`]) and only
-    /// then applied; a crash after the append replays the batch on
-    /// [`DistanceOracle::open`].
+    /// # Failure semantics
+    ///
+    /// The commit is transactional — it either lands in full or is
+    /// cancelled in full, phase by phase:
+    ///
+    /// - **Admission.** The batch is validated against the family and
+    ///   the current graph *before* anything is written: unsupported
+    ///   edit kinds, out-of-range or overflowing endpoints, self-loops,
+    ///   zero or clamp-unsafe weights, and conflicting duplicate edits
+    ///   are refused with a typed [`OracleError`]. Nothing is applied
+    ///   and nothing is logged — an inadmissible batch never becomes
+    ///   durable. An **empty** batch short-circuits here to a zeroed
+    ///   [`UpdateStats`]: no WAL record, no generation churn.
+    /// - **Write-ahead.** With durability attached the batch is
+    ///   appended to the log (synced per [`FsyncPolicy`]). An error or
+    ///   panic here is contained; the log's all-or-nothing append
+    ///   guard leaves the file untouched and the oracle stays
+    ///   [`OracleHealth::Healthy`] — the commit merely failed.
+    /// - **Apply.** The batch runs against the index under a panic
+    ///   boundary. On error or panic the logged batch is cancelled
+    ///   with a WAL *abort record*, the backend is rolled back to the
+    ///   last published generation (readers never observe the failed
+    ///   batch), and health flips to [`OracleHealth::WritesPoisoned`]
+    ///   — further commits are refused until
+    ///   [`DistanceOracle::recover`].
+    /// - **Checkpoint.** A due auto-checkpoint that fails (or panics)
+    ///   reports [`OracleError::Durability`] and flips health to
+    ///   [`OracleHealth::Degraded`], but the batch itself *stays*
+    ///   committed and logged — a reopen replays it from the WAL.
     pub fn commit(self) -> Result<UpdateStats, OracleError> {
         let oracle = self.oracle;
-        // Validate *before* logging: a batch the family would refuse
-        // must never become durable (it would poison every replay).
-        edits_supported(oracle.backend.family(), &self.edits)?;
+        if let OracleHealth::WritesPoisoned { reason } = &oracle.health {
+            return Err(OracleError::WritesPoisoned {
+                reason: reason.clone(),
+            });
+        }
+        // Admission: validate against the family and the current graph
+        // *before* logging — a batch the oracle cannot apply must never
+        // become durable (it would poison every replay).
+        validate_batch(
+            oracle.backend.family(),
+            oracle.backend.num_vertices(),
+            &self.edits,
+        )?;
+        if self.edits.is_empty() {
+            return Ok(UpdateStats::default());
+        }
+        // Phase 1 — write-ahead. Contained: on error or panic the WAL's
+        // truncate-on-unwind guard has already rolled the file back, so
+        // nothing is durable, nothing was applied, health is untouched.
         if let Some(d) = &mut oracle.durability {
             let sync = d.config.fsync == FsyncPolicy::EveryCommit;
-            d.wal
-                .append(oracle.batches_committed, &self.edits, sync)
-                .map_err(|e| OracleError::Durability {
-                    reason: e.to_string(),
-                })?;
+            let seq = oracle.batches_committed;
+            let edits = &self.edits;
+            match catch_unwind(AssertUnwindSafe(|| d.wal.append(seq, edits, sync))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    return Err(OracleError::Durability {
+                        reason: e.to_string(),
+                    })
+                }
+                Err(p) => {
+                    return Err(OracleError::CommitPanicked {
+                        reason: format!("wal append: {}", panic_reason(p)),
+                    })
+                }
+            }
         }
-        let stats = oracle.backend.commit_edits(&self.edits)?;
+        // Phase 2 — apply. The batch is durable now (when attached), so
+        // a failure past this point must be cancelled in the log too:
+        // capture the rollback token, contain any panic, and on failure
+        // abort the batch (abort record + generation rollback + poison).
+        let token = oracle.backend.rollback_token();
+        let stats = match catch_unwind(AssertUnwindSafe(|| {
+            oracle.backend.commit_edits(&self.edits)
+        })) {
+            Ok(Ok(stats)) => stats,
+            Ok(Err(e)) => {
+                oracle.abort_batch(token, &e.to_string());
+                return Err(e);
+            }
+            Err(p) => {
+                let full = oracle.abort_batch(token, &panic_reason(p));
+                return Err(OracleError::CommitPanicked { reason: full });
+            }
+        };
         oracle.batches_committed += 1;
+        // Phase 3 — auto-checkpoint. The batch is committed and logged;
+        // a checkpoint failure degrades health but is NOT rolled back —
+        // the WAL still replays the batch on reopen.
         let due = oracle.durability.as_mut().and_then(|d| {
             d.batches_since_checkpoint += 1;
             let every = d.config.checkpoint_every?;
             (d.batches_since_checkpoint >= every).then(|| d.dir.clone())
         });
         if let Some(dir) = due {
-            oracle.save(&dir).map_err(|e| OracleError::Durability {
-                reason: e.to_string(),
-            })?;
+            let failure = match catch_unwind(AssertUnwindSafe(|| oracle.save(&dir))) {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e.to_string()),
+                Err(p) => Some(format!("checkpoint panicked: {}", panic_reason(p))),
+            };
+            if let Some(reason) = failure {
+                oracle.health = OracleHealth::Degraded {
+                    reason: reason.clone(),
+                };
+                return Err(OracleError::Durability { reason });
+            }
+            // A succeeding checkpoint supersedes whatever the last
+            // failed one degraded us over.
+            if matches!(oracle.health, OracleHealth::Degraded { .. }) {
+                oracle.health = OracleHealth::Healthy;
+            }
         }
         Ok(stats)
     }
@@ -904,6 +1119,99 @@ mod tests {
         let err = oracle.update().set_weight(0, 5, 9).commit().unwrap_err();
         assert!(matches!(err, OracleError::WeightedEditsUnsupported { .. }));
         assert_eq!(oracle.version(), 1);
+    }
+
+    #[test]
+    fn empty_commit_is_a_noop() {
+        let dir = tmp_dir("empty");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        let version = oracle.version();
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        let stats = oracle.update().commit().unwrap();
+        assert_eq!(stats, UpdateStats::default(), "zeroed stats");
+        assert_eq!(oracle.version(), version, "no generation churn");
+        assert_eq!(oracle.batches_committed(), 0, "no sequence consumed");
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            wal_len,
+            "no WAL record"
+        );
+        assert_eq!(*oracle.health(), OracleHealth::Healthy);
+    }
+
+    #[test]
+    fn inadmissible_batches_are_refused_before_logging() {
+        let dir = tmp_dir("admission");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+        // Self-loop, dangling removal, conflicting duplicate.
+        let err = oracle.update().insert(2, 2).commit().unwrap_err();
+        assert!(
+            matches!(err, OracleError::InvalidBatch { index: 0, .. }),
+            "{err}"
+        );
+        let err = oracle.update().remove(0, 17).commit().unwrap_err();
+        assert!(
+            matches!(err, OracleError::InvalidBatch { index: 0, .. }),
+            "{err}"
+        );
+        let err = oracle
+            .update()
+            .insert(0, 3)
+            .remove(0, 3)
+            .commit()
+            .unwrap_err();
+        assert!(
+            matches!(err, OracleError::InvalidBatch { index: 1, .. }),
+            "{err}"
+        );
+        // Nothing was logged or applied; the oracle is still healthy
+        // and a well-formed batch still lands.
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            wal_len
+        );
+        assert_eq!(oracle.version(), 0);
+        assert_eq!(*oracle.health(), OracleHealth::Healthy);
+        oracle.update().insert(0, 5).commit().unwrap();
+        assert_eq!(oracle.query(0, 5), Some(1));
+    }
+
+    #[test]
+    fn verify_integrity_accepts_every_family() {
+        let mut o = Oracle::new(path(9)).unwrap();
+        o.update().insert(0, 8).commit().unwrap();
+        o.verify_integrity().unwrap();
+        let mut o = Oracle::new(DynamicDiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)])).unwrap();
+        o.update().insert(3, 4).commit().unwrap();
+        o.verify_integrity().unwrap();
+        let mut o = Oracle::new(WeightedGraph::from_edges(5, &[(0, 1, 2), (1, 2, 3)])).unwrap();
+        o.update().insert_weighted(2, 3, 4).commit().unwrap();
+        o.verify_integrity().unwrap();
     }
 
     #[test]

@@ -96,9 +96,12 @@ proptest! {
             .expect("undirected source");
         let batches = [b1, b2, b3];
         for (round, pairs) in batches.iter().enumerate() {
+            // One edit per edge per batch: admission rejects a batch
+            // that both inserts and removes the same edge.
+            let mut seen = std::collections::HashSet::new();
             let mut session = live.update();
             for &(x, y) in pairs {
-                if x == y {
+                if x == y || !seen.insert((x.min(y), x.max(y))) {
                     continue;
                 }
                 if mirror.has_edge(x, y) {
@@ -122,10 +125,11 @@ proptest! {
             // the next round's toggles to both (without mutating the
             // mirror — this is a what-if divergence check).
             if let Some(next) = batches.get(round + 1) {
+                let mut seen = std::collections::HashSet::new();
                 let mut a = live.update();
                 let mut b = loaded.update();
                 for &(x, y) in next {
-                    if x == y {
+                    if x == y || !seen.insert((x.min(y), x.max(y))) {
                         continue;
                     }
                     if mirror.has_edge(x, y) {
@@ -155,9 +159,10 @@ proptest! {
             .build(mirror.clone())
             .expect("directed source");
         for (round, pairs) in [b1, b2].iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
             let mut session = live.update();
             for &(x, y) in pairs {
-                if x == y {
+                if x == y || !seen.insert((x, y)) {
                     continue;
                 }
                 if mirror.has_edge(x, y) {
@@ -247,9 +252,10 @@ proptest! {
         let dir = fresh_dir();
         live.persist_to(&dir, no_sync()).expect("attach durability");
         for pairs in [b1, b2] {
+            let mut seen = std::collections::HashSet::new();
             let mut session = live.update();
             for (x, y) in pairs {
-                if x == y {
+                if x == y || !seen.insert((x.min(y), x.max(y))) {
                     continue;
                 }
                 if mirror.has_edge(x, y) {
