@@ -149,6 +149,16 @@ pub enum OracleHealth {
     WritesPoisoned {
         /// What failed.
         reason: String,
+        /// The WAL abort record cancelling the failed batch could not
+        /// be written, so the batch is still *live* in the log: a
+        /// naive reload would replay the very batch that just failed.
+        /// [`DistanceOracle::recover`] re-attempts the cancellation
+        /// before reloading and refuses to proceed while it keeps
+        /// failing; a cold [`DistanceOracle::open`] by a process with
+        /// no memory of the failure will attempt the replay, which is
+        /// contained — a deterministic replay failure surfaces as a
+        /// typed [`PersistError::Replay`], never a panic.
+        batch_still_logged: bool,
     },
 }
 
@@ -295,10 +305,40 @@ impl DistanceOracle {
     /// good generation, so recovery just clears the poison.
     ///
     /// Fails (leaving health untouched) only if the durable reload
-    /// itself fails; the error names the cause.
+    /// itself fails — including when the failed batch is still live in
+    /// the log ([`OracleHealth::WritesPoisoned::batch_still_logged`])
+    /// and re-attempting its WAL cancellation fails again; the error
+    /// names the cause.
     pub fn recover(&mut self) -> Result<(), OracleError> {
         if self.health == OracleHealth::Healthy {
             return Ok(());
+        }
+        // If the failed batch's abort record never reached the log, the
+        // WAL still replays that batch — retry the cancellation first,
+        // and refuse to reload behind a log that would replay a batch
+        // the caller was told failed.
+        if let OracleHealth::WritesPoisoned {
+            batch_still_logged: true,
+            ..
+        } = &self.health
+        {
+            if let Some(d) = &mut self.durability {
+                let seq = self.batches_committed;
+                d.wal
+                    .append_abort(seq, true)
+                    .map_err(|e| OracleError::Durability {
+                        reason: format!(
+                            "recover: failed batch {seq} is still logged and its abort \
+                             record could not be written: {e}"
+                        ),
+                    })?;
+            }
+            if let OracleHealth::WritesPoisoned {
+                batch_still_logged, ..
+            } = &mut self.health
+            {
+                *batch_still_logged = false;
+            }
         }
         if let Some(d) = &self.durability {
             let dir = d.dir.clone();
@@ -331,14 +371,17 @@ impl DistanceOracle {
     /// reason string recorded in the health state.
     fn abort_batch(&mut self, token: Box<dyn std::any::Any + Send>, reason: &str) -> String {
         let mut full = reason.to_string();
+        let mut batch_still_logged = false;
         if let Some(d) = &mut self.durability {
             let seq = self.batches_committed;
             match catch_unwind(AssertUnwindSafe(|| d.wal.append_abort(seq, true))) {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => {
+                    batch_still_logged = true;
                     full.push_str(&format!("; abort record failed: {e}"));
                 }
                 Err(p) => {
+                    batch_still_logged = true;
                     full.push_str(&format!("; abort record panicked: {}", panic_reason(p)));
                 }
             }
@@ -348,6 +391,7 @@ impl DistanceOracle {
         }
         self.health = OracleHealth::WritesPoisoned {
             reason: full.clone(),
+            batch_still_logged,
         };
         full
     }
@@ -487,9 +531,20 @@ impl DistanceOracle {
                     reason: format!("sequence gap: expected batch {cursor}, found {}", rec.seq),
                 });
             }
-            backend
-                .commit_edits(&rec.edits)
-                .map_err(PersistError::Replay)?;
+            // Replay under a panic boundary: the log may legitimately
+            // carry a batch whose cancellation could not be written
+            // (`batch_still_logged`), and `open` promises a typed error
+            // — never a panic — even when replaying it trips the same
+            // deterministic bug that failed the original commit.
+            match catch_unwind(AssertUnwindSafe(|| backend.commit_edits(&rec.edits))) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => return Err(PersistError::Replay(e)),
+                Err(p) => {
+                    return Err(PersistError::Replay(OracleError::CommitPanicked {
+                        reason: format!("replay of batch {}: {}", rec.seq, panic_reason(p)),
+                    }))
+                }
+            }
             cursor += 1;
             replayed += 1;
         }
@@ -718,7 +773,7 @@ impl UpdateSession<'_> {
     ///   committed and logged — a reopen replays it from the WAL.
     pub fn commit(self) -> Result<UpdateStats, OracleError> {
         let oracle = self.oracle;
-        if let OracleHealth::WritesPoisoned { reason } = &oracle.health {
+        if let OracleHealth::WritesPoisoned { reason, .. } = &oracle.health {
             return Err(OracleError::WritesPoisoned {
                 reason: reason.clone(),
             });

@@ -189,6 +189,19 @@ fn wal_phase_failures_leave_commit_atomic_and_healthy() {
                 assert_eq!(wal_len(&dir), pre_wal, "{ctx}: nothing appended");
                 // No recovery needed — the commit merely failed.
                 (fam.batch2)(&mut o).expect(&ctx);
+                // The failed append must have rolled the writer's own
+                // cursor back along with the file: the retry's record
+                // has to land flush against the previous one, or the
+                // zero-filled gap makes the whole directory unopenable
+                // (recovery decodes the gap as mid-log corruption).
+                let post = answers(&mut o);
+                let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(&ctx);
+                assert_eq!(reopened.batches_committed(), o.batches_committed(), "{ctx}");
+                assert_eq!(
+                    answers(&mut reopened),
+                    post,
+                    "{ctx}: reopen = post-retry state"
+                );
             }
         }
     }
@@ -270,6 +283,75 @@ fn mid_apply_panic_rolls_back_poisons_and_recovers() {
         (fam.batch2)(&mut o).expect(ctx);
         let post = answers(&mut o);
         assert_ne!(post, pre, "{ctx}: victim batch changes distances");
+        let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
+        assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
+    }
+}
+
+/// When the WAL abort record itself cannot be written after a
+/// mid-apply panic, the failed batch stays live in the log. The oracle
+/// must say so (`batch_still_logged`), a cold reopen that trips the
+/// same deterministic failure during replay must surface a typed error
+/// instead of panicking out of `open`, and `recover` must cancel the
+/// batch in the log *before* reloading — landing on exactly the
+/// pre-batch state, never silently replaying a batch the caller was
+/// told failed.
+#[test]
+fn failed_abort_record_is_tracked_and_cancelled_by_recover() {
+    let _g = serial();
+    for fam in families() {
+        let ctx = fam.name;
+        let dir = fresh_dir();
+        let mut o = (fam.build)();
+        o.persist_to(&dir, no_checkpoint()).expect("attach");
+        (fam.batch1)(&mut o).expect("baseline batch");
+        let pre = answers(&mut o);
+        let committed = o.batches_committed();
+        let pre_wal = wal_len(&dir);
+
+        // Fail the apply AND the abort record: the WAL write site
+        // passes the batch append (hit 1) and fires on the abort
+        // append (hit 2).
+        let panic_arm = failpoint::arm("engine::mid_repair_panic", Action::Panic);
+        let abort_arm = failpoint::arm_times("wal::after_write_before_sync", Action::Error, 1);
+        let err = (fam.batch2)(&mut o).expect_err(ctx);
+        drop(abort_arm);
+        drop(panic_arm);
+        assert!(
+            matches!(err, OracleError::CommitPanicked { .. }),
+            "{ctx}: {err}"
+        );
+        assert!(
+            matches!(
+                o.health(),
+                OracleHealth::WritesPoisoned {
+                    batch_still_logged: true,
+                    ..
+                }
+            ),
+            "{ctx}: {:?}",
+            o.health()
+        );
+        assert_eq!(answers(&mut o), pre, "{ctx}: rolled back in memory");
+        // The failed batch is durable with no cancelling abort record…
+        assert!(wal_len(&dir) > pre_wal, "{ctx}: batch still logged");
+        // …so a cold reopen replays it; when the replay trips the same
+        // deterministic failure, `open` reports it typed — no panic
+        // crosses the facade.
+        let replay_arm = failpoint::arm("engine::mid_repair_panic", Action::Panic);
+        let err = Oracle::open_with(&dir, no_checkpoint()).expect_err(ctx);
+        drop(replay_arm);
+        assert!(matches!(err, PersistError::Replay(_)), "{ctx}: {err}");
+
+        // In-process recovery first writes the abort record, then
+        // reloads: exactly the pre-batch state, writable again.
+        o.recover().expect(ctx);
+        assert_eq!(*o.health(), OracleHealth::Healthy, "{ctx}");
+        assert_eq!(o.batches_committed(), committed, "{ctx}");
+        assert_eq!(answers(&mut o), pre, "{ctx}: recover = pre-batch");
+        // The retried batch lands and survives a reopen.
+        (fam.batch2)(&mut o).expect(ctx);
+        let post = answers(&mut o);
         let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
         assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
     }
