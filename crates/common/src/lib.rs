@@ -23,7 +23,10 @@
 //!   shuffling that must not depend on external crates,
 //! * [`failpoint`] — deterministic fault-injection sites for the chaos
 //!   test suite (compiled out entirely unless the `failpoints` feature
-//!   is on).
+//!   is on),
+//! * [`metrics`] — atomic counters and fixed-bucket latency histograms
+//!   with Prometheus-style text exposition, recorded into by the
+//!   oracle's commit path and the `batchhl-server` serving tier.
 //!
 //! Everything here is deliberately free of dependencies so that the hot
 //! paths of the index are fully under our control.
@@ -36,6 +39,7 @@ pub mod dist;
 pub mod failpoint;
 pub mod hash;
 pub mod llen;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 

@@ -385,34 +385,14 @@ fn decode_payload(bytes: &[u8], offset: u64, version: u8) -> Result<DecodedRecor
     Ok(DecodedRecord::Batch(WalRecord { seq, edits }))
 }
 
-/// Read every complete record of the log, truncating a torn final
-/// record in place (see the module docs for the torn/corrupt split).
-///
-/// A missing file recovers to an empty log.
-pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecovery), PersistError> {
-    let path = path.as_ref();
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok((Vec::new(), WalRecovery::default()))
-        }
-        Err(e) => return Err(e.into()),
-    }
-    if bytes.len() < HEADER_LEN as usize {
-        // Even the file header is torn: recover to an empty log.
-        truncate_to(path, 0)?;
-        return Ok((
-            Vec::new(),
-            WalRecovery {
-                torn_bytes: bytes.len() as u64,
-                valid_len: 0,
-                aborted_batches: 0,
-            },
-        ));
-    }
+/// Scan every complete record of an in-memory WAL image, stopping (not
+/// failing) at a torn tail. Returns the surviving batch records (abort
+/// records already applied), the byte length of the valid prefix, and
+/// the number of cancelled batches. Shared by the recovering reader
+/// ([`recover_wal`], which then truncates) and the read-only tailer
+/// ([`read_wal_from`], which must never write — it may be looking at a
+/// live log another process is appending to).
+fn scan_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, usize, u64), PersistError> {
     if &bytes[0..4] != MAGIC {
         return Err(PersistError::BadMagic {
             expected: *MAGIC,
@@ -477,6 +457,38 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
         pos = body_end;
         valid_len = pos;
     }
+    Ok((records, valid_len, aborted))
+}
+
+/// Read every complete record of the log, truncating a torn final
+/// record in place (see the module docs for the torn/corrupt split).
+///
+/// A missing file recovers to an empty log.
+pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecovery), PersistError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), WalRecovery::default()))
+        }
+        Err(e) => return Err(e.into()),
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        // Even the file header is torn: recover to an empty log.
+        truncate_to(path, 0)?;
+        return Ok((
+            Vec::new(),
+            WalRecovery {
+                torn_bytes: bytes.len() as u64,
+                valid_len: 0,
+                aborted_batches: 0,
+            },
+        ));
+    }
+    let (records, valid_len, aborted) = scan_wal(&bytes)?;
     let torn = (bytes.len() - valid_len) as u64;
     if torn > 0 {
         truncate_to(path, valid_len as u64)?;
@@ -489,6 +501,48 @@ pub fn recover_wal(path: impl AsRef<Path>) -> Result<(Vec<WalRecord>, WalRecover
             aborted_batches: aborted,
         },
     ))
+}
+
+/// A read-only view of a log's surviving batch records, as used by
+/// WAL-shipping replication ([`read_wal_from`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalTail {
+    /// Surviving batch records with `seq >= from_seq`, in log order
+    /// (abort-cancelled batches are excluded).
+    pub records: Vec<WalRecord>,
+    /// Sequence number of the *oldest* surviving batch record in the
+    /// file, before the `from_seq` filter — `None` for an empty log. A
+    /// tailer that asks for `from_seq < floor` has fallen behind a WAL
+    /// rotation and must re-sync from a fresh checkpoint.
+    pub floor: Option<u64>,
+}
+
+/// Read the log **without touching it**: scan every complete record,
+/// stop silently at a torn or still-being-written tail, and return the
+/// surviving batch records with `seq >= from_seq`.
+///
+/// This is the replication read path. Unlike [`recover_wal`] it never
+/// truncates — the file may be the *live* log of a running primary,
+/// whose in-flight append must not be cut out from under it — and a
+/// partial tail simply means "end of what is durable so far". Mid-log
+/// corruption is still refused with a typed error. A missing file reads
+/// as an empty tail.
+pub fn read_wal_from(path: impl AsRef<Path>, from_seq: u64) -> Result<WalTail, PersistError> {
+    let mut bytes = Vec::new();
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalTail::default()),
+        Err(e) => return Err(e.into()),
+    }
+    if bytes.len() < HEADER_LEN as usize {
+        return Ok(WalTail::default());
+    }
+    let (mut records, _, _) = scan_wal(&bytes)?;
+    let floor = records.first().map(|r| r.seq);
+    records.retain(|r| r.seq >= from_seq);
+    Ok(WalTail { records, floor })
 }
 
 fn truncate_to(path: &Path, len: u64) -> Result<(), PersistError> {
@@ -781,6 +835,58 @@ mod tests {
         let (records, info) = recover_wal(&path).unwrap();
         assert_eq!(records.len(), 3, "appended batch cancelled");
         assert_eq!(info.aborted_batches, 1);
+    }
+
+    #[test]
+    fn read_wal_from_filters_and_reports_the_floor() {
+        let path = tmp("tail_read.wal");
+        write_sample(&path);
+        let tail = read_wal_from(&path, 0).unwrap();
+        assert_eq!(tail.records.len(), 3);
+        assert_eq!(tail.floor, Some(0));
+        let tail = read_wal_from(&path, 2).unwrap();
+        assert_eq!(tail.records.len(), 1);
+        assert_eq!(tail.records[0].seq, 2);
+        assert_eq!(tail.floor, Some(0), "floor is pre-filter");
+        // Past the end: nothing to ship yet, floor still visible.
+        let tail = read_wal_from(&path, 17).unwrap();
+        assert!(tail.records.is_empty());
+        assert_eq!(tail.floor, Some(0));
+        // Missing and empty logs read as empty tails.
+        assert_eq!(
+            read_wal_from(tmp("tail_nonexistent.wal"), 0).unwrap(),
+            WalTail::default()
+        );
+    }
+
+    #[test]
+    fn read_wal_from_never_truncates_a_torn_tail() {
+        let path = tmp("tail_torn.wal");
+        write_sample(&path);
+        let full = std::fs::read(&path).unwrap();
+        // Chop the final record in half: the read-only tailer must see
+        // the clean prefix and leave the file byte-identical (it may be
+        // a live log mid-append).
+        let cut = full.len() - 5;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let tail = read_wal_from(&path, 0).unwrap();
+        assert_eq!(tail.records.len(), 2, "clean prefix only");
+        assert_eq!(
+            std::fs::read(&path).unwrap().len(),
+            cut,
+            "file untouched by the read-only scan"
+        );
+        // Abort records are honoured by the tailer too.
+        let path2 = tmp("tail_abort.wal");
+        write_sample(&path2);
+        let mut w = WalWriter::open_append(&path2).unwrap();
+        w.append_abort(1, true).unwrap();
+        let tail = read_wal_from(&path2, 0).unwrap();
+        assert_eq!(
+            tail.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 2],
+            "cancelled batch is not shipped"
+        );
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! A blocking JSON-lines client.
+//!
+//! Small by design: it exists so the integration tests, the demo and
+//! the coalescer bench talk to the server through the same code path a
+//! real client would. Every request carries an `id` and responses are
+//! matched by `id`, so requests may be pipelined (see
+//! [`Client::send_query`] / [`Client::recv_dist`] — the bench uses a
+//! window of outstanding queries per connection).
+
+use crate::json::{parse, Json};
+use crate::protocol::encode_edit;
+use batchhl::{Dist, Edit, Vertex};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or timed out.
+    Io(io::Error),
+    /// The server sent something the client cannot interpret.
+    Protocol(String),
+    /// The server refused the request with a typed error.
+    Server { code: String, message: String },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server refused ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The server's error code, when the failure is a typed refusal.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// One blocking connection to a serving node.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    /// Responses read while waiting for a different id (pipelining).
+    pending: HashMap<u64, Json>,
+}
+
+impl Client {
+    /// Connect with a 10 s read timeout — a wedged server surfaces as
+    /// an error, never as a hang.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            next_id: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    fn send(&mut self, mut fields: Vec<(String, Json)>) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        fields.insert(0, ("id".to_string(), Json::u64(id)));
+        let mut line = Json::Obj(fields).render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(id)
+    }
+
+    fn read_response(&mut self) -> Result<(u64, Json), ClientError> {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("server closed the stream".into()));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let v = parse(line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            match v.get("id").and_then(Json::as_u64) {
+                Some(id) => return Ok((id, v)),
+                // Responses without an id (bad_request for an unparsable
+                // line) cannot be matched; surface them immediately.
+                None => return Err(server_error_of(&v)),
+            }
+        }
+    }
+
+    fn wait_for(&mut self, id: u64) -> Result<Json, ClientError> {
+        if let Some(v) = self.pending.remove(&id) {
+            return checked(v);
+        }
+        loop {
+            let (rid, v) = self.read_response()?;
+            if rid == id {
+                return checked(v);
+            }
+            self.pending.insert(rid, v);
+        }
+    }
+
+    fn call(&mut self, fields: Vec<(String, Json)>) -> Result<Json, ClientError> {
+        let id = self.send(fields)?;
+        self.wait_for(id)
+    }
+
+    /// Point distance query.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Result<Option<Dist>, ClientError> {
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("query")),
+            ("s".to_string(), Json::u64(s as u64)),
+            ("t".to_string(), Json::u64(t as u64)),
+        ])?;
+        dist_field(&v, "dist")
+    }
+
+    /// Send a point query without waiting (windowed pipelining).
+    pub fn send_query(&mut self, s: Vertex, t: Vertex) -> Result<u64, ClientError> {
+        self.send(vec![
+            ("op".to_string(), Json::str("query")),
+            ("s".to_string(), Json::u64(s as u64)),
+            ("t".to_string(), Json::u64(t as u64)),
+        ])
+    }
+
+    /// Receive the next pipelined answer: `(id, distance)`.
+    pub fn recv_dist(&mut self) -> Result<(u64, Option<Dist>), ClientError> {
+        let (id, v) = self.read_response()?;
+        let v = checked(v)?;
+        Ok((id, dist_field(&v, "dist")?))
+    }
+
+    /// Batched point queries, answered positionally.
+    pub fn query_many(
+        &mut self,
+        pairs: &[(Vertex, Vertex)],
+    ) -> Result<Vec<Option<Dist>>, ClientError> {
+        let wire = Json::Arr(
+            pairs
+                .iter()
+                .map(|&(s, t)| Json::Arr(vec![Json::u64(s as u64), Json::u64(t as u64)]))
+                .collect(),
+        );
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("query_many")),
+            ("pairs".to_string(), wire),
+        ])?;
+        dists_field(&v)
+    }
+
+    /// One-source fan-out.
+    pub fn distances_from(
+        &mut self,
+        s: Vertex,
+        targets: &[Vertex],
+    ) -> Result<Vec<Option<Dist>>, ClientError> {
+        let wire = Json::Arr(targets.iter().map(|&t| Json::u64(t as u64)).collect());
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("distances_from")),
+            ("s".to_string(), Json::u64(s as u64)),
+            ("targets".to_string(), wire),
+        ])?;
+        dists_field(&v)
+    }
+
+    /// The `k` nearest vertices to `s`.
+    pub fn top_k_closest(
+        &mut self,
+        s: Vertex,
+        k: usize,
+    ) -> Result<Vec<(Vertex, Dist)>, ClientError> {
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("top_k_closest")),
+            ("s".to_string(), Json::u64(s as u64)),
+            ("k".to_string(), Json::u64(k as u64)),
+        ])?;
+        let arr = v
+            .get("closest")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("missing \"closest\"".into()))?;
+        arr.iter()
+            .map(|pair| {
+                let pair = pair.as_arr().filter(|p| p.len() == 2);
+                match pair {
+                    Some([v, d]) => match (v.as_u64(), d.as_u64()) {
+                        (Some(v), Some(d)) => Ok((v as Vertex, d as Dist)),
+                        _ => Err(ClientError::Protocol("malformed closest pair".into())),
+                    },
+                    _ => Err(ClientError::Protocol("malformed closest pair".into())),
+                }
+            })
+            .collect()
+    }
+
+    /// Commit an edit batch. Returns `(applied, seq)`.
+    pub fn commit(&mut self, edits: &[Edit]) -> Result<(usize, u64), ClientError> {
+        let wire = Json::Arr(edits.iter().map(encode_edit).collect());
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("commit")),
+            ("edits".to_string(), wire),
+        ])?;
+        let applied = v
+            .get("applied")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing \"applied\"".into()))?;
+        let seq = v
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing \"seq\"".into()))?;
+        Ok((applied as usize, seq))
+    }
+
+    /// The node's health string (`healthy` / `degraded` /
+    /// `writes_poisoned`).
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        let v = self.call(vec![("op".to_string(), Json::str("health"))])?;
+        v.get("health")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("missing \"health\"".into()))
+    }
+
+    /// The node's counters, as raw JSON.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(vec![("op".to_string(), Json::str("stats"))])
+    }
+
+    /// Ask the node to recover (checkpoint + WAL reload). Returns the
+    /// committed cursor after recovery.
+    pub fn recover(&mut self) -> Result<u64, ClientError> {
+        let v = self.call(vec![("op".to_string(), Json::str("recover"))])?;
+        v.get("committed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing \"committed\"".into()))
+    }
+
+    /// Run the oracle's integrity verification on the node.
+    pub fn verify(&mut self) -> Result<(), ClientError> {
+        self.call(vec![("op".to_string(), Json::str("verify"))])
+            .map(|_| ())
+    }
+}
+
+fn checked(v: Json) -> Result<Json, ClientError> {
+    if v.get("error").is_some() {
+        Err(server_error_of(&v))
+    } else {
+        Ok(v)
+    }
+}
+
+fn server_error_of(v: &Json) -> ClientError {
+    match v.get("error").and_then(Json::as_str) {
+        Some(code) => ClientError::Server {
+            code: code.to_string(),
+            message: v
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        },
+        None => ClientError::Protocol(format!("unintelligible response: {}", v.render())),
+    }
+}
+
+fn dist_field(v: &Json, name: &str) -> Result<Option<Dist>, ClientError> {
+    match v.get(name) {
+        Some(Json::Null) => Ok(None),
+        Some(d) => d
+            .as_u64()
+            .map(|d| Some(d as Dist))
+            .ok_or_else(|| ClientError::Protocol(format!("malformed {name:?}"))),
+        None => Err(ClientError::Protocol(format!("missing {name:?}"))),
+    }
+}
+
+fn dists_field(v: &Json) -> Result<Vec<Option<Dist>>, ClientError> {
+    let arr = v
+        .get("dists")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("missing \"dists\"".into()))?;
+    arr.iter()
+        .map(|d| match d {
+            Json::Null => Ok(None),
+            d => d
+                .as_u64()
+                .map(|d| Some(d as Dist))
+                .ok_or_else(|| ClientError::Protocol("malformed distance".into())),
+        })
+        .collect()
+}
+
+/// Minimal HTTP GET against the server's shim: returns `(status,
+/// body)`. Supports exactly what the shim emits (`Connection: close`
+/// with a `Content-Length`).
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: batchhl\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let mut lines = response.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("malformed status line {status_line:?}")))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

@@ -1,0 +1,839 @@
+//! The serving front end: accept loop, connection threads, dispatch.
+//!
+//! One [`Server`] owns a [`DistanceOracle`] and serves it over TCP:
+//!
+//! - **JSON lines** (the protocol in [`crate::protocol`]): each
+//!   connection gets a thread that parses request lines and dispatches
+//!   them — coalescible point queries into the [`Coalescer`],
+//!   everything else as jobs on the [`WorkerPool`]. Responses carry the
+//!   request's `id`, so clients may pipeline.
+//! - **HTTP/1.1 shim**: a connection whose first line is an HTTP
+//!   request gets `GET /health` or `GET /metrics` answered and the
+//!   connection closed — enough for probes and scrapes, not a web
+//!   server.
+//!
+//! Admission control: writes are refused (`unhealthy`) unless the
+//! oracle reports [`OracleHealth::Healthy`], refused (`read_only`) on
+//! replicas, and *all* work is shed with a typed `shed` response when
+//! the job queue or coalescer is at capacity — an overloaded server
+//! degrades into fast refusals, never into unbounded queueing.
+
+use crate::coalescer::{CoalesceConfig, Coalescer};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{
+    parse_request, resp_committed, resp_dist, resp_dists, resp_error, resp_ok, resp_top_k, Request,
+    TailMsg, MAX_LINE_BYTES,
+};
+use batchhl::{DistanceOracle, Edit, OracleHealth, OracleReader, Vertex};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] listens and schedules.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing oracle jobs.
+    pub workers: usize,
+    /// Job-queue bound; submissions beyond it are shed.
+    pub max_queue: usize,
+    /// Microbatching window for point queries; `None` dispatches each
+    /// query as its own job (the baseline mode in the coalescer bench).
+    pub coalesce: Option<CoalesceConfig>,
+    /// Refuse `commit`/`recover` with a `read_only` error (replicas).
+    pub read_only: bool,
+    /// Node name reported by `health`/`stats` and the demo logs.
+    pub node: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_queue: 1024,
+            coalesce: Some(CoalesceConfig::default()),
+            read_only: false,
+            node: "primary".to_string(),
+        }
+    }
+}
+
+/// The write half of a connection, shared between the connection
+/// thread and coalescer drain jobs. One lock + one flush per batch of
+/// lines is the syscall amortization the coalescer exists for.
+pub struct Conn {
+    writer: Mutex<BufWriter<TcpStream>>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            writer: Mutex::new(BufWriter::new(stream)),
+        }
+    }
+
+    /// Write one response line (newline appended) and flush.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// Write many response lines under one lock with one flush.
+    pub fn write_lines(&self, lines: &[String]) -> io::Result<()> {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        for line in lines {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+}
+
+/// A point query parked in the coalescer.
+pub struct PendingQuery {
+    pub s: Vertex,
+    pub t: Vertex,
+    pub id: Option<u64>,
+    pub conn: Arc<Conn>,
+    pub start: Instant,
+}
+
+/// Everything connection threads and jobs share.
+pub(crate) struct Core {
+    oracle: Mutex<DistanceOracle>,
+    reader: RwLock<OracleReader>,
+    /// Batches committed (mirrors `oracle.batches_committed()` so tail
+    /// streams can wait on it without holding the oracle lock).
+    committed: Mutex<u64>,
+    commit_cv: Condvar,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) pool: WorkerPool,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Core {
+    pub(crate) fn committed_seq(&self) -> u64 {
+        *self.committed.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn publish_committed(&self, seq: u64) {
+        *self.committed.lock().unwrap_or_else(|e| e.into_inner()) = seq;
+        self.commit_cv.notify_all();
+    }
+
+    /// Apply a replicated batch (replica side). The batch must be the
+    /// next in sequence; a gap means the stream diverged and the
+    /// caller re-syncs from a checkpoint.
+    pub(crate) fn apply_remote_batch(&self, seq: u64, edits: &[Edit]) -> Result<(), String> {
+        let mut oracle = self.oracle.lock().unwrap_or_else(|e| e.into_inner());
+        let have = oracle.batches_committed();
+        if seq != have {
+            return Err(format!(
+                "sequence gap: batch {seq} arrived at cursor {have}"
+            ));
+        }
+        let mut session = oracle.update();
+        for &edit in edits {
+            session = session.push(edit);
+        }
+        session
+            .commit()
+            .map_err(|e| format!("replicated batch {seq} refused: {e:?}"))?;
+        let now = oracle.batches_committed();
+        drop(oracle);
+        self.metrics.commits.inc();
+        self.publish_committed(now);
+        Ok(())
+    }
+
+    /// Swap in a freshly re-synced oracle (replica re-sync path).
+    pub(crate) fn install_oracle(&self, new_oracle: DistanceOracle) {
+        let reader = new_oracle.reader();
+        let seq = new_oracle.batches_committed();
+        *self.oracle.lock().unwrap_or_else(|e| e.into_inner()) = new_oracle;
+        *self.reader.write().unwrap_or_else(|e| e.into_inner()) = reader;
+        self.publish_committed(seq);
+    }
+
+    fn health_summary(&self) -> (String, Option<String>) {
+        let oracle = self.oracle.lock().unwrap_or_else(|e| e.into_inner());
+        match oracle.health() {
+            OracleHealth::Healthy => ("healthy".to_string(), None),
+            OracleHealth::Degraded { reason } => ("degraded".to_string(), Some(reason.clone())),
+            OracleHealth::WritesPoisoned { reason, .. } => {
+                ("writes_poisoned".to_string(), Some(reason.clone()))
+            }
+        }
+    }
+}
+
+/// A running serving node. Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops the acceptor, the workers,
+/// the coalescer and every connection thread.
+pub struct Server {
+    core: Arc<Core>,
+    coalescer: Option<Arc<Coalescer<PendingQuery>>>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Take ownership of an oracle and serve it on `config.addr`.
+    pub fn start(oracle: DistanceOracle, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let reader = oracle.reader();
+        let committed = oracle.batches_committed();
+        let pool = WorkerPool::new(&config.node, config.workers, config.max_queue);
+        let core = Arc::new(Core {
+            oracle: Mutex::new(oracle),
+            reader: RwLock::new(reader),
+            committed: Mutex::new(committed),
+            commit_cv: Condvar::new(),
+            metrics: ServerMetrics::new(),
+            pool,
+            shutdown: AtomicBool::new(false),
+            config: config.clone(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let coalescer = config.coalesce.map(|cfg| {
+            let drain_core = Arc::clone(&core);
+            Arc::new(Coalescer::start(cfg, move |batch: Vec<PendingQuery>| {
+                let job_core = Arc::clone(&drain_core);
+                let job = Box::new(move || execute_coalesced(&job_core, batch));
+                // Members were admitted individually; never drop them.
+                let _ = drain_core.pool.submit_unbounded(job);
+            }))
+        });
+        let acceptor = {
+            let core = Arc::clone(&core);
+            let coalescer = coalescer.clone();
+            std::thread::Builder::new()
+                .name(format!("{}-acceptor", core.config.node))
+                .spawn(move || accept_loop(&listener, &core, coalescer.as_ref()))?
+        };
+        Ok(Server {
+            core,
+            coalescer,
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's metrics (also served at `GET /metrics`).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.core.metrics
+    }
+
+    /// Batches this node has committed/applied.
+    pub fn committed_seq(&self) -> u64 {
+        self.core.committed_seq()
+    }
+
+    pub(crate) fn core(&self) -> &Arc<Core> {
+        &self.core
+    }
+
+    /// Stop accepting, drain the coalescer, stop the workers and join
+    /// every connection thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.commit_cv.notify_all();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(coalescer) = &self.coalescer {
+            coalescer.shutdown();
+        }
+        self.core.pool.shutdown();
+        let conns: Vec<_> = self
+            .core
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    core: &Arc<Core>,
+    coalescer: Option<&Arc<Coalescer<PendingQuery>>>,
+) {
+    let mut next_conn = 0u64;
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                core.metrics.conns_opened.inc();
+                let conn_core = Arc::clone(core);
+                let conn_coalescer = coalescer.map(Arc::clone);
+                let handle = std::thread::Builder::new()
+                    .name(format!("{}-conn-{next_conn}", core.config.node))
+                    .spawn(move || {
+                        serve_connection(&conn_core, conn_coalescer.as_deref(), stream);
+                        conn_core.metrics.conns_closed.inc();
+                    });
+                next_conn += 1;
+                match handle {
+                    Ok(handle) => core
+                        .conns
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle),
+                    Err(_) => core.metrics.conns_closed.inc(),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Buffered line reader over a read-timeout socket: timeouts poll the
+/// shutdown flag, partial lines survive across reads, and a line
+/// longer than [`MAX_LINE_BYTES`] is an error (hostile input must not
+/// grow the buffer unboundedly). A partial line at EOF is dropped,
+/// never surfaced — a peer killed mid-write leaves a clean prefix.
+pub(crate) struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+pub(crate) enum ReadOutcome {
+    Line(String),
+    Closed,
+    TooLong,
+}
+
+impl LineReader {
+    pub(crate) fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    pub(crate) fn read_line(&mut self, shutdown: &AtomicBool) -> ReadOutcome {
+        let mut scanned = 0;
+        loop {
+            if let Some(nl) = self.buf[scanned..].iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..scanned + nl + 1).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => ReadOutcome::Line(s),
+                    Err(_) => ReadOutcome::TooLong, // handled as bad input
+                };
+            }
+            scanned = self.buf.len();
+            if scanned > MAX_LINE_BYTES {
+                return ReadOutcome::TooLong;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::Acquire) {
+                        return ReadOutcome::Closed;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+}
+
+fn serve_connection(
+    core: &Arc<Core>,
+    coalescer: Option<&Coalescer<PendingQuery>>,
+    stream: TcpStream,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let conn = Arc::new(Conn::new(write_half));
+    let mut reader = LineReader::new(stream);
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let line = match reader.read_line(&core.shutdown) {
+            ReadOutcome::Line(line) => line,
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLong => {
+                core.metrics.bad_requests.inc();
+                let _ = conn.write_line(&resp_error(
+                    None,
+                    "bad_request",
+                    "request line too long or not valid UTF-8",
+                ));
+                return;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        // HTTP shim: probes and scrapes speak HTTP on the same port.
+        if line.starts_with("GET ") || line.starts_with("HEAD ") || line.starts_with("POST ") {
+            serve_http(core, &mut reader, &conn, &line);
+            return;
+        }
+        if !dispatch(core, coalescer, &conn, &line) {
+            return;
+        }
+    }
+}
+
+/// Handle one request line. Returns `false` when the connection should
+/// close (tail streams end their connection).
+fn dispatch(
+    core: &Arc<Core>,
+    coalescer: Option<&Coalescer<PendingQuery>>,
+    conn: &Arc<Conn>,
+    line: &str,
+) -> bool {
+    let start = Instant::now();
+    let envelope = match parse_request(line) {
+        Ok(envelope) => envelope,
+        Err(reason) => {
+            core.metrics.bad_requests.inc();
+            let _ = conn.write_line(&resp_error(None, "bad_request", &reason));
+            return true;
+        }
+    };
+    let id = envelope.id;
+    match envelope.request {
+        Request::Query { s, t } => {
+            if let Some(coalescer) = coalescer {
+                let pending = PendingQuery {
+                    s,
+                    t,
+                    id,
+                    conn: Arc::clone(conn),
+                    start,
+                };
+                if coalescer.submit(pending).is_err() {
+                    shed(core, conn, id, "coalescer at capacity");
+                }
+            } else {
+                submit_or_shed(core, conn, id, {
+                    let core = Arc::clone(core);
+                    let conn = Arc::clone(conn);
+                    Box::new(move || {
+                        let d = core
+                            .reader
+                            .read()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .query(s, t);
+                        core.metrics.queries.inc();
+                        core.metrics.request_latency.observe(start.elapsed());
+                        let _ = conn.write_line(&resp_dist(id, d));
+                    })
+                });
+            }
+        }
+        Request::QueryMany { pairs } => submit_or_shed(core, conn, id, {
+            let core = Arc::clone(core);
+            let conn = Arc::clone(conn);
+            Box::new(move || {
+                let ds = core
+                    .reader
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .query_many(&pairs);
+                core.metrics.queries.add(pairs.len() as u64);
+                core.metrics.request_latency.observe(start.elapsed());
+                let _ = conn.write_line(&resp_dists(id, &ds));
+            })
+        }),
+        Request::DistancesFrom { s, targets } => submit_or_shed(core, conn, id, {
+            let core = Arc::clone(core);
+            let conn = Arc::clone(conn);
+            Box::new(move || {
+                let ds = core
+                    .reader
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .distances_from(s, &targets);
+                core.metrics.queries.add(targets.len() as u64);
+                core.metrics.request_latency.observe(start.elapsed());
+                let _ = conn.write_line(&resp_dists(id, &ds));
+            })
+        }),
+        Request::TopKClosest { s, k } => submit_or_shed(core, conn, id, {
+            let core = Arc::clone(core);
+            let conn = Arc::clone(conn);
+            Box::new(move || {
+                let closest = core
+                    .reader
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .top_k_closest(s, k);
+                core.metrics.queries.inc();
+                core.metrics.request_latency.observe(start.elapsed());
+                let _ = conn.write_line(&resp_top_k(id, &closest));
+            })
+        }),
+        Request::Commit { edits } => {
+            if core.config.read_only {
+                let _ = conn.write_line(&resp_error(
+                    id,
+                    "read_only",
+                    "this node is a replica; commit on the primary",
+                ));
+                return true;
+            }
+            submit_or_shed(core, conn, id, {
+                let core = Arc::clone(core);
+                let conn = Arc::clone(conn);
+                Box::new(move || run_commit(&core, &conn, id, &edits))
+            });
+        }
+        Request::Recover => {
+            if core.config.read_only {
+                let _ = conn.write_line(&resp_error(
+                    id,
+                    "read_only",
+                    "this node is a replica; recover on the primary",
+                ));
+                return true;
+            }
+            submit_or_shed(core, conn, id, {
+                let core = Arc::clone(core);
+                let conn = Arc::clone(conn);
+                Box::new(move || run_recover(&core, &conn, id))
+            });
+        }
+        Request::Verify => submit_or_shed(core, conn, id, {
+            let core = Arc::clone(core);
+            let conn = Arc::clone(conn);
+            Box::new(move || {
+                let result = core
+                    .oracle
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .verify_integrity();
+                let _ = match result {
+                    Ok(()) => conn.write_line(&resp_ok(id, vec![])),
+                    Err(e) => conn.write_line(&resp_error(id, "internal", &format!("{e:?}"))),
+                };
+            })
+        }),
+        Request::Health => {
+            let (health, reason) = core.health_summary();
+            let mut extra = vec![
+                ("health".to_string(), Json::str(health)),
+                ("node".to_string(), Json::str(core.config.node.clone())),
+            ];
+            if let Some(reason) = reason {
+                extra.push(("reason".to_string(), Json::str(reason)));
+            }
+            let _ = conn.write_line(&resp_ok(id, extra));
+        }
+        Request::Stats => {
+            let position = core
+                .oracle
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .wal_position();
+            let extra = vec![
+                ("node".to_string(), Json::str(core.config.node.clone())),
+                ("committed".to_string(), Json::u64(core.committed_seq())),
+                (
+                    "queue_depth".to_string(),
+                    Json::u64(core.pool.depth() as u64),
+                ),
+                ("queries".to_string(), Json::u64(core.metrics.queries.get())),
+                ("sheds".to_string(), Json::u64(core.metrics.sheds.get())),
+                ("next_seq".to_string(), Json::u64(position.next_seq)),
+                (
+                    "wal_bytes".to_string(),
+                    position.wal_bytes.map_or(Json::Null, Json::u64),
+                ),
+            ];
+            let _ = conn.write_line(&resp_ok(id, extra));
+        }
+        Request::Tail { from_seq } => {
+            serve_tail(core, conn, id, from_seq);
+            return false;
+        }
+    }
+    true
+}
+
+fn shed(core: &Core, conn: &Conn, id: Option<u64>, what: &str) {
+    core.metrics.sheds.inc();
+    let _ = conn.write_line(&resp_error(
+        id,
+        "shed",
+        &format!("overloaded ({what}); retry later"),
+    ));
+}
+
+fn submit_or_shed(core: &Arc<Core>, conn: &Arc<Conn>, id: Option<u64>, job: crate::pool::Job) {
+    match core.pool.submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full { depth }) => {
+            shed(core, conn, id, &format!("queue depth {depth}"));
+        }
+        Err(SubmitError::ShuttingDown) => {
+            let _ = conn.write_line(&resp_error(id, "shed", "server shutting down"));
+        }
+    }
+}
+
+fn run_commit(core: &Core, conn: &Conn, id: Option<u64>, edits: &[Edit]) {
+    let mut oracle = core.oracle.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(reason) = health_refusal(&oracle) {
+        drop(oracle);
+        let _ = conn.write_line(&resp_error(id, "unhealthy", &reason));
+        return;
+    }
+    let seq = oracle.batches_committed();
+    let mut session = oracle.update();
+    for &edit in edits {
+        session = session.push(edit);
+    }
+    match session.commit() {
+        Ok(stats) => {
+            let now = oracle.batches_committed();
+            drop(oracle);
+            core.metrics.commits.inc();
+            core.publish_committed(now);
+            let _ = conn.write_line(&resp_committed(id, stats.applied, seq));
+        }
+        Err(e) => {
+            drop(oracle);
+            let _ = conn.write_line(&resp_error(id, "commit_failed", &format!("{e:?}")));
+        }
+    }
+}
+
+fn health_refusal(oracle: &DistanceOracle) -> Option<String> {
+    match oracle.health() {
+        OracleHealth::Healthy => None,
+        OracleHealth::Degraded { reason } => {
+            Some(format!("oracle degraded: {reason}; run recover"))
+        }
+        OracleHealth::WritesPoisoned { reason, .. } => {
+            Some(format!("writes poisoned: {reason}; run recover"))
+        }
+    }
+}
+
+fn run_recover(core: &Core, conn: &Conn, id: Option<u64>) {
+    let mut oracle = core.oracle.lock().unwrap_or_else(|e| e.into_inner());
+    match oracle.recover() {
+        Ok(()) => {
+            // Readers do NOT re-pin across recover(): publish a fresh
+            // handle for every query path.
+            let reader = oracle.reader();
+            let seq = oracle.batches_committed();
+            drop(oracle);
+            *core.reader.write().unwrap_or_else(|e| e.into_inner()) = reader;
+            core.publish_committed(seq);
+            let _ = conn.write_line(&resp_ok(
+                id,
+                vec![("committed".to_string(), Json::u64(seq))],
+            ));
+        }
+        Err(e) => {
+            drop(oracle);
+            let _ = conn.write_line(&resp_error(id, "internal", &format!("{e:?}")));
+        }
+    }
+}
+
+/// Answer one coalesced batch: one `query_many` (grouped by source
+/// inside the oracle), one write + flush per distinct connection.
+fn execute_coalesced(core: &Core, batch: Vec<PendingQuery>) {
+    core.metrics.coalesce_batch.observe_us(batch.len() as u64);
+    let pairs: Vec<(Vertex, Vertex)> = batch.iter().map(|q| (q.s, q.t)).collect();
+    let dists = core
+        .reader
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .query_many(&pairs);
+    core.metrics.queries.add(batch.len() as u64);
+    let mut groups: Vec<(Arc<Conn>, Vec<String>)> = Vec::new();
+    for (q, d) in batch.iter().zip(&dists) {
+        let line = resp_dist(q.id, *d);
+        match groups.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &q.conn)) {
+            Some((_, lines)) => lines.push(line),
+            None => groups.push((Arc::clone(&q.conn), vec![line])),
+        }
+    }
+    for (conn, lines) in &groups {
+        let _ = conn.write_lines(lines);
+    }
+    for q in &batch {
+        core.metrics.request_latency.observe(q.start.elapsed());
+    }
+}
+
+/// Stream committed WAL batches to a tailing replica. Runs on the
+/// connection's own thread; the connection closes when the stream ends.
+fn serve_tail(core: &Arc<Core>, conn: &Arc<Conn>, id: Option<u64>, from_seq: u64) {
+    {
+        let oracle = core.oracle.lock().unwrap_or_else(|e| e.into_inner());
+        if oracle.durability_dir().is_none() {
+            drop(oracle);
+            let _ = conn.write_line(&resp_error(
+                id,
+                "not_primary",
+                "this node has no write-ahead log to ship",
+            ));
+            return;
+        }
+    }
+    let mut next = from_seq;
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Read the committed cursor BEFORE scanning the WAL: a record
+        // with `seq >= committed` may be an in-flight batch that is
+        // about to be aborted, and must never be shipped.
+        let committed = core.committed_seq();
+        let tail = {
+            let oracle = core.oracle.lock().unwrap_or_else(|e| e.into_inner());
+            oracle.wal_tail(next)
+        };
+        let tail = match tail {
+            Ok(tail) => tail,
+            Err(e) => {
+                let _ = conn.write_line(&resp_error(id, "internal", &format!("{e:?}")));
+                return;
+            }
+        };
+        // The retained log starts after the requested position: the
+        // records in between were pruned by a checkpoint rotation and
+        // the replica must re-sync from a fresh checkpoint.
+        let pruned = match tail.floor {
+            Some(floor) => next < floor,
+            None => next < committed,
+        };
+        if pruned {
+            let msg = TailMsg::Resync {
+                floor: tail.floor.unwrap_or(committed),
+                next: committed,
+            };
+            let _ = conn.write_line(&msg.render());
+            return;
+        }
+        let mut shipped = false;
+        for record in &tail.records {
+            if record.seq >= next && record.seq < committed {
+                if conn
+                    .write_line(&TailMsg::from_record(record).render())
+                    .is_err()
+                {
+                    return;
+                }
+                core.metrics.tail_records.inc();
+                next = record.seq + 1;
+                shipped = true;
+            }
+        }
+        if !shipped {
+            if conn
+                .write_line(&TailMsg::Heartbeat { next }.render())
+                .is_err()
+            {
+                return;
+            }
+            // Park until another batch commits (or shutdown).
+            let guard = core.committed.lock().unwrap_or_else(|e| e.into_inner());
+            if *guard <= next && !core.shutdown.load(Ordering::Acquire) {
+                let _ = core
+                    .commit_cv
+                    .wait_timeout(guard, Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+/// Serve the HTTP shim: `GET /health`, `GET /metrics`, 404 otherwise.
+/// Reads (and discards) the header block, answers, closes.
+fn serve_http(core: &Core, reader: &mut LineReader, conn: &Conn, request_line: &str) {
+    // Drain headers until the blank line (ignore errors: the response
+    // below is best-effort either way).
+    loop {
+        match reader.read_line(&core.shutdown) {
+            ReadOutcome::Line(line) if line.is_empty() => break,
+            ReadOutcome::Line(_) => {}
+            _ => break,
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/health" => {
+            let (health, reason) = core.health_summary();
+            let mut fields = vec![
+                ("ok".to_string(), Json::Bool(health == "healthy")),
+                ("health".to_string(), Json::str(health)),
+                ("node".to_string(), Json::str(core.config.node.clone())),
+                ("committed".to_string(), Json::u64(core.committed_seq())),
+            ];
+            if let Some(reason) = reason {
+                fields.push(("reason".to_string(), Json::str(reason)));
+            }
+            ("200 OK", "application/json", Json::Obj(fields).render())
+        }
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", core.metrics.render()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("no such endpoint: {path}\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let mut w = conn.writer.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.write_all(response.as_bytes());
+    let _ = w.flush();
+}

@@ -1,0 +1,241 @@
+//! WAL-shipping read replicas.
+//!
+//! A [`Replica`] is a read-only serving node that stays current by
+//! tailing a primary's write-ahead log over the wire:
+//!
+//! 1. **Bootstrap** — open the primary's checkpoint directory with
+//!    [`DistanceOracle::open_detached`] (read-only: the checkpoint is
+//!    loaded and the WAL replayed without truncating or locking the
+//!    primary's files).
+//! 2. **Tail** — connect to the primary, send
+//!    `{"op":"tail","from_seq":N}`, and apply every streamed batch
+//!    through the ordinary commit path (in memory — the replica never
+//!    writes a log of its own). Applied batches advance the replica's
+//!    committed cursor, so its readers serve snapshot-consistent
+//!    answers that are byte-identical to the primary's for every
+//!    replicated prefix.
+//! 3. **Heal** — a dropped connection reconnects with doubling
+//!    backoff; a `resync` message (the replica's position predates the
+//!    primary's retained WAL after a checkpoint rotation) or a
+//!    sequence gap reloads a fresh checkpoint and re-tails from there.
+//!
+//! The primary ships only *committed* batches (never an in-flight or
+//! aborted one), and the line framing drops a partial line at EOF, so
+//! a primary killed mid-write leaves the replica at a clean batch
+//! prefix — never half a batch.
+
+use crate::handlers::{LineReader, ReadOutcome, Server, ServerConfig};
+use crate::metrics::ServerMetrics;
+use crate::protocol::TailMsg;
+use batchhl::DistanceOracle;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a replica finds its primary and serves.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The primary's JSON-lines address (for the `tail` stream).
+    pub primary_addr: String,
+    /// The primary's durability directory: checkpoint + WAL. The
+    /// replica reads it for bootstrap and re-sync, never writes it.
+    pub checkpoint_dir: PathBuf,
+    /// How the replica itself serves; `read_only` is forced on.
+    pub serve: ServerConfig,
+    /// First reconnect delay; doubles per failure up to `max_backoff`.
+    pub initial_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl ReplicaConfig {
+    /// A replica of `primary_addr`, bootstrapping from
+    /// `checkpoint_dir`, with default serving settings.
+    pub fn new(primary_addr: impl Into<String>, checkpoint_dir: impl Into<PathBuf>) -> Self {
+        ReplicaConfig {
+            primary_addr: primary_addr.into(),
+            checkpoint_dir: checkpoint_dir.into(),
+            serve: ServerConfig {
+                node: "replica".to_string(),
+                ..ServerConfig::default()
+            },
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A running replica: a read-only [`Server`] plus the tailer thread
+/// keeping it current.
+pub struct Replica {
+    server: Server,
+    tailer: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Replica {
+    /// Bootstrap from the checkpoint directory and start tailing.
+    pub fn start(config: ReplicaConfig) -> io::Result<Replica> {
+        let oracle = DistanceOracle::open_detached(&config.checkpoint_dir)
+            .map_err(|e| io::Error::other(format!("replica bootstrap failed: {e:?}")))?;
+        let serve = ServerConfig {
+            read_only: true,
+            ..config.serve.clone()
+        };
+        let server = Server::start(oracle, serve)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let tailer = {
+            let core = Arc::clone(server.core());
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("replica-tailer".to_string())
+                .spawn(move || tail_loop(&core, &stop, &config))?
+        };
+        Ok(Replica {
+            server,
+            tailer: Some(tailer),
+            stop,
+        })
+    }
+
+    /// The replica's own serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Batches applied so far (the replica's committed cursor).
+    pub fn applied_seq(&self) -> u64 {
+        self.server.committed_seq()
+    }
+
+    /// This node's metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        self.server.metrics()
+    }
+
+    /// Block until the replica has applied at least `seq` batches.
+    /// Returns `false` on timeout.
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.applied_seq() < seq {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Stop the tailer and the serving threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.tailer.take() {
+            let _ = handle.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Why one tailing session ended.
+enum SessionEnd {
+    /// Connection lost / stream ended — reconnect and continue.
+    Reconnect,
+    /// Position diverged or was pruned — reload from the checkpoint.
+    Resync,
+    /// Shutdown requested.
+    Stop,
+}
+
+fn tail_loop(core: &Arc<crate::handlers::Core>, stop: &AtomicBool, config: &ReplicaConfig) {
+    let mut backoff = config.initial_backoff;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match tail_session(core, stop, config) {
+            SessionEnd::Stop => return,
+            SessionEnd::Resync => {
+                match DistanceOracle::open_detached(&config.checkpoint_dir) {
+                    Ok(fresh) => {
+                        core.install_oracle(fresh);
+                        backoff = config.initial_backoff;
+                    }
+                    // Checkpoint mid-rotation or unreadable: back off
+                    // and retry the whole cycle.
+                    Err(_) => sleep_with_stop(stop, &mut backoff, config.max_backoff),
+                }
+            }
+            SessionEnd::Reconnect => sleep_with_stop(stop, &mut backoff, config.max_backoff),
+        }
+    }
+}
+
+fn sleep_with_stop(stop: &AtomicBool, backoff: &mut Duration, max: Duration) {
+    let deadline = Instant::now() + *backoff;
+    while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(10).min(*backoff));
+    }
+    *backoff = (*backoff * 2).min(max);
+}
+
+/// One connected tailing session: subscribe at the current cursor and
+/// apply batches until the stream ends.
+fn tail_session(
+    core: &Arc<crate::handlers::Core>,
+    stop: &AtomicBool,
+    config: &ReplicaConfig,
+) -> SessionEnd {
+    let mut stream = match TcpStream::connect(&config.primary_addr) {
+        Ok(s) => s,
+        Err(_) => return SessionEnd::Reconnect,
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let from_seq = core.committed_seq();
+    let subscribe = format!("{{\"op\":\"tail\",\"from_seq\":{from_seq}}}\n");
+    if stream.write_all(subscribe.as_bytes()).is_err() {
+        return SessionEnd::Reconnect;
+    }
+    let mut reader = LineReader::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return SessionEnd::Stop;
+        }
+        let line = match reader.read_line(stop) {
+            ReadOutcome::Line(line) => line,
+            // EOF, error, or stop; a partial trailing line (primary
+            // killed mid-write) is dropped by the reader, leaving the
+            // replica at the last complete batch.
+            ReadOutcome::Closed | ReadOutcome::TooLong => {
+                return if stop.load(Ordering::Acquire) {
+                    SessionEnd::Stop
+                } else {
+                    SessionEnd::Reconnect
+                };
+            }
+        };
+        match TailMsg::parse(&line) {
+            Ok(TailMsg::Batch { seq, edits }) => {
+                if core.apply_remote_batch(seq, &edits).is_err() {
+                    // Sequence gap or refused batch: state diverged.
+                    return SessionEnd::Resync;
+                }
+            }
+            Ok(TailMsg::Heartbeat { .. }) => {}
+            Ok(TailMsg::Resync { .. }) => return SessionEnd::Resync,
+            // The primary answered with an error object (or garbage):
+            // treat like a dropped stream.
+            Err(_) => return SessionEnd::Reconnect,
+        }
+    }
+}

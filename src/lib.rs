@@ -42,15 +42,18 @@ pub mod oracle;
 
 pub use oracle::{
     DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleHealth,
-    OracleReader, UpdateSession,
+    OracleReader, UpdateSession, WalPosition,
 };
 
 // Batch admission (also run internally by every `commit`).
 pub use batchhl_core::admission::validate_batch;
 
-// The persistence vocabulary (checkpoints + write-ahead log).
+// The persistence vocabulary (checkpoints + write-ahead log), plus the
+// read-only tail scan WAL-shipping replication is built on.
 pub use batchhl_core::persist::{CheckpointMeta, PersistError};
-pub use batchhl_core::wal::{recover_wal, WalRecord, WalRecovery, WalWriter};
+pub use batchhl_core::wal::{
+    read_wal_from, recover_wal, WalRecord, WalRecovery, WalTail, WalWriter,
+};
 
 // The family-erased backend surface (for callers extending the oracle
 // with a fourth family, or inspecting errors).

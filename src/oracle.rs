@@ -42,6 +42,7 @@
 //! `&self` (the handle re-pins the freshest published generation
 //! internally), so no `&mut` ever crosses a thread boundary.
 
+use batchhl_common::metrics;
 use batchhl_common::{Dist, Vertex};
 use batchhl_core::admission::validate_batch;
 use batchhl_core::backend::{
@@ -51,13 +52,40 @@ use batchhl_core::backend::{
 use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
 use batchhl_core::persist::{write_checkpoint, CheckpointMeta, PersistError};
 use batchhl_core::stats::UpdateStats;
-use batchhl_core::wal::{recover_wal, WalWriter};
+use batchhl_core::wal::{read_wal_from, recover_wal, WalRecord, WalTail, WalWriter};
 use batchhl_graph::weighted::Weight;
 use batchhl_hcl::LandmarkSelection;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Handles into the process-wide metrics registry
+/// ([`metrics::global`]), resolved once: the facade records owner-side
+/// query latency and commit latency/outcomes so both are observable
+/// without a serving tier (`batchhl-server` layers its own per-node
+/// registry on top).
+struct FacadeMetrics {
+    query_latency: Arc<metrics::Histogram>,
+    commit_latency: Arc<metrics::Histogram>,
+    commits: Arc<metrics::Counter>,
+    commit_failures: Arc<metrics::Counter>,
+}
+
+fn facade_metrics() -> &'static FacadeMetrics {
+    static METRICS: OnceLock<FacadeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = metrics::global();
+        FacadeMetrics {
+            query_latency: r.histogram("batchhl_oracle_query_latency_us"),
+            commit_latency: r.histogram("batchhl_oracle_commit_latency_us"),
+            commits: r.counter("batchhl_oracle_commits_total"),
+            commit_failures: r.counter("batchhl_oracle_commit_failures_total"),
+        }
+    })
+}
 
 /// Failpoint shim: maps an injected failure at `site` onto the persist
 /// error surface. Compiles to `Ok(())` without the `failpoints`
@@ -162,6 +190,17 @@ pub enum OracleHealth {
     },
 }
 
+/// Write-ahead-log cursor reported by [`DistanceOracle::wal_position`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalPosition {
+    /// Sequence number the next committed batch will receive (equal to
+    /// [`DistanceOracle::batches_committed`]).
+    pub next_seq: u64,
+    /// Byte length of the attached WAL file; `None` when durability is
+    /// not attached.
+    pub wal_bytes: Option<u64>,
+}
+
 /// A batch-dynamic distance oracle over one of the index families,
 /// chosen at build time and erased behind [`Backend`].
 pub struct DistanceOracle {
@@ -226,15 +265,25 @@ impl DistanceOracle {
 
     /// Exact distance; `None` when disconnected/unreachable or out of
     /// range. On directed oracles this is `d(s → t)`.
+    ///
+    /// Owner-side query calls (this and the other plan methods below)
+    /// record their latency into the process-wide metrics registry as
+    /// `batchhl_oracle_query_latency_us`, one observation per call.
     pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
-        self.backend.query(s, t)
+        let start = Instant::now();
+        let d = self.backend.query(s, t);
+        facade_metrics().query_latency.observe(start.elapsed());
+        d
     }
 
     /// Batched pair queries: one generation for the whole call, pairs
     /// grouped by source so each group reuses one source-side label
     /// plan. Result order matches `pairs`.
     pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
-        self.backend.query_many(pairs)
+        let start = Instant::now();
+        let out = self.backend.query_many(pairs);
+        facade_metrics().query_latency.observe(start.elapsed());
+        out
     }
 
     /// One-source-to-many-targets distances: the source's label rows
@@ -242,13 +291,19 @@ impl DistanceOracle {
     /// sets are answered with a single bounded sweep instead of one
     /// search per pair.
     pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
-        self.backend.distances_from(s, targets)
+        let start = Instant::now();
+        let out = self.backend.distances_from(s, targets);
+        facade_metrics().query_latency.observe(start.elapsed());
+        out
     }
 
     /// The `k` vertices closest to `s` (excluding `s`), nondecreasing
     /// by distance.
     pub fn top_k_closest(&mut self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
-        self.backend.top_k_closest(s, k)
+        let start = Instant::now();
+        let out = self.backend.top_k_closest(s, k);
+        facade_metrics().query_latency.observe(start.elapsed());
+        out
     }
 
     /// Out-neighbours of `v` in the current graph (weights dropped on
@@ -281,6 +336,44 @@ impl DistanceOracle {
     /// across restarts (it is the write-ahead-log sequence cursor).
     pub fn batches_committed(&self) -> u64 {
         self.batches_committed
+    }
+
+    /// Where the write-ahead log stands: the sequence number the next
+    /// committed batch will receive, plus the attached log file's
+    /// current byte length (`None` without durability).
+    ///
+    /// This is the introspection surface WAL-shipping replication
+    /// hangs off: a replica records `next_seq` as the point it must
+    /// tail from, and a primary compares a tailer's requested sequence
+    /// against [`DistanceOracle::wal_tail`]'s floor to detect that the
+    /// log has rotated past it.
+    pub fn wal_position(&self) -> WalPosition {
+        let wal_bytes = self
+            .durability
+            .as_ref()
+            .and_then(|d| std::fs::metadata(d.wal.path()).ok())
+            .map(|m| m.len());
+        WalPosition {
+            next_seq: self.batches_committed,
+            wal_bytes,
+        }
+    }
+
+    /// The committed batch records still present in the attached
+    /// write-ahead log with `seq >= from_seq`, in commit order — the
+    /// feed a read replica applies. Abort-cancelled batches are
+    /// excluded, the scan is strictly read-only (it never truncates a
+    /// torn tail — every record it returns was fully framed and
+    /// checksummed), and a detached oracle returns an empty tail.
+    ///
+    /// [`WalTail::floor`] is the oldest sequence the log can still
+    /// serve: a `from_seq` below it means the caller needs a fresh
+    /// checkpoint ([`DistanceOracle::open_detached`]) before tailing.
+    pub fn wal_tail(&self, from_seq: u64) -> Result<WalTail, PersistError> {
+        match &self.durability {
+            Some(d) => read_wal_from(d.wal.path(), from_seq),
+            None => Ok(WalTail::default()),
+        }
     }
 
     /// Writer-path health. [`OracleHealth::WritesPoisoned`] refuses
@@ -504,6 +597,52 @@ impl DistanceOracle {
         config: DurabilityConfig,
     ) -> Result<Self, PersistError> {
         let dir = dir.as_ref().to_path_buf();
+        let (mut backend, meta) = Self::load_checkpoint(&dir)?;
+        // Replay the records committed after the checkpoint was cut.
+        // Records the checkpoint already covers are skipped by their
+        // sequence number (a checkpoint may race ahead of WAL rotation).
+        let (records, _recovery) = recover_wal(dir.join(WAL_FILE))?;
+        let (cursor, replayed) = Self::replay_records(backend.as_mut(), meta.batch_seq, &records)?;
+        let wal = WalWriter::open_append(dir.join(WAL_FILE))?;
+        Ok(DistanceOracle {
+            backend,
+            batches_committed: cursor,
+            durability: Some(Durability {
+                dir,
+                wal,
+                config,
+                batches_since_checkpoint: replayed,
+            }),
+            health: OracleHealth::Healthy,
+        })
+    }
+
+    /// Load the state persisted in `dir` — checkpoint plus committed
+    /// WAL tail — **without attaching durability**: the opened oracle
+    /// logs nothing and never writes into `dir`.
+    ///
+    /// This is the read-replica bootstrap path: a replica opens the
+    /// primary's (shared) checkpoint directory detached, then applies
+    /// the batches it tails over the network through ordinary commits,
+    /// which stay purely in memory. Unlike [`DistanceOracle::open`]
+    /// the WAL scan here is strictly read-only — the directory may
+    /// belong to a *live* primary, so a torn tail is treated as
+    /// end-of-log rather than truncated in place.
+    pub fn open_detached(dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        let (mut backend, meta) = Self::load_checkpoint(dir)?;
+        let tail = read_wal_from(dir.join(WAL_FILE), meta.batch_seq)?;
+        let (cursor, _) = Self::replay_records(backend.as_mut(), meta.batch_seq, &tail.records)?;
+        Ok(DistanceOracle {
+            backend,
+            batches_committed: cursor,
+            durability: None,
+            health: OracleHealth::Healthy,
+        })
+    }
+
+    /// Open and deserialize `dir`'s checkpoint file.
+    fn load_checkpoint(dir: &Path) -> Result<(Box<dyn Backend>, CheckpointMeta), PersistError> {
         let ckpt = dir.join(CHECKPOINT_FILE);
         let file = match File::open(&ckpt) {
             Ok(f) => f,
@@ -514,15 +653,22 @@ impl DistanceOracle {
             }
             Err(e) => return Err(e.into()),
         };
-        let (mut backend, meta) = load_backend(BufReader::new(file))?;
-        // Replay the records committed after the checkpoint was cut.
-        // Records the checkpoint already covers are skipped by their
-        // sequence number (a checkpoint may race ahead of WAL rotation).
-        let (records, _recovery) = recover_wal(dir.join(WAL_FILE))?;
-        let mut cursor = meta.batch_seq;
+        load_backend(BufReader::new(file))
+    }
+
+    /// Replay recovered WAL records on top of a just-loaded checkpoint
+    /// (records the checkpoint already covers are skipped by sequence
+    /// number). Returns the resulting batch cursor and how many records
+    /// were actually replayed.
+    fn replay_records(
+        backend: &mut dyn Backend,
+        checkpoint_seq: u64,
+        records: &[WalRecord],
+    ) -> Result<(u64, u64), PersistError> {
+        let mut cursor = checkpoint_seq;
         let mut replayed = 0u64;
         for rec in records {
-            if rec.seq < meta.batch_seq {
+            if rec.seq < checkpoint_seq {
                 continue;
             }
             if rec.seq != cursor {
@@ -548,18 +694,7 @@ impl DistanceOracle {
             cursor += 1;
             replayed += 1;
         }
-        let wal = WalWriter::open_append(dir.join(WAL_FILE))?;
-        Ok(DistanceOracle {
-            backend,
-            batches_committed: cursor,
-            durability: Some(Durability {
-                dir,
-                wal,
-                config,
-                batches_since_checkpoint: replayed,
-            }),
-            health: OracleHealth::Healthy,
-        })
+        Ok((cursor, replayed))
     }
 
     /// A `Send + Sync` reader with the identical query-plan surface,
@@ -772,6 +907,22 @@ impl UpdateSession<'_> {
     ///   [`OracleHealth::Degraded`], but the batch itself *stays*
     ///   committed and logged — a reopen replays it from the WAL.
     pub fn commit(self) -> Result<UpdateStats, OracleError> {
+        let start = Instant::now();
+        let result = self.commit_inner();
+        // Commit outcomes and latency land in the process-wide registry
+        // (`batchhl_oracle_commit*`), alongside owner-side query latency.
+        let m = facade_metrics();
+        match &result {
+            Ok(_) => {
+                m.commits.inc();
+                m.commit_latency.observe(start.elapsed());
+            }
+            Err(_) => m.commit_failures.inc(),
+        }
+        result
+    }
+
+    fn commit_inner(self) -> Result<UpdateStats, OracleError> {
         let oracle = self.oracle;
         if let OracleHealth::WritesPoisoned { reason, .. } = &oracle.health {
             return Err(OracleError::WritesPoisoned {
@@ -1267,6 +1418,112 @@ mod tests {
         let mut o = Oracle::new(WeightedGraph::from_edges(5, &[(0, 1, 2), (1, 2, 3)])).unwrap();
         o.update().insert_weighted(2, 3, 4).commit().unwrap();
         o.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn wal_position_and_tail_track_commits() {
+        let dir = tmp_dir("wal_introspection");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(8))
+            .unwrap();
+        // Detached: position has no file, the tail is empty.
+        assert_eq!(
+            oracle.wal_position(),
+            WalPosition {
+                next_seq: 0,
+                wal_bytes: None
+            }
+        );
+        assert_eq!(
+            oracle.wal_tail(0).unwrap(),
+            batchhl_core::wal::WalTail::default()
+        );
+
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        oracle.update().insert(0, 7).commit().unwrap();
+        oracle.update().insert(1, 6).commit().unwrap();
+        let pos = oracle.wal_position();
+        assert_eq!(pos.next_seq, 2);
+        assert!(pos.wal_bytes.unwrap() > 8, "two records behind the header");
+        let tail = oracle.wal_tail(0).unwrap();
+        assert_eq!(tail.floor, Some(0));
+        assert_eq!(tail.records.len(), 2);
+        assert_eq!(tail.records[1].edits, vec![Edit::Insert(1, 6)]);
+        assert_eq!(oracle.wal_tail(1).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn open_detached_matches_open_and_stays_in_memory() {
+        let dir = tmp_dir("detached");
+        let mut primary = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(9))
+            .unwrap();
+        primary
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        primary.update().insert(0, 8).commit().unwrap();
+        let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+
+        let mut replica = Oracle::open_detached(&dir).unwrap();
+        assert_eq!(replica.batches_committed(), 1, "WAL tail replayed");
+        for t in 0..9u32 {
+            assert_eq!(replica.query(0, t), primary.query(0, t), "t={t}");
+        }
+        // Detached commits are memory-only: the primary's log is not
+        // touched, and the replica reports no durability.
+        replica.update().insert(2, 7).commit().unwrap();
+        assert_eq!(replica.durability_dir(), None);
+        assert_eq!(replica.wal_position().wal_bytes, None);
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            wal_len,
+            "primary WAL untouched by detached commits"
+        );
+    }
+
+    #[test]
+    fn commit_and_query_metrics_reach_the_global_registry() {
+        let commits_before = batchhl_common::metrics::global()
+            .counter("batchhl_oracle_commits_total")
+            .get();
+        let queries_before = batchhl_common::metrics::global()
+            .histogram("batchhl_oracle_query_latency_us")
+            .count();
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(5))
+            .unwrap();
+        oracle.update().insert(0, 4).commit().unwrap();
+        oracle.query(0, 4);
+        oracle.distances_from(0, &[1, 2]);
+        assert!(
+            batchhl_common::metrics::global()
+                .counter("batchhl_oracle_commits_total")
+                .get()
+                > commits_before
+        );
+        assert!(
+            batchhl_common::metrics::global()
+                .histogram("batchhl_oracle_query_latency_us")
+                .count()
+                >= queries_before + 2
+        );
     }
 
     #[test]

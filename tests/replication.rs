@@ -1,0 +1,247 @@
+//! WAL-shipping replication tests.
+//!
+//! Three properties, matching the guarantees in
+//! `batchhl_server::replication`:
+//!
+//! 1. **Convergence** — after every commit on the primary, a replica
+//!    tailing its WAL reaches the same committed cursor and returns
+//!    identical answers for an arbitrary query set.
+//! 2. **Clean prefix** — a primary that dies mid-record (simulated by
+//!    a fake primary closing its socket halfway through a batch line)
+//!    leaves the replica at the last complete batch, and the replica
+//!    re-subscribes from exactly that position.
+//! 3. **Rotation re-sync** — a replica whose position predates the
+//!    primary's retained WAL (checkpoint rotation pruned it) is told
+//!    to re-sync and catches up from a fresh checkpoint.
+
+use batchhl::graph::generators::barabasi_albert;
+use batchhl::{DistanceOracle, DurabilityConfig, Edit, FsyncPolicy, Oracle, Vertex};
+use batchhl_server::{Client, Replica, ReplicaConfig, Server, ServerConfig, TailMsg};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const N: u32 = 300;
+const WAIT: Duration = Duration::from_secs(20);
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("batchhl_server_repl").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn build_oracle() -> DistanceOracle {
+    Oracle::builder()
+        .top_degree_landmarks(8)
+        .build(barabasi_albert(N as usize, 3, 11))
+        .expect("build oracle")
+}
+
+fn probe_pairs() -> Vec<(Vertex, Vertex)> {
+    (0..60u32)
+        .map(|i| ((i * 13) % N, (i * 61 + 7) % N))
+        .filter(|(s, t)| s != t)
+        .collect()
+}
+
+fn primary_config() -> ServerConfig {
+    ServerConfig {
+        node: "primary".to_string(),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn replica_converges_after_each_commit() {
+    let dir = scratch_dir("converge");
+    let mut oracle = build_oracle();
+    oracle
+        .persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .expect("persist");
+    // One batch before the replica exists: bootstrap must pick it up.
+    oracle.update().insert(0, 299).commit().expect("commit");
+
+    let primary = Server::start(oracle, primary_config()).expect("start primary");
+    let replica =
+        Replica::start(ReplicaConfig::new(primary.addr().to_string(), &dir)).expect("replica");
+    assert_eq!(replica.applied_seq(), 1, "bootstrap replayed the WAL");
+
+    let mut to_primary = Client::connect(primary.addr()).expect("connect primary");
+    let mut to_replica = Client::connect(replica.addr()).expect("connect replica");
+    let pairs = probe_pairs();
+
+    for round in 0..4u32 {
+        let edits = vec![
+            Edit::Insert(round * 2 + 1, 200 + round),
+            Edit::Insert(round * 2 + 2, 250 + round),
+        ];
+        let (_, seq) = to_primary.commit(&edits).expect("commit");
+        assert!(
+            replica.wait_for_seq(seq + 1, WAIT),
+            "replica stuck at {} waiting for {}",
+            replica.applied_seq(),
+            seq + 1
+        );
+        // Identical answers for every committed batch.
+        let truth = to_primary.query_many(&pairs).expect("primary answers");
+        let mirrored = to_replica.query_many(&pairs).expect("replica answers");
+        assert_eq!(truth, mirrored, "divergence after batch {seq}");
+    }
+
+    // Writes against the replica are refused, typed.
+    let err = to_replica.commit(&[Edit::Insert(7, 150)]).unwrap_err();
+    assert_eq!(err.code(), Some("read_only"));
+    assert_eq!(to_replica.health().expect("health"), "healthy");
+}
+
+#[test]
+fn primary_killed_mid_batch_leaves_a_clean_prefix() {
+    let dir = scratch_dir("torn");
+    let mut oracle = build_oracle();
+    oracle
+        .persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .expect("persist");
+    oracle.update().insert(0, 299).commit().expect("commit");
+    drop(oracle); // the fake primary below owns the story from here
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake primary");
+    let addr = listener.local_addr().unwrap();
+    let replica = Replica::start(ReplicaConfig::new(addr.to_string(), &dir)).expect("replica");
+
+    // First connection: ship one complete batch, then die halfway
+    // through the next record's line.
+    {
+        let (mut stream, _) = listener.accept().expect("replica connects");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut subscribe = String::new();
+        reader.read_line(&mut subscribe).unwrap();
+        assert!(
+            subscribe.contains("\"from_seq\":1"),
+            "bootstrapped replica subscribes after the replayed WAL: {subscribe}"
+        );
+        let complete = TailMsg::Batch {
+            seq: 1,
+            edits: vec![Edit::Insert(1, 298)],
+        }
+        .render();
+        // The torn batch introduces a brand-new vertex (N): whether it
+        // applied is observable as query(2, N) being Some(1) vs None.
+        let torn = TailMsg::Batch {
+            seq: 2,
+            edits: vec![Edit::Insert(2, N)],
+        }
+        .render();
+        let torn = &torn[..torn.len() / 2]; // no newline, half a record
+        stream.write_all(complete.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.write_all(torn.as_bytes()).unwrap();
+        stream.flush().unwrap();
+        // Socket drops here: primary "killed" mid-batch.
+    }
+
+    // Second connection: the replica reconnects from the clean prefix
+    // — the complete batch applied, the torn one discarded.
+    {
+        let (mut stream, _) = listener.accept().expect("replica reconnects");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut subscribe = String::new();
+        reader.read_line(&mut subscribe).unwrap();
+        assert!(
+            subscribe.contains("\"from_seq\":2"),
+            "resubscribes exactly after the last complete batch: {subscribe}"
+        );
+        let hb = TailMsg::Heartbeat { next: 2 }.render();
+        stream.write_all(hb.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+    }
+
+    assert_eq!(replica.applied_seq(), 2, "exactly the clean prefix applied");
+    let mut client = Client::connect(replica.addr()).expect("connect replica");
+    assert_eq!(
+        client.query(1, 298).expect("query"),
+        Some(1),
+        "the complete batch is visible"
+    );
+    assert_eq!(
+        client.query(2, N).expect("query"),
+        None,
+        "the torn batch is NOT visible: its new vertex does not exist"
+    );
+}
+
+#[test]
+fn replica_resyncs_from_a_fresh_checkpoint_after_wal_rotation() {
+    let dir = scratch_dir("rotate");
+    let mut oracle = build_oracle();
+    oracle
+        .persist_to(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: Some(2), // aggressive rotation
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .expect("persist");
+    oracle.update().insert(0, 299).commit().expect("commit");
+
+    // Reserve a port for the future primary, then start the replica
+    // against it while nothing is listening: it bootstraps at seq 1
+    // and retries with backoff.
+    let addr = {
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        placeholder.local_addr().unwrap()
+    };
+    let replica = Replica::start(ReplicaConfig::new(addr.to_string(), &dir)).expect("replica");
+    assert_eq!(replica.applied_seq(), 1);
+
+    // Meanwhile the primary commits past two checkpoint rotations, so
+    // the WAL records for seq 1..4 no longer exist on disk.
+    for round in 0..4u32 {
+        oracle
+            .update()
+            .insert(round + 1, 290 - round)
+            .commit()
+            .expect("commit");
+    }
+    assert_eq!(oracle.batches_committed(), 5);
+
+    // Now the primary comes up on the reserved port. The replica's
+    // `tail from_seq=1` predates the retained WAL: the primary answers
+    // `resync` and the replica reloads the fresh checkpoint.
+    let config = ServerConfig {
+        addr: addr.to_string(),
+        ..primary_config()
+    };
+    let primary = Server::start(oracle, config).expect("start primary");
+    assert!(
+        replica.wait_for_seq(5, WAIT),
+        "replica stuck at {} after rotation",
+        replica.applied_seq()
+    );
+
+    // And it keeps tailing normally after the re-sync.
+    let mut to_primary = Client::connect(primary.addr()).expect("connect primary");
+    let (_, seq) = to_primary.commit(&[Edit::Insert(50, 260)]).expect("commit");
+    assert!(replica.wait_for_seq(seq + 1, WAIT));
+    let mut to_replica = Client::connect(replica.addr()).expect("connect replica");
+    let pairs = probe_pairs();
+    assert_eq!(
+        to_primary.query_many(&pairs).expect("primary answers"),
+        to_replica.query_many(&pairs).expect("replica answers"),
+        "post-resync answers identical"
+    );
+}
