@@ -20,6 +20,7 @@ use crate::persist::{self, CheckpointMeta, PersistError};
 use crate::reader::SharedReader;
 use crate::stats::UpdateStats;
 use crate::weighted::WeightedBatchIndex;
+use crate::whatif::WhatIfQuery;
 use batchhl_common::{Dist, Vertex};
 use batchhl_graph::weighted::{Weight, WeightedGraph, WeightedUpdate};
 use batchhl_graph::{Batch, DynamicDiGraph, DynamicGraph};
@@ -393,13 +394,19 @@ pub trait BackendReader: Send + Sync {
     /// The `k` closest vertices on the freshest published generation.
     fn top_k_closest(&self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)>;
 
+    /// A speculative session answering queries as if `edits` had been
+    /// committed, built over one pinned generation — no generation
+    /// bump, no WAL traffic (see [`crate::whatif`]). Errors on edits
+    /// the backend family cannot express, mirroring `commit_edits`.
+    fn what_if(&self, edits: &[Edit]) -> Result<Box<dyn WhatIfQuery>, OracleError>;
+
     /// Clone through the trait object.
     fn clone_reader(&self) -> Box<dyn BackendReader>;
 }
 
 impl<S> BackendReader for SharedReader<S>
 where
-    S: crate::reader::SnapshotQuery + Send + Sync + 'static,
+    S: crate::whatif::SnapshotWhatIf + Send + Sync + 'static,
 {
     fn version(&self) -> u64 {
         SharedReader::version(self)
@@ -421,6 +428,10 @@ where
         SharedReader::top_k_closest(self, s, k)
     }
 
+    fn what_if(&self, edits: &[Edit]) -> Result<Box<dyn WhatIfQuery>, OracleError> {
+        S::what_if_session(self.pin(), edits)
+    }
+
     fn clone_reader(&self) -> Box<dyn BackendReader> {
         Box::new(self.clone())
     }
@@ -437,7 +448,10 @@ fn foreign_token(family: BackendFamily) -> OracleError {
 /// acceptance rule itself lives in [`edits_supported`] (shared with
 /// the durability layer, which must refuse a batch *before* logging
 /// it) — this function only adds the translation.
-fn unweighted_batch(edits: &[Edit], family: BackendFamily) -> Result<Batch, OracleError> {
+pub(crate) fn unweighted_batch(
+    edits: &[Edit],
+    family: BackendFamily,
+) -> Result<Batch, OracleError> {
     edits_supported(family, edits)?;
     let mut batch = Batch::new();
     for &e in edits {

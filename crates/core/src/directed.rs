@@ -30,7 +30,8 @@ use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::{AdjacencyView, Batch, CsrDiDelta, DynamicDiGraph, Reversed, Update};
 use batchhl_hcl::{
-    build_labelling_parallel, LabelError, LabelStore, Labelling, SourcePlan, Versioned,
+    build_labelling_parallel, upper_bound_pair_patched, LabelError, LabelStore, Labelling,
+    PatchedLabels, SourcePlan, Versioned,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -514,6 +515,91 @@ pub(crate) fn directed_distances_from<A: AdjacencyView>(
 /// highway + target labels from the forward labelling.
 pub(crate) fn directed_upper_bound(fwd: &Labelling, bwd: &Labelling, s: Vertex, t: Vertex) -> Dist {
     batchhl_hcl::upper_bound_pair(bwd, fwd, fwd, s, t)
+}
+
+/// As [`directed_query_dist`] over patched labelling views — the
+/// per-pair path of a directed what-if session. `graph` is the
+/// session's private two-direction overlay.
+pub(crate) fn directed_query_dist_patched<A: AdjacencyView>(
+    graph: &A,
+    fwd: &PatchedLabels<'_>,
+    bwd: &PatchedLabels<'_>,
+    bibfs: &mut BiBfs,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let n = graph.num_vertices();
+    if (s as usize) >= n || (t as usize) >= n {
+        return INF;
+    }
+    if s == t {
+        return 0;
+    }
+    if let Some(i) = fwd.landmark_index(s) {
+        return fwd.landmark_to_vertex(i, t);
+    }
+    if let Some(j) = bwd.landmark_index(t) {
+        return bwd.landmark_to_vertex(j, s);
+    }
+    let bound = upper_bound_pair_patched(bwd, fwd, fwd, s, t);
+    let found = bibfs.run(graph, s, t, bound, |v| !fwd.is_landmark(v));
+    found.unwrap_or(bound)
+}
+
+/// As [`directed_distances_from`] over patched labelling views, with
+/// the same landmark-source, sweep-vs-search and range handling.
+pub(crate) fn directed_distances_from_patched<A: AdjacencyView>(
+    graph: &A,
+    fwd: &PatchedLabels<'_>,
+    bwd: &PatchedLabels<'_>,
+    bibfs: &mut BiBfs,
+    s: Vertex,
+    targets: &[Vertex],
+) -> Vec<Dist> {
+    let n = graph.num_vertices();
+    let mut out = vec![INF; targets.len()];
+    if (s as usize) >= n {
+        return out;
+    }
+    if let Some(i) = fwd.landmark_index(s) {
+        for (slot, &t) in out.iter_mut().zip(targets) {
+            if (t as usize) < n {
+                *slot = fwd.landmark_to_vertex(i, t);
+            }
+        }
+        return out;
+    }
+    let plan = SourcePlan::new_patched(bwd, fwd, s);
+    let mut refine: Vec<usize> = Vec::new();
+    for (k, &t) in targets.iter().enumerate() {
+        if (t as usize) >= n {
+            continue;
+        }
+        if t == s {
+            out[k] = 0;
+            continue;
+        }
+        if let Some(j) = bwd.landmark_index(t) {
+            out[k] = bwd.landmark_to_vertex(j, s);
+            continue;
+        }
+        out[k] = plan.bound_to_patched(fwd, t);
+        refine.push(k);
+    }
+    if refine.len() >= sweep_min_targets(n) {
+        let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+        bibfs.sweep(graph, s, horizon, usize::MAX, |v| !fwd.is_landmark(v));
+        for &k in &refine {
+            out[k] = out[k].min(bibfs.sweep_dist(targets[k]));
+        }
+    } else {
+        for &k in &refine {
+            let bound = out[k];
+            let found = bibfs.run(graph, s, targets[k], bound, |v| !fwd.is_landmark(v));
+            out[k] = found.unwrap_or(bound);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

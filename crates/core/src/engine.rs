@@ -25,7 +25,7 @@ use crate::search_improved::batch_search_improved;
 use crate::workspace::UpdateWorkspace;
 use batchhl_common::{Dist, Vertex};
 use batchhl_graph::{AdjacencyView, Update};
-use batchhl_hcl::{labelling::RowPair, Labelling};
+use batchhl_hcl::{labelling::RowPair, LabelPatch, Labelling, PatchRow};
 
 /// Per-landmark affected-vertex lists, in landmark order. The writer
 /// uses them to bring the recycled old buffer up to date
@@ -133,6 +133,7 @@ where
     if threads <= 1 {
         let mut affected = Vec::with_capacity(r);
         for i in 0..r {
+            landmark_failpoint();
             let (label_row, highway_row) = new_lab.row_mut(i);
             affected.push(kernel.process_landmark(old, g, updates, i, label_row, highway_row, ws));
         }
@@ -152,6 +153,7 @@ where
                 let mut ws = kernel.workspace(n);
                 let mut out = Vec::with_capacity(chunk.len());
                 for (i, (label_row, highway_row)) in chunk {
+                    landmark_failpoint();
                     out.push((
                         i,
                         kernel.process_landmark(
@@ -169,12 +171,84 @@ where
             }));
         }
         for h in handles {
-            for (i, aff) in h.join().expect("landmark worker panicked") {
-                results[i] = aff;
+            match h.join() {
+                Ok(rows) => {
+                    for (i, aff) in rows {
+                        results[i] = aff;
+                    }
+                }
+                // Re-raise the worker's own payload instead of a fresh
+                // "worker panicked" panic: the facade's containment
+                // records the payload string in the poisoned-health
+                // reason, and it must name the original failure even
+                // when it crossed a scoped thread.
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
     results
+}
+
+/// The speculative twin of [`run_landmarks`]: run the same search +
+/// repair kernels for every landmark, but into *detached* copies of the
+/// old rows, collected as a [`LabelPatch`] — the shared labelling is
+/// never written. This is the labelling half of a what-if session:
+/// `old` must already be grown to the hypothetical graph's vertex count
+/// (see [`oracle_for`]) and `g` is the session's private overlay view.
+///
+/// Only rows the batch actually changed are kept (affected vertices or
+/// a rewritten highway entry); untouched landmarks fall through to the
+/// base when queried. Sessions are built on reader threads — no
+/// failpoints, no parallel fan-out, no writer state.
+pub(crate) fn run_landmarks_speculative<G, K>(
+    kernel: &K,
+    old: &Labelling,
+    g: &G,
+    updates: &[K::Update],
+) -> LabelPatch
+where
+    G: ?Sized + Sync,
+    K: UpdateKernel<G>,
+{
+    let n = old.num_vertices();
+    let r = old.num_landmarks();
+    let mut patch = LabelPatch::new(n);
+    let mut ws = kernel.workspace(n);
+    for i in 0..r {
+        let mut label_row: Box<[Dist]> = old.label_row(i).into();
+        let mut highway_row: Box<[Dist]> = (0..r).map(|j| old.highway(i, j)).collect();
+        let base_highway = highway_row.clone();
+        let aff = kernel.process_landmark(
+            old,
+            g,
+            updates,
+            i,
+            &mut label_row,
+            &mut highway_row,
+            &mut ws,
+        );
+        if !aff.is_empty() || highway_row != base_highway {
+            patch.insert_row(
+                i,
+                PatchRow {
+                    label: label_row,
+                    highway: highway_row,
+                },
+            );
+        }
+    }
+    patch
+}
+
+/// Chaos injection point *inside* the landmark loop — reached once per
+/// landmark, in the sequential path and inside every scoped parallel
+/// worker, so the suite can make a panic originate in a worker thread
+/// and cross `scope`/`join` before hitting commit containment.
+#[inline]
+fn landmark_failpoint() {
+    if let Err(msg) = batchhl_common::failpoint::check("engine::landmark_panic") {
+        panic!("{msg}");
+    }
 }
 
 /// Bring a recycled old-generation buffer up to the freshly repaired

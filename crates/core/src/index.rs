@@ -752,6 +752,101 @@ mod tests {
         }
     }
 
+    /// Regression: `top_k_closest` used to cut the BFS sweep mid-level
+    /// at the `k+1` cap, so among equal-distance vertices at the k-th
+    /// boundary the answer depended on adjacency iteration order — the
+    /// same query could differ before and after CSR compaction or
+    /// `new_reordered` relabeling of an identical graph. The sweep now
+    /// finishes the boundary level and ties break by vertex id.
+    #[test]
+    fn top_k_closest_is_stable_across_compaction_and_relabeling() {
+        let g = barabasi_albert(90, 3, 13);
+        let mut plain = BatchIndex::build(g.clone(), config(Algorithm::BhlPlus, 5));
+        let sources = [0u32, 5, 23, 60];
+
+        // Distance ties at level boundaries are the whole point — make
+        // sure the instance actually has them.
+        let n = plain.num_vertices() as Vertex;
+        let targets: Vec<Vertex> = (0..n).filter(|&t| t != 0).collect();
+        let mut reach: Vec<Dist> = plain
+            .distances_from(0, &targets)
+            .into_iter()
+            .flatten()
+            .collect();
+        reach.sort_unstable();
+        assert!(
+            reach.windows(2).any(|w| w[0] == w[1]),
+            "instance has no distance ties; the test would be vacuous"
+        );
+
+        // Twin 1 — forced compaction. An eager policy folds the delta
+        // overlay into a fresh CSR base on every pass; an insert batch
+        // followed by its inverse round-trips the graph content while
+        // rebuilding the adjacency arrays. Same id space, so answers
+        // must be byte-identical at *every* k, tie-straddling or not.
+        let mut compacted = BatchIndex::build(g.clone(), config(Algorithm::BhlPlus, 5));
+        compacted.set_compaction(CompactionPolicy::eager(0.0));
+        // Round-trip with edges that are genuinely absent: inserting a
+        // present edge is a no-op but its inverse would delete it.
+        let mut ins = Batch::new();
+        let mut picked = 0;
+        'pick: for a in 0..n {
+            for b in (a + 1)..n {
+                if !g.has_edge(a, b) {
+                    ins.insert(a, b);
+                    picked += 1;
+                    if picked == 2 {
+                        break 'pick;
+                    }
+                }
+            }
+        }
+        assert_eq!(picked, 2, "graph too dense to pick absent edges");
+        let del = ins.inverse();
+        compacted.apply_batch(&ins);
+        compacted.apply_batch(&del);
+        for s in sources {
+            for k in [1usize, 3, 7, 12, 25, 89] {
+                assert_eq!(
+                    plain.top_k_closest(s, k),
+                    compacted.top_k_closest(s, k),
+                    "compaction twin diverged at s={s} k={k}"
+                );
+            }
+        }
+
+        // Twin 2 — degree-descending relabeling. Ids change, so the
+        // (distance, id) tie-break legitimately ranks differently
+        // *within* a level; at complete-level cuts the answer set is
+        // id-invariant and must map back to exactly the same set.
+        let (mut reordered, remap) = BatchIndex::new_reordered(g, config(Algorithm::BhlPlus, 5));
+        for s in sources {
+            let targets: Vec<Vertex> = (0..n).filter(|&t| t != s).collect();
+            let mut reach: Vec<Dist> = plain
+                .distances_from(s, &targets)
+                .into_iter()
+                .flatten()
+                .collect();
+            reach.sort_unstable();
+            // Every k where the sorted distance profile steps to a new
+            // level is a level-closed prefix.
+            let boundaries: Vec<usize> = (1..reach.len())
+                .filter(|&k| reach[k] != reach[k - 1])
+                .chain([reach.len()])
+                .collect();
+            for k in boundaries {
+                let expect = plain.top_k_closest(s, k);
+                let mut got: Vec<(Vertex, Dist)> = reordered
+                    .top_k_closest(remap.to_new(s), k)
+                    .into_iter()
+                    .map(|(v, d)| (remap.to_old(v), d))
+                    .collect();
+                got.sort_unstable_by_key(|&(v, d)| (d, v));
+                assert_eq!(expect, got, "relabeled twin diverged at s={s} k={k}");
+            }
+        }
+    }
+
     #[test]
     #[allow(deprecated)]
     fn deprecated_compaction_setters_delegate_to_policy() {

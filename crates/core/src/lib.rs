@@ -109,6 +109,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod wal;
 pub mod weighted;
+pub mod whatif;
 pub mod workspace;
 
 pub use admission::validate_batch;
@@ -123,3 +124,4 @@ pub use reader::{DirectedReader, Reader, SharedReader, SnapshotQuery, WeightedRe
 pub use stats::UpdateStats;
 pub use wal::{recover_wal, WalRecord, WalRecovery, WalWriter};
 pub use weighted::{WeightedBatchIndex, WeightedSnapshot};
+pub use whatif::{DirectedWhatIf, SnapshotWhatIf, WeightedWhatIf, WhatIf, WhatIfQuery};

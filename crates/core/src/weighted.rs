@@ -44,7 +44,9 @@ use batchhl_graph::weighted::{
     BiDijkstra, Weight, WeightedAdjacencyView, WeightedGraph, WeightedUpdate,
 };
 use batchhl_graph::WeightedCsrDelta;
-use batchhl_hcl::{sweep_min_targets, LabelError, LabelStore, Labelling, SourcePlan, Versioned};
+use batchhl_hcl::{
+    sweep_min_targets, LabelError, LabelStore, Labelling, PatchedLabels, SourcePlan, Versioned,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -54,10 +56,10 @@ use std::time::Instant;
 /// (`None` = absent on that side).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Effect {
-    a: Vertex,
-    b: Vertex,
-    w_old: Option<Weight>,
-    w_new: Option<Weight>,
+    pub(crate) a: Vertex,
+    pub(crate) b: Vertex,
+    pub(crate) w_old: Option<Weight>,
+    pub(crate) w_new: Option<Weight>,
 }
 
 /// One immutable generation of the weighted index. `graph` is the
@@ -525,53 +527,56 @@ impl WeightedBatchIndex {
     }
 
     fn normalize(&self, updates: &[WeightedUpdate]) -> Vec<Effect> {
-        let mut seen: FxHashMap<(Vertex, Vertex), ()> = FxHashMap::default();
-        let mut out = Vec::new();
-        for u in updates {
-            let u = u.canonical();
-            let (a, b) = u.endpoints();
-            if a == b || seen.contains_key(&(a, b)) {
-                continue;
-            }
-            let in_range = (b as usize) < self.work.graph.num_vertices();
-            let w_old = if in_range {
-                self.work.graph.weight(a, b)
-            } else {
-                None
-            };
-            let effect = match u {
-                WeightedUpdate::Insert(_, _, w) if w_old.is_none() => Effect {
-                    a,
-                    b,
-                    w_old: None,
-                    w_new: Some(w),
-                },
-                WeightedUpdate::Delete(..) if w_old.is_some() => Effect {
-                    a,
-                    b,
-                    w_old,
-                    w_new: None,
-                },
-                WeightedUpdate::SetWeight(_, _, w) if w_old.is_some() && w_old != Some(w) => {
-                    Effect {
-                        a,
-                        b,
-                        w_old,
-                        w_new: Some(w),
-                    }
-                }
-                _ => continue, // invalid
-            };
-            seen.insert((a, b), ());
-            out.push(effect);
-        }
-        out
+        normalize_weighted(&self.work.graph, updates)
     }
+}
+
+/// Normalize a weighted update batch against `graph`: canonicalize
+/// endpoints, drop self-loops, duplicates (only the first update of an
+/// edge counts) and invalid updates (inserting a present edge, deleting
+/// or reweighting an absent one, no-op reweights). Shared by the
+/// writer's commit path and read-only what-if sessions.
+pub(crate) fn normalize_weighted(graph: &WeightedGraph, updates: &[WeightedUpdate]) -> Vec<Effect> {
+    let mut seen: FxHashMap<(Vertex, Vertex), ()> = FxHashMap::default();
+    let mut out = Vec::new();
+    for u in updates {
+        let u = u.canonical();
+        let (a, b) = u.endpoints();
+        if a == b || seen.contains_key(&(a, b)) {
+            continue;
+        }
+        let in_range = (b as usize) < graph.num_vertices();
+        let w_old = if in_range { graph.weight(a, b) } else { None };
+        let effect = match u {
+            WeightedUpdate::Insert(_, _, w) if w_old.is_none() => Effect {
+                a,
+                b,
+                w_old: None,
+                w_new: Some(w),
+            },
+            WeightedUpdate::Delete(..) if w_old.is_some() => Effect {
+                a,
+                b,
+                w_old,
+                w_new: None,
+            },
+            WeightedUpdate::SetWeight(_, _, w) if w_old.is_some() && w_old != Some(w) => Effect {
+                a,
+                b,
+                w_old,
+                w_new: Some(w),
+            },
+            _ => continue, // invalid
+        };
+        seen.insert((a, b), ());
+        out.push(effect);
+    }
+    out
 }
 
 /// Distinct endpoints of a normalized effect list, sorted — the
 /// vertices the weighted CSR overlay must re-freeze.
-fn effect_endpoints(effects: &[Effect]) -> Vec<Vertex> {
+pub(crate) fn effect_endpoints(effects: &[Effect]) -> Vec<Vertex> {
     let mut touched: Vec<Vertex> = effects.iter().flat_map(|e| [e.a, e.b]).collect();
     touched.sort_unstable();
     touched.dedup();
@@ -667,8 +672,99 @@ pub(crate) fn weighted_distances_from<W: WeightedAdjacencyView>(
     out
 }
 
+/// As [`weighted_query_dist`] over a patched labelling view — the
+/// per-pair path of a weighted what-if session. `graph` is the
+/// session's private weighted overlay.
+pub(crate) fn weighted_query_dist_patched<W: WeightedAdjacencyView>(
+    graph: &W,
+    pl: &PatchedLabels<'_>,
+    engine: &mut BiDijkstra,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    let n = graph.num_vertices();
+    if (s as usize) >= n || (t as usize) >= n {
+        return INF;
+    }
+    if s == t {
+        return 0;
+    }
+    match (pl.landmark_index(s), pl.landmark_index(t)) {
+        (Some(i), Some(j)) => pl.highway(i, j),
+        (Some(i), None) => pl.landmark_to_vertex(i, t),
+        (None, Some(j)) => pl.landmark_to_vertex(j, s),
+        (None, None) => {
+            let bound = pl.upper_bound(s, t);
+            engine
+                .run(graph, s, t, bound, |v| !pl.is_landmark(v))
+                .unwrap_or(bound)
+        }
+    }
+}
+
+/// As [`weighted_distances_from`] over a patched labelling view, with
+/// the same landmark-source, sweep-vs-search and range handling.
+pub(crate) fn weighted_distances_from_patched<W: WeightedAdjacencyView>(
+    graph: &W,
+    pl: &PatchedLabels<'_>,
+    engine: &mut BiDijkstra,
+    s: Vertex,
+    targets: &[Vertex],
+) -> Vec<Dist> {
+    let n = graph.num_vertices();
+    let mut out = vec![INF; targets.len()];
+    if (s as usize) >= n {
+        return out;
+    }
+    if let Some(i) = pl.landmark_index(s) {
+        for (slot, &t) in out.iter_mut().zip(targets) {
+            if (t as usize) < n {
+                *slot = pl.landmark_to_vertex(i, t);
+            }
+        }
+        return out;
+    }
+    let plan = SourcePlan::new_patched(pl, pl, s);
+    let mut refine: Vec<usize> = Vec::new();
+    for (k, &t) in targets.iter().enumerate() {
+        if (t as usize) >= n {
+            continue;
+        }
+        if t == s {
+            out[k] = 0;
+            continue;
+        }
+        if let Some(j) = pl.landmark_index(t) {
+            out[k] = pl.landmark_to_vertex(j, s);
+            continue;
+        }
+        out[k] = plan.bound_to_patched(pl, t);
+        refine.push(k);
+    }
+    if refine.len() >= sweep_min_targets(n) {
+        let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+        engine.sweep(graph, s, horizon, usize::MAX, |v| !pl.is_landmark(v));
+        for &k in &refine {
+            out[k] = out[k].min(engine.sweep_dist(targets[k]));
+        }
+    } else {
+        for &k in &refine {
+            let bound = out[k];
+            let found = engine.run(graph, s, targets[k], bound, |v| !pl.is_landmark(v));
+            out[k] = found.unwrap_or(bound);
+        }
+    }
+    out
+}
+
 /// The `k` vertices closest to `s` on the full weighted graph: a
 /// capped Dijkstra sweep settles vertices in distance order.
+///
+/// The answer is canonicalized to (distance, vertex id) order before
+/// the cut at `k`, matching [`batchhl_hcl::query::bfs_top_k`]: ties at
+/// the boundary distance never depend on heap or adjacency iteration
+/// order, so the same query answers identically across CSR compaction
+/// and relabeling of an identical graph.
 pub(crate) fn weighted_top_k<W: WeightedAdjacencyView>(
     graph: &W,
     engine: &mut BiDijkstra,
@@ -679,13 +775,15 @@ pub(crate) fn weighted_top_k<W: WeightedAdjacencyView>(
         return Vec::new();
     }
     engine.sweep(graph, s, INF, k.saturating_add(1), |_| true);
-    engine
+    let mut out: Vec<(Vertex, Dist)> = engine
         .swept()
         .iter()
         .filter(|&&v| v != s)
-        .take(k)
         .map(|&v| (v, engine.sweep_dist(v)))
-        .collect()
+        .collect();
+    out.sort_unstable_by_key(|&(v, d)| (d, v));
+    out.truncate(k);
+    out
 }
 
 /// Apply normalized effects to a graph (and optionally count them) —

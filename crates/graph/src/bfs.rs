@@ -252,11 +252,19 @@ impl BiBfs {
     ///
     /// The one-to-many counterpart of [`BiBfs::run`]: a single sweep
     /// discovers `d(s, v)` for *every* vertex within `bound` hops (or
-    /// until `cap` vertices have been discovered), so a caller with many
-    /// targets pays one traversal instead of one bidirectional search
-    /// per target. Afterwards [`BiBfs::swept`] lists the discovered
-    /// vertices in nondecreasing-distance order and [`BiBfs::sweep_dist`]
-    /// reads their distances; undiscovered vertices read `INF`.
+    /// until at least `cap` vertices have been discovered), so a caller
+    /// with many targets pays one traversal instead of one bidirectional
+    /// search per target. Afterwards [`BiBfs::swept`] lists the
+    /// discovered vertices in nondecreasing-distance order and
+    /// [`BiBfs::sweep_dist`] reads their distances; undiscovered
+    /// vertices read `INF`.
+    ///
+    /// The cap is checked at level boundaries only: the level in which
+    /// it is crossed always completes, so the swept set is closed under
+    /// distance — every vertex at distance ≤ the deepest swept level is
+    /// present, never an adjacency-order-dependent subset of a level.
+    /// (Top-k callers rely on this to break boundary ties
+    /// deterministically rather than by iteration order.)
     ///
     /// `s` must itself be allowed. `bound = INF` sweeps the whole
     /// reachable component; `cap = usize::MAX` disables the count stop.
@@ -275,7 +283,7 @@ impl BiBfs {
         self.touched_s.push(s);
         self.frontier_s.push(s);
         let mut level: Dist = 0;
-        'sweep: while !self.frontier_s.is_empty() && level < bound {
+        while !self.frontier_s.is_empty() && level < bound && self.touched_s.len() < cap {
             level += 1;
             self.next.clear();
             for i in 0..self.frontier_s.len() {
@@ -287,9 +295,6 @@ impl BiBfs {
                     self.ds[w as usize] = level;
                     self.touched_s.push(w);
                     self.next.push(w);
-                    if self.touched_s.len() >= cap {
-                        break 'sweep;
-                    }
                 }
             }
             std::mem::swap(&mut self.frontier_s, &mut self.next);
@@ -448,6 +453,20 @@ mod tests {
         assert_eq!(bi.sweep_dist(5), INF, "filter blocks the path");
         bi.sweep(&g, 0, INF, 0, |_| true);
         assert!(bi.swept().is_empty());
+    }
+
+    #[test]
+    fn sweep_cap_completes_the_final_level() {
+        // Star: 1..=5 are all at distance 1 from 0. A cap of 3 must
+        // still discover the whole level — never an
+        // adjacency-order-dependent prefix of it.
+        let g = DynamicGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let mut bi = BiBfs::new(6);
+        bi.sweep(&g, 0, INF, 3, |_| true);
+        assert_eq!(bi.swept().len(), 6, "the capped level completes");
+        for v in 1..6u32 {
+            assert_eq!(bi.sweep_dist(v), 1);
+        }
     }
 
     #[test]

@@ -524,6 +524,27 @@ impl CsrDiDelta {
     pub fn overlay_entries(&self) -> usize {
         self.out.overlay_entries() + self.inn.overlay_entries()
     }
+
+    /// Grow both direction overlays (new vertices start with empty
+    /// adjacency in each direction).
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.out.ensure_vertices(n);
+        self.inn.ensure_vertices(n);
+    }
+
+    /// Record the current out-adjacency of `v`, keeping the two
+    /// directions' vertex counts in sync.
+    pub fn set_vertex_out(&mut self, v: Vertex, list: &[Vertex]) {
+        self.out.set_vertex(v, list);
+        self.inn.ensure_vertices(self.out.num_vertices());
+    }
+
+    /// Record the current in-adjacency of `v`, keeping the two
+    /// directions' vertex counts in sync.
+    pub fn set_vertex_in(&mut self, v: Vertex, list: &[Vertex]) {
+        self.inn.set_vertex(v, list);
+        self.out.ensure_vertices(self.inn.num_vertices());
+    }
 }
 
 impl AdjacencyView for CsrDiDelta {

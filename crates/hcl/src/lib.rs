@@ -39,6 +39,7 @@ pub mod labelling;
 pub mod landmarks;
 pub mod oracle;
 pub mod packed;
+pub mod patch;
 pub mod query;
 pub mod serde_io;
 pub mod store;
@@ -48,6 +49,7 @@ pub use kernel::{active_kernel, Kernel};
 pub use labelling::{LabelError, Labelling, NO_LABEL};
 pub use landmarks::LandmarkSelection;
 pub use packed::{PackedHighway, PackedIndex, PackedLabels};
+pub use patch::{upper_bound_pair_patched, LabelPatch, PatchRow, PatchedLabels};
 pub use query::{sweep_min_targets, upper_bound_pair, QueryEngine, SourcePlan, SWEEP_MIN_TARGETS};
 pub use serde_io::SnapshotError;
 pub use store::{LabelStore, ReaderHandle, Versioned};

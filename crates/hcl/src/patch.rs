@@ -1,0 +1,308 @@
+//! Scoped label patches: the labelling half of a speculative
+//! *what-if* session.
+//!
+//! A committed batch repairs the shared labelling in place; a what-if
+//! session must not. Instead the repair kernels run into detached
+//! copies of the affected landmark rows, collected in a [`LabelPatch`]
+//! — a small hash-indexed side table keyed by landmark index. A
+//! [`PatchedLabels`] view then presents "patch row if present, else
+//! base row" to the query layer, so the pinned snapshot's labelling is
+//! never touched and any number of hypotheticals can share it.
+//!
+//! The highway matrix follows the same row discipline the parallel
+//! repair relies on: landmark `i`'s pass is the only writer of highway
+//! row `i`, so `highway(i, j)` reads patch row `i`'s copy when it
+//! exists and the base otherwise — consistent for every `(i, j)` as
+//! long as *all* landmarks were run (the speculative driver always
+//! does).
+
+use batchhl_common::{Dist, FxHashMap, LandmarkLength, Vertex, INF};
+
+use crate::labelling::{Labelling, NO_LABEL};
+use crate::query::upper_bound_pair;
+
+/// One landmark's repaired rows: the full label row over the
+/// (possibly grown) vertex range, plus that landmark's highway row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchRow {
+    /// Repaired label row of the landmark (`NO_LABEL` where absent).
+    pub label: Box<[Dist]>,
+    /// Repaired highway row `δ_H(r_i, ·)` of the landmark.
+    pub highway: Box<[Dist]>,
+}
+
+/// The rows a hypothetical batch would change, keyed by landmark
+/// index. Rows the batch leaves untouched are not stored — the view
+/// falls through to the base labelling.
+#[derive(Debug, Clone, Default)]
+pub struct LabelPatch {
+    rows: FxHashMap<usize, PatchRow>,
+    n: usize,
+}
+
+impl LabelPatch {
+    /// An empty patch over `n` vertices (the post-batch vertex count —
+    /// at least the base labelling's).
+    pub fn new(n: usize) -> Self {
+        LabelPatch {
+            rows: FxHashMap::default(),
+            n,
+        }
+    }
+
+    /// Record landmark `i`'s repaired rows.
+    pub fn insert_row(&mut self, i: usize, row: PatchRow) {
+        self.rows.insert(i, row);
+    }
+
+    /// Landmark `i`'s repaired rows, if the batch touched them.
+    #[inline]
+    pub fn row(&self, i: usize) -> Option<&PatchRow> {
+        self.rows.get(&i)
+    }
+
+    /// `true` when the batch changed no rows (queries can use the base
+    /// labelling's packed fast paths unchanged).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of patched landmark rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The post-batch vertex count the patch was computed over.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+}
+
+/// A read view merging a frozen base [`Labelling`] with a
+/// [`LabelPatch`]: patch row if present, base row otherwise. `Copy` by
+/// design — query code passes it around like the `&Labelling` it
+/// stands in for.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchedLabels<'a> {
+    base: &'a Labelling,
+    patch: &'a LabelPatch,
+}
+
+impl<'a> PatchedLabels<'a> {
+    pub fn new(base: &'a Labelling, patch: &'a LabelPatch) -> Self {
+        PatchedLabels { base, patch }
+    }
+
+    /// The frozen base labelling.
+    #[inline]
+    pub fn base(&self) -> &'a Labelling {
+        self.base
+    }
+
+    /// Whether the view degenerates to the plain base labelling.
+    #[inline]
+    pub fn patch_is_empty(&self) -> bool {
+        self.patch.is_empty()
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.base.num_vertices().max(self.patch.num_vertices())
+    }
+
+    #[inline]
+    pub fn num_landmarks(&self) -> usize {
+        self.base.num_landmarks()
+    }
+
+    /// Landmark index of `v`, if it is one. Landmarks are fixed for
+    /// the life of a session; vertices the hypothetical batch grew
+    /// past the base range are never landmarks.
+    #[inline]
+    pub fn landmark_index(&self, v: Vertex) -> Option<usize> {
+        if (v as usize) < self.base.num_vertices() {
+            self.base.landmark_index(v)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn is_landmark(&self, v: Vertex) -> bool {
+        self.landmark_index(v).is_some()
+    }
+
+    /// The `r_i`-label of `v` under the hypothetical ([`NO_LABEL`] if
+    /// absent).
+    #[inline]
+    pub fn label(&self, i: usize, v: Vertex) -> Dist {
+        if let Some(row) = self.patch.row(i) {
+            row.label.get(v as usize).copied().unwrap_or(NO_LABEL)
+        } else if (v as usize) < self.base.num_vertices() {
+            self.base.label(i, v)
+        } else {
+            NO_LABEL
+        }
+    }
+
+    /// Highway distance `δ_H(r_i, r_j)` under the hypothetical.
+    #[inline]
+    pub fn highway(&self, i: usize, j: usize) -> Dist {
+        if let Some(row) = self.patch.row(i) {
+            row.highway[j]
+        } else {
+            self.base.highway(i, j)
+        }
+    }
+
+    /// Exact `d_G(r_i, v)` under the hypothetical (Eq. 2).
+    pub fn landmark_to_vertex(&self, i: usize, v: Vertex) -> Dist {
+        self.landmark_dist(i, v).dist()
+    }
+
+    /// The landmark-distance oracle `d^L_G(r_i, v)` under the
+    /// hypothetical — mirrors [`Labelling::landmark_dist`] over the
+    /// merged rows.
+    pub fn landmark_dist(&self, i: usize, v: Vertex) -> LandmarkLength {
+        if let Some(j) = self.landmark_index(v) {
+            return if i == j {
+                LandmarkLength::ZERO
+            } else {
+                LandmarkLength::new(self.highway(i, j), true)
+            };
+        }
+        let lab = self.label(i, v);
+        if lab != NO_LABEL {
+            return LandmarkLength::new(lab, false);
+        }
+        let r = self.num_landmarks();
+        let mut best = u64::from(INF);
+        for k in 0..r {
+            let lk = self.label(k, v);
+            if lk == NO_LABEL {
+                continue;
+            }
+            let h = self.highway(i, k);
+            if h == INF {
+                continue;
+            }
+            best = best.min(lk as u64 + h as u64);
+        }
+        if best >= u64::from(INF) {
+            LandmarkLength::INFINITE
+        } else {
+            LandmarkLength::new(best as Dist, true)
+        }
+    }
+
+    /// The Eq. 3 upper bound `d⊤(s, t)` under the hypothetical.
+    pub fn upper_bound(&self, s: Vertex, t: Vertex) -> Dist {
+        upper_bound_pair_patched(self, self, self, s, t)
+    }
+}
+
+/// Eq. 3 across possibly distinct source / highway / target views
+/// (directed indexes bound `s → t` with `source` = the backward
+/// labelling and `highway`/`target` = the forward one). Escapes to the
+/// packed [`upper_bound_pair`] kernels when no patch is in play.
+pub fn upper_bound_pair_patched(
+    source: &PatchedLabels<'_>,
+    highway: &PatchedLabels<'_>,
+    target: &PatchedLabels<'_>,
+    s: Vertex,
+    t: Vertex,
+) -> Dist {
+    if source.patch_is_empty()
+        && highway.patch_is_empty()
+        && target.patch_is_empty()
+        && (s as usize) < source.base.num_vertices()
+        && (t as usize) < target.base.num_vertices()
+    {
+        return upper_bound_pair(source.base, highway.base, target.base, s, t);
+    }
+    let r = source.num_landmarks();
+    let mut best = u64::from(INF);
+    for i in 0..r {
+        let ls = source.label(i, s);
+        if ls == NO_LABEL {
+            continue;
+        }
+        for j in 0..r {
+            let h = highway.highway(i, j);
+            if h == INF {
+                continue;
+            }
+            let lt = target.label(j, t);
+            if lt == NO_LABEL {
+                continue;
+            }
+            best = best.min(ls as u64 + h as u64 + lt as u64);
+        }
+    }
+    best.min(u64::from(INF)) as Dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labelled_path(n: usize) -> Labelling {
+        use batchhl_graph::generators::path;
+        let g = path(n);
+        crate::build_labelling(&g, vec![1, n as Vertex - 1]).unwrap()
+    }
+
+    #[test]
+    fn empty_patch_view_matches_base() {
+        let base = labelled_path(8);
+        let patch = LabelPatch::new(base.num_vertices());
+        let pl = PatchedLabels::new(&base, &patch);
+        assert!(pl.patch_is_empty());
+        for i in 0..base.num_landmarks() {
+            for v in 0..8u32 {
+                assert_eq!(pl.label(i, v), base.label(i, v));
+                assert_eq!(
+                    pl.landmark_to_vertex(i, v),
+                    base.landmark_to_vertex(i, v),
+                    "landmark {i} vertex {v}"
+                );
+            }
+            for j in 0..base.num_landmarks() {
+                assert_eq!(pl.highway(i, j), base.highway(i, j));
+            }
+        }
+        for s in 0..8u32 {
+            for t in 0..8u32 {
+                assert_eq!(pl.upper_bound(s, t), base.upper_bound(s, t), "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn patched_rows_shadow_base_and_out_of_range_reads_are_safe() {
+        let base = labelled_path(4);
+        let r = base.num_landmarks();
+        let n = 6; // hypothetical batch grew the graph by two vertices
+        let mut patch = LabelPatch::new(n);
+        let row = PatchRow {
+            label: vec![7; n].into_boxed_slice(),
+            highway: (0..r).map(|j| base.highway(0, j)).collect(),
+        };
+        patch.insert_row(0, row);
+        let pl = PatchedLabels::new(&base, &patch);
+        assert!(!pl.patch_is_empty());
+        assert_eq!(pl.num_vertices(), n);
+        // Patched row shadows the base; unpatched rows fall through.
+        assert_eq!(pl.label(0, 3), 7);
+        if r > 1 {
+            assert_eq!(pl.label(1, 3), base.label(1, 3));
+            // Grown vertices read NO_LABEL from unpatched rows…
+            assert_eq!(pl.label(1, 5), NO_LABEL);
+        }
+        // …and never register as landmarks.
+        assert_eq!(pl.landmark_index(5), None);
+        assert!(!pl.is_landmark(5));
+    }
+}

@@ -25,6 +25,7 @@
 
 use crate::kernel::{self, clamp_to_inf, CLAMP_INF};
 use crate::labelling::{Labelling, NO_LABEL};
+use crate::patch::{upper_bound_pair_patched, PatchedLabels};
 use batchhl_common::{Dist, Vertex, INF};
 use batchhl_graph::bfs::BiBfs;
 use batchhl_graph::AdjacencyView;
@@ -182,6 +183,68 @@ impl SourcePlan {
                 continue;
             }
             let cand = via as u64 + lt as u64;
+            if cand < best {
+                best = cand;
+            }
+        }
+        best.min(u64::from(INF)) as Dist
+    }
+
+    /// As [`SourcePlan::new`] over patched views (what-if sessions).
+    /// Degenerates to the clamped-kernel path when neither view carries
+    /// a patch; otherwise fills `via` with an exact dense scan over the
+    /// merged rows.
+    pub fn new_patched(source: &PatchedLabels<'_>, highway: &PatchedLabels<'_>, s: Vertex) -> Self {
+        if source.patch_is_empty()
+            && highway.patch_is_empty()
+            && (s as usize) < source.base().num_vertices()
+        {
+            return SourcePlan::new(source.base(), highway.base(), s);
+        }
+        let r = highway.num_landmarks();
+        let mut via = vec![INF; r].into_boxed_slice();
+        for i in 0..source.num_landmarks() {
+            let ls = source.label(i, s);
+            if ls == NO_LABEL {
+                continue;
+            }
+            for (j, slot) in via.iter_mut().enumerate() {
+                let h = highway.highway(i, j);
+                if h == INF {
+                    continue;
+                }
+                let cand = u64::from(ls) + u64::from(h);
+                if cand < u64::from(*slot) {
+                    *slot = cand as Dist;
+                }
+            }
+        }
+        SourcePlan {
+            source: s,
+            via,
+            clamped: false,
+        }
+    }
+
+    /// As [`SourcePlan::bound_to`] against a patched target view.
+    /// Handles both `via` domains: clamped plans (built by
+    /// [`SourcePlan::new`] before the target's patch existed) keep the
+    /// [`CLAMP_INF`] no-route sentinel, exact plans use [`INF`].
+    pub fn bound_to_patched(&self, target: &PatchedLabels<'_>, t: Vertex) -> Dist {
+        if target.patch_is_empty() && (t as usize) < target.base().num_vertices() {
+            return self.bound_to(target.base(), t);
+        }
+        let no_route = if self.clamped { CLAMP_INF } else { INF };
+        let mut best = u64::from(INF);
+        for (j, &via) in self.via.iter().enumerate() {
+            if via >= no_route {
+                continue;
+            }
+            let lt = target.label(j, t);
+            if lt == NO_LABEL {
+                continue;
+            }
+            let cand = u64::from(via) + u64::from(lt);
             if cand < best {
                 best = cand;
             }
@@ -373,6 +436,91 @@ impl QueryEngine {
         out
     }
 
+    /// As [`QueryEngine::query_dist`] over a patched labelling view —
+    /// the per-pair path of a what-if session. `g` is the session's
+    /// private overlay view of the hypothetical graph.
+    pub fn query_dist_patched<A: AdjacencyView>(
+        &mut self,
+        pl: &PatchedLabels<'_>,
+        g: &A,
+        s: Vertex,
+        t: Vertex,
+    ) -> Dist {
+        if s == t {
+            return 0;
+        }
+        match (pl.landmark_index(s), pl.landmark_index(t)) {
+            (Some(i), Some(j)) => pl.highway(i, j),
+            (Some(i), None) => pl.landmark_to_vertex(i, t),
+            (None, Some(j)) => pl.landmark_to_vertex(j, s),
+            (None, None) => {
+                let bound = upper_bound_pair_patched(pl, pl, pl, s, t);
+                let found = self.bibfs.run(g, s, t, bound, |v| !pl.is_landmark(v));
+                found.unwrap_or(bound)
+            }
+        }
+    }
+
+    /// As [`QueryEngine::distances_from`] over a patched labelling
+    /// view, with the same landmark-source, sweep-vs-search and
+    /// range-handling structure. Answers equal
+    /// [`QueryEngine::query_dist_patched`] pair by pair.
+    pub fn distances_from_patched<A: AdjacencyView>(
+        &mut self,
+        pl: &PatchedLabels<'_>,
+        g: &A,
+        s: Vertex,
+        targets: &[Vertex],
+    ) -> Vec<Dist> {
+        let n = g.num_vertices();
+        let mut out = vec![INF; targets.len()];
+        if (s as usize) >= n {
+            return out;
+        }
+        if let Some(i) = pl.landmark_index(s) {
+            for (slot, &t) in out.iter_mut().zip(targets) {
+                if (t as usize) < n {
+                    *slot = pl.landmark_to_vertex(i, t);
+                }
+            }
+            return out;
+        }
+        let plan = SourcePlan::new_patched(pl, pl, s);
+        let mut refine: Vec<usize> = Vec::new();
+        for (k, &t) in targets.iter().enumerate() {
+            if (t as usize) >= n {
+                continue;
+            }
+            if t == s {
+                out[k] = 0;
+                continue;
+            }
+            if let Some(j) = pl.landmark_index(t) {
+                out[k] = pl.landmark_to_vertex(j, s);
+                continue;
+            }
+            out[k] = plan.bound_to_patched(pl, t);
+            refine.push(k);
+        }
+        if refine.len() >= sweep_min_targets(n) {
+            let horizon = refine.iter().map(|&k| out[k]).max().unwrap_or(0);
+            self.bibfs
+                .sweep(g, s, horizon, usize::MAX, |v| !pl.is_landmark(v));
+            for &k in &refine {
+                out[k] = out[k].min(self.bibfs.sweep_dist(targets[k]));
+            }
+        } else {
+            for &k in &refine {
+                let bound = out[k];
+                let found = self
+                    .bibfs
+                    .run(g, s, targets[k], bound, |v| !pl.is_landmark(v));
+                out[k] = found.unwrap_or(bound);
+            }
+        }
+        out
+    }
+
     /// The `k` vertices closest to `s` (excluding `s` itself), as
     /// `(vertex, distance)` in nondecreasing-distance order (see
     /// [`bfs_top_k`]).
@@ -391,6 +539,13 @@ impl QueryEngine {
 /// there are exact, so no labelling is consulted. Shared by the
 /// undirected query engine and the directed snapshot path (which
 /// follows out-arcs through its `AdjacencyView`).
+///
+/// The answer set is **deterministic**: the sweep always completes the
+/// BFS level the cap lands in (so every vertex at the boundary distance
+/// is a candidate), and ties at the boundary are broken by ascending
+/// vertex id. The same query therefore answers identically before and
+/// after CSR compaction or any other adjacency reordering of an
+/// identical graph.
 pub fn bfs_top_k<A: AdjacencyView>(
     bibfs: &mut BiBfs,
     g: &A,
@@ -401,13 +556,17 @@ pub fn bfs_top_k<A: AdjacencyView>(
         return Vec::new();
     }
     bibfs.sweep(g, s, INF, k.saturating_add(1), |_| true);
-    bibfs
+    let mut out: Vec<(Vertex, Dist)> = bibfs
         .swept()
         .iter()
         .filter(|&&v| v != s)
-        .take(k)
         .map(|&v| (v, bibfs.sweep_dist(v)))
-        .collect()
+        .collect();
+    // The sweep is nondecreasing by distance but adjacency-ordered
+    // within a level; canonicalize to (distance, id) and cut at k.
+    out.sort_unstable_by_key(|&(v, d)| (d, v));
+    out.truncate(k);
+    out
 }
 
 #[cfg(test)]

@@ -219,6 +219,34 @@ impl Client {
             .collect()
     }
 
+    /// Answer `pairs` as if `edits` had been committed, without
+    /// committing them. Returns `(version, dists)` — the version of
+    /// the generation the speculation ran over (unchanged by the
+    /// call), and positional answers under the hypothetical.
+    pub fn what_if(
+        &mut self,
+        edits: &[Edit],
+        pairs: &[(Vertex, Vertex)],
+    ) -> Result<(u64, Vec<Option<Dist>>), ClientError> {
+        let wire_edits = Json::Arr(edits.iter().map(encode_edit).collect());
+        let wire_pairs = Json::Arr(
+            pairs
+                .iter()
+                .map(|&(s, t)| Json::Arr(vec![Json::u64(s as u64), Json::u64(t as u64)]))
+                .collect(),
+        );
+        let v = self.call(vec![
+            ("op".to_string(), Json::str("what_if")),
+            ("edits".to_string(), wire_edits),
+            ("pairs".to_string(), wire_pairs),
+        ])?;
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("missing \"version\"".into()))?;
+        Ok((version, dists_field(&v)?))
+    }
+
     /// Commit an edit batch. Returns `(applied, seq)`.
     pub fn commit(&mut self, edits: &[Edit]) -> Result<(usize, u64), ClientError> {
         let wire = Json::Arr(edits.iter().map(encode_edit).collect());

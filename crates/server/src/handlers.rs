@@ -23,8 +23,8 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::protocol::{
-    parse_request, resp_committed, resp_dist, resp_dists, resp_error, resp_ok, resp_top_k, Request,
-    TailMsg, MAX_LINE_BYTES,
+    parse_request, resp_committed, resp_dist, resp_dists, resp_error, resp_ok, resp_top_k,
+    resp_what_if, Request, TailMsg, MAX_LINE_BYTES,
 };
 use batchhl::{DistanceOracle, Edit, OracleHealth, OracleReader, Vertex};
 use std::io::{self, BufWriter, Read, Write};
@@ -531,6 +531,30 @@ fn dispatch(
                 Box::new(move || run_commit(&core, &conn, id, &edits))
             });
         }
+        Request::WhatIf { edits, pairs } => submit_or_shed(core, conn, id, {
+            // Read-only speculation: allowed on replicas, no health
+            // gate — the published generation is never touched.
+            let core = Arc::clone(core);
+            let conn = Arc::clone(conn);
+            Box::new(move || {
+                let session = core
+                    .reader
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .what_if(&edits);
+                match session {
+                    Ok(mut session) => {
+                        let ds = session.query_many(&pairs);
+                        core.metrics.queries.add(pairs.len() as u64);
+                        core.metrics.request_latency.observe(start.elapsed());
+                        let _ = conn.write_line(&resp_what_if(id, session.version(), &ds));
+                    }
+                    Err(e) => {
+                        let _ = conn.write_line(&resp_error(id, "bad_request", &format!("{e:?}")));
+                    }
+                }
+            })
+        }),
         Request::Recover => {
             if core.config.read_only {
                 let _ = conn.write_line(&resp_error(

@@ -49,6 +49,13 @@ pub enum Request {
     TopKClosest { s: Vertex, k: usize },
     /// Apply an edit batch through an [`batchhl::UpdateSession`].
     Commit { edits: Vec<Edit> },
+    /// Answer `pairs` as if `edits` had been committed, without
+    /// committing them — a speculative what-if overlay on the current
+    /// generation. Read-only: works on replicas, never touches the WAL.
+    WhatIf {
+        edits: Vec<Edit>,
+        pairs: Vec<(Vertex, Vertex)>,
+    },
     /// Re-open from the checkpoint + WAL (crash-recovery drill).
     Recover,
     /// Run the oracle's integrity verification.
@@ -130,6 +137,32 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 .map(decode_edit)
                 .collect::<Result<Vec<_>, _>>()?;
             Request::Commit { edits }
+        }
+        "what_if" => {
+            let edits = v
+                .get("edits")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"edits\"")?
+                .iter()
+                .map(decode_edit)
+                .collect::<Result<Vec<_>, _>>()?;
+            let pairs = v
+                .get("pairs")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"pairs\"")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().filter(|p| p.len() == 2);
+                    match pair {
+                        Some([s, t]) => match (vertex_of(s), vertex_of(t)) {
+                            (Some(s), Some(t)) => Ok((s, t)),
+                            _ => Err("pair members must be vertex ids".to_string()),
+                        },
+                        _ => Err("each pair must be [s, t]".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::WhatIf { edits, pairs }
         }
         "recover" => Request::Recover,
         "verify" => Request::Verify,
@@ -234,6 +267,21 @@ pub fn resp_top_k(id: Option<u64>, closest: &[(Vertex, batchhl::Dist)]) -> Strin
             .collect(),
     );
     with_id(id, vec![("closest".to_string(), arr)])
+}
+
+/// `{"id":..,"version":V,"dists":[..]}` for a `what_if` — positional
+/// answers under the hypothetical edits, plus the version of the
+/// pinned generation they were computed over (which the request,
+/// being speculative, did not change).
+pub fn resp_what_if(id: Option<u64>, version: u64, ds: &[Option<batchhl::Dist>]) -> String {
+    let arr = Json::Arr(ds.iter().map(|d| dist_json(*d)).collect());
+    with_id(
+        id,
+        vec![
+            ("version".to_string(), Json::u64(version)),
+            ("dists".to_string(), arr),
+        ],
+    )
 }
 
 /// `{"id":..,"committed":true,"applied":N,"seq":S}` after a commit.
@@ -388,6 +436,19 @@ mod tests {
 
         let env = parse_request(r#"{"op":"tail","from_seq":12}"#).unwrap();
         assert_eq!(env.request, Request::Tail { from_seq: 12 });
+
+        let env = parse_request(
+            r#"{"op":"what_if","edits":[["remove",1,2]],"pairs":[[0,3],[1,2]],"id":7}"#,
+        )
+        .unwrap();
+        assert_eq!(env.id, Some(7));
+        assert_eq!(
+            env.request,
+            Request::WhatIf {
+                edits: vec![Edit::Remove(1, 2)],
+                pairs: vec![(0, 3), (1, 2)],
+            }
+        );
     }
 
     #[test]
@@ -401,6 +462,8 @@ mod tests {
             r#"{"op":"commit","edits":[["teleport",1,2]]}"#,
             r#"{"op":"commit","edits":[["insert",1]]}"#,
             r#"{"op":"query_many","pairs":[[1]]}"#,
+            r#"{"op":"what_if","edits":[["remove",1,2]]}"#,
+            r#"{"op":"what_if","pairs":[[1,2]]}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must fail");
         }

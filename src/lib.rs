@@ -42,7 +42,7 @@ pub mod oracle;
 
 pub use oracle::{
     DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleHealth,
-    OracleReader, UpdateSession, WalPosition,
+    OracleReader, UpdateSession, WalPosition, WhatIfSession,
 };
 
 // Batch admission (also run internally by every `commit`).

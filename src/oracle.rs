@@ -53,6 +53,7 @@ use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
 use batchhl_core::persist::{write_checkpoint, CheckpointMeta, PersistError};
 use batchhl_core::stats::UpdateStats;
 use batchhl_core::wal::{read_wal_from, recover_wal, WalRecord, WalTail, WalWriter};
+use batchhl_core::whatif::WhatIfQuery;
 use batchhl_graph::weighted::Weight;
 use batchhl_hcl::LandmarkSelection;
 use std::fs::File;
@@ -1061,6 +1062,62 @@ impl OracleReader {
     /// The `k` closest vertices on the freshest published generation.
     pub fn top_k_closest(&self, s: Vertex, k: usize) -> Vec<(Vertex, Dist)> {
         self.inner.top_k_closest(s, k)
+    }
+
+    /// A speculative **what-if session**: answers queries as if `edits`
+    /// had been committed, without committing them. The session pins
+    /// the freshest published generation and builds a private graph
+    /// overlay plus a scoped label patch over it — no generation bump,
+    /// no WAL traffic, and the oracle's own answers are untouched. The
+    /// hypothetical evaporates when the session is dropped, so many
+    /// sessions (distinct failure scenarios) can run concurrently
+    /// against one snapshot.
+    ///
+    /// Errors on edits the backend family cannot express (the same
+    /// rule as `commit_edits`): unweighted oracles reject
+    /// weight-carrying edits.
+    pub fn what_if(&self, edits: &[Edit]) -> Result<WhatIfSession, OracleError> {
+        Ok(WhatIfSession {
+            inner: self.inner.what_if(edits)?,
+        })
+    }
+}
+
+/// A scoped hypothetical built by [`OracleReader::what_if`]. Query
+/// methods take `&mut self` (the session owns private search
+/// workspace); drop it to discard the hypothetical.
+pub struct WhatIfSession {
+    inner: Box<dyn WhatIfQuery>,
+}
+
+impl std::fmt::Debug for WhatIfSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WhatIfSession")
+            .field("version", &self.inner.version())
+            .finish()
+    }
+}
+
+impl WhatIfSession {
+    /// Version of the pinned generation the hypothetical sits on.
+    /// Never changes for the life of the session.
+    pub fn version(&self) -> u64 {
+        self.inner.version()
+    }
+
+    /// Exact distance under the hypothetical edits.
+    pub fn query(&mut self, s: Vertex, t: Vertex) -> Option<Dist> {
+        self.inner.query(s, t)
+    }
+
+    /// Batched pair queries under the hypothetical edits.
+    pub fn query_many(&mut self, pairs: &[(Vertex, Vertex)]) -> Vec<Option<Dist>> {
+        self.inner.query_many(pairs)
+    }
+
+    /// One-source-to-many-targets under the hypothetical edits.
+    pub fn distances_from(&mut self, s: Vertex, targets: &[Vertex]) -> Vec<Option<Dist>> {
+        self.inner.distances_from(s, targets)
     }
 }
 

@@ -41,11 +41,13 @@ fn fresh_dir() -> PathBuf {
     dir
 }
 
-/// One index family under chaos: a builder, a baseline batch and a
-/// second (victim) batch, both admissible and both state-changing.
+/// One index family under chaos: a builder (parameterized by update
+/// threads, so the same cases run over the sequential and the
+/// landmark-parallel repair paths), a baseline batch and a second
+/// (victim) batch, both admissible and both state-changing.
 struct Fam {
     name: &'static str,
-    build: fn() -> Oracle,
+    build: fn(usize) -> Oracle,
     batch1: fn(&mut Oracle) -> Result<(), OracleError>,
     batch2: fn(&mut Oracle) -> Result<(), OracleError>,
 }
@@ -54,9 +56,10 @@ fn families() -> [Fam; 3] {
     [
         Fam {
             name: "undirected",
-            build: || {
+            build: |threads| {
                 Oracle::builder()
                     .top_degree_landmarks(3)
+                    .threads(threads)
                     .build(generators::path(12))
                     .expect("undirected source")
             },
@@ -65,7 +68,7 @@ fn families() -> [Fam; 3] {
         },
         Fam {
             name: "directed",
-            build: || {
+            build: |threads| {
                 let g = DynamicDiGraph::from_edges(
                     10,
                     &[
@@ -83,6 +86,7 @@ fn families() -> [Fam; 3] {
                 Oracle::builder()
                     .directed(true)
                     .top_degree_landmarks(3)
+                    .threads(threads)
                     .build(g)
                     .expect("directed source")
             },
@@ -91,7 +95,7 @@ fn families() -> [Fam; 3] {
         },
         Fam {
             name: "weighted",
-            build: || {
+            build: |threads| {
                 let g = WeightedGraph::from_edges(
                     9,
                     &[
@@ -107,6 +111,7 @@ fn families() -> [Fam; 3] {
                 Oracle::builder()
                     .weighted(true)
                     .top_degree_landmarks(3)
+                    .threads(threads)
                     .build(g)
                     .expect("weighted source")
             },
@@ -161,7 +166,7 @@ fn wal_phase_failures_leave_commit_atomic_and_healthy() {
             for action in [Action::Error, Action::Panic] {
                 let ctx = format!("{} @ {site} ({action:?})", fam.name);
                 let dir = fresh_dir();
-                let mut o = (fam.build)();
+                let mut o = (fam.build)(1);
                 o.persist_to(&dir, no_checkpoint()).expect("attach");
                 (fam.batch1)(&mut o).expect("baseline batch");
                 let pre = answers(&mut o);
@@ -216,75 +221,86 @@ fn wal_phase_failures_leave_commit_atomic_and_healthy() {
 #[test]
 fn mid_apply_panic_rolls_back_poisons_and_recovers() {
     let _g = serial();
+    // `mid_repair_panic` fires before the landmark loop;
+    // `landmark_panic` fires *inside* it — with `threads = 4` that is
+    // inside a scoped parallel worker, so the panic crosses
+    // `scope.spawn`/`join` before reaching commit containment.
+    let sites = [
+        ("engine::mid_repair_panic", 1),
+        ("engine::landmark_panic", 1),
+        ("engine::landmark_panic", 4),
+    ];
     for fam in families() {
-        let ctx = fam.name;
-        let dir = fresh_dir();
-        let mut o = (fam.build)();
-        o.persist_to(&dir, no_checkpoint()).expect("attach");
-        (fam.batch1)(&mut o).expect("baseline batch");
-        let reader = o.reader();
-        let pre = answers(&mut o);
-        let committed = o.batches_committed();
+        for (site, threads) in sites {
+            let ctx = &format!("{} @ {site} (threads={threads})", fam.name);
+            let dir = fresh_dir();
+            let mut o = (fam.build)(threads);
+            o.persist_to(&dir, no_checkpoint()).expect("attach");
+            (fam.batch1)(&mut o).expect("baseline batch");
+            let reader = o.reader();
+            let pre = answers(&mut o);
+            let committed = o.batches_committed();
 
-        let armed = failpoint::arm("engine::mid_repair_panic", Action::Panic);
-        let err = (fam.batch2)(&mut o).expect_err(ctx);
-        drop(armed);
-        assert!(
-            matches!(err, OracleError::CommitPanicked { .. }),
-            "{ctx}: {err}"
-        );
-        assert!(
-            matches!(o.health(), OracleHealth::WritesPoisoned { .. }),
-            "{ctx}: {:?}",
-            o.health()
-        );
-        assert_eq!(o.batches_committed(), committed, "{ctx}: seq not consumed");
+            let armed = failpoint::arm(site, Action::Panic);
+            let err = (fam.batch2)(&mut o).expect_err(ctx);
+            drop(armed);
+            assert!(
+                matches!(err, OracleError::CommitPanicked { .. }),
+                "{ctx}: {err}"
+            );
+            assert!(
+                matches!(o.health(), OracleHealth::WritesPoisoned { .. }),
+                "{ctx}: {:?}",
+                o.health()
+            );
+            assert_eq!(o.batches_committed(), committed, "{ctx}: seq not consumed");
 
-        // Readers — including from other threads — serve the pre-batch
-        // generation bit-identically.
-        assert_eq!(answers(&mut o), pre, "{ctx}: owner rolled back");
-        let n = o.num_vertices() as Vertex;
-        std::thread::scope(|scope| {
-            for _ in 0..2 {
-                let r = &reader;
-                let pre = &pre;
-                scope.spawn(move || {
-                    for s in 0..n {
-                        for t in 0..n {
-                            assert_eq!(
-                                r.query(s, t),
-                                pre[(s * n + t) as usize],
-                                "{ctx}: reader ({s},{t})"
-                            );
+            // Readers — including from other threads — serve the pre-batch
+            // generation bit-identically.
+            assert_eq!(answers(&mut o), pre, "{ctx}: owner rolled back");
+            let n = o.num_vertices() as Vertex;
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let r = &reader;
+                    let pre = &pre;
+                    scope.spawn(move || {
+                        for s in 0..n {
+                            for t in 0..n {
+                                assert_eq!(
+                                    r.query(s, t),
+                                    pre[(s * n + t) as usize],
+                                    "{ctx}: reader ({s},{t})"
+                                );
+                            }
                         }
-                    }
-                });
-            }
-        });
+                    });
+                }
+            });
 
-        // Writes are refused until recovery...
-        let err = (fam.batch2)(&mut o).expect_err(ctx);
-        assert!(
-            matches!(err, OracleError::WritesPoisoned { .. }),
-            "{ctx}: {err}"
-        );
+            // Writes are refused until recovery...
+            let err = (fam.batch2)(&mut o).expect_err(ctx);
+            assert!(
+                matches!(err, OracleError::WritesPoisoned { .. }),
+                "{ctx}: {err}"
+            );
 
-        // ...a cold reopen lands on exactly the pre-batch state (the
-        // abort record cancels the logged batch)...
-        let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
-        assert_eq!(reopened.batches_committed(), committed, "{ctx}");
-        assert_eq!(answers(&mut reopened), pre, "{ctx}: reopen = pre-batch");
-        drop(reopened);
+            // ...a cold reopen lands on exactly the pre-batch state (the
+            // abort record cancels the logged batch)...
+            let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
+            assert_eq!(reopened.batches_committed(), committed, "{ctx}");
+            assert_eq!(answers(&mut reopened), pre, "{ctx}: reopen = pre-batch");
+            drop(reopened);
 
-        // ...and in-process recovery restores writability: the retried
-        // batch lands and survives another reopen (post-batch state).
-        o.recover().expect(ctx);
-        assert_eq!(*o.health(), OracleHealth::Healthy, "{ctx}");
-        (fam.batch2)(&mut o).expect(ctx);
-        let post = answers(&mut o);
-        assert_ne!(post, pre, "{ctx}: victim batch changes distances");
-        let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
-        assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
+            // ...and in-process recovery restores writability: the retried
+            // batch lands and survives another reopen (post-batch state).
+            o.recover().expect(ctx);
+            assert_eq!(*o.health(), OracleHealth::Healthy, "{ctx}");
+            (fam.batch2)(&mut o).expect(ctx);
+            let post = answers(&mut o);
+            assert_ne!(post, pre, "{ctx}: victim batch changes distances");
+            let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
+            assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
+        }
     }
 }
 
@@ -299,61 +315,69 @@ fn mid_apply_panic_rolls_back_poisons_and_recovers() {
 #[test]
 fn failed_abort_record_is_tracked_and_cancelled_by_recover() {
     let _g = serial();
+    let sites = [
+        ("engine::mid_repair_panic", 1),
+        // The same abort-failure containment with the panic raised in a
+        // scoped parallel landmark worker.
+        ("engine::landmark_panic", 4),
+    ];
     for fam in families() {
-        let ctx = fam.name;
-        let dir = fresh_dir();
-        let mut o = (fam.build)();
-        o.persist_to(&dir, no_checkpoint()).expect("attach");
-        (fam.batch1)(&mut o).expect("baseline batch");
-        let pre = answers(&mut o);
-        let committed = o.batches_committed();
-        let pre_wal = wal_len(&dir);
+        for (site, threads) in sites {
+            let ctx = &format!("{} @ {site} (threads={threads})", fam.name);
+            let dir = fresh_dir();
+            let mut o = (fam.build)(threads);
+            o.persist_to(&dir, no_checkpoint()).expect("attach");
+            (fam.batch1)(&mut o).expect("baseline batch");
+            let pre = answers(&mut o);
+            let committed = o.batches_committed();
+            let pre_wal = wal_len(&dir);
 
-        // Fail the apply AND the abort record: the WAL write site
-        // passes the batch append (hit 1) and fires on the abort
-        // append (hit 2).
-        let panic_arm = failpoint::arm("engine::mid_repair_panic", Action::Panic);
-        let abort_arm = failpoint::arm_times("wal::after_write_before_sync", Action::Error, 1);
-        let err = (fam.batch2)(&mut o).expect_err(ctx);
-        drop(abort_arm);
-        drop(panic_arm);
-        assert!(
-            matches!(err, OracleError::CommitPanicked { .. }),
-            "{ctx}: {err}"
-        );
-        assert!(
-            matches!(
-                o.health(),
-                OracleHealth::WritesPoisoned {
-                    batch_still_logged: true,
-                    ..
-                }
-            ),
-            "{ctx}: {:?}",
-            o.health()
-        );
-        assert_eq!(answers(&mut o), pre, "{ctx}: rolled back in memory");
-        // The failed batch is durable with no cancelling abort record…
-        assert!(wal_len(&dir) > pre_wal, "{ctx}: batch still logged");
-        // …so a cold reopen replays it; when the replay trips the same
-        // deterministic failure, `open` reports it typed — no panic
-        // crosses the facade.
-        let replay_arm = failpoint::arm("engine::mid_repair_panic", Action::Panic);
-        let err = Oracle::open_with(&dir, no_checkpoint()).expect_err(ctx);
-        drop(replay_arm);
-        assert!(matches!(err, PersistError::Replay(_)), "{ctx}: {err}");
+            // Fail the apply AND the abort record: the WAL write site
+            // passes the batch append (hit 1) and fires on the abort
+            // append (hit 2).
+            let panic_arm = failpoint::arm(site, Action::Panic);
+            let abort_arm = failpoint::arm_times("wal::after_write_before_sync", Action::Error, 1);
+            let err = (fam.batch2)(&mut o).expect_err(ctx);
+            drop(abort_arm);
+            drop(panic_arm);
+            assert!(
+                matches!(err, OracleError::CommitPanicked { .. }),
+                "{ctx}: {err}"
+            );
+            assert!(
+                matches!(
+                    o.health(),
+                    OracleHealth::WritesPoisoned {
+                        batch_still_logged: true,
+                        ..
+                    }
+                ),
+                "{ctx}: {:?}",
+                o.health()
+            );
+            assert_eq!(answers(&mut o), pre, "{ctx}: rolled back in memory");
+            // The failed batch is durable with no cancelling abort record…
+            assert!(wal_len(&dir) > pre_wal, "{ctx}: batch still logged");
+            // …so a cold reopen replays it; when the replay trips the same
+            // deterministic failure, `open` reports it typed — no panic
+            // crosses the facade.
+            let replay_arm = failpoint::arm(site, Action::Panic);
+            let err = Oracle::open_with(&dir, no_checkpoint()).expect_err(ctx);
+            drop(replay_arm);
+            assert!(matches!(err, PersistError::Replay(_)), "{ctx}: {err}");
 
-        // In-process recovery first writes the abort record, then
-        // reloads: exactly the pre-batch state, writable again.
-        o.recover().expect(ctx);
-        assert_eq!(*o.health(), OracleHealth::Healthy, "{ctx}");
-        assert_eq!(o.batches_committed(), committed, "{ctx}");
-        assert_eq!(answers(&mut o), pre, "{ctx}: recover = pre-batch");
-        // The retried batch lands and survives a reopen.
-        (fam.batch2)(&mut o).expect(ctx);
-        let post = answers(&mut o);
-        let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
-        assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
+            // In-process recovery first writes the abort record, then
+            // reloads: exactly the pre-batch state, writable again.
+            o.recover().expect(ctx);
+            assert_eq!(*o.health(), OracleHealth::Healthy, "{ctx}");
+            assert_eq!(o.batches_committed(), committed, "{ctx}");
+            assert_eq!(answers(&mut o), pre, "{ctx}: recover = pre-batch");
+            // The retried batch lands and survives a reopen.
+            (fam.batch2)(&mut o).expect(ctx);
+            let post = answers(&mut o);
+            let mut reopened = Oracle::open_with(&dir, no_checkpoint()).expect(ctx);
+            assert_eq!(answers(&mut reopened), post, "{ctx}: reopen = post-batch");
+        }
     }
 }
 
@@ -367,7 +391,7 @@ fn checkpoint_failures_degrade_without_losing_the_batch() {
         for site in ["persist::after_tmp_write", "persist::before_rename"] {
             let ctx = format!("{} @ {site}", fam.name);
             let dir = fresh_dir();
-            let mut o = (fam.build)();
+            let mut o = (fam.build)(1);
             o.persist_to(&dir, every_batch()).expect("attach");
             (fam.batch1)(&mut o).expect("baseline batch (checkpointed)");
             let committed = o.batches_committed();

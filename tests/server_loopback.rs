@@ -115,6 +115,45 @@ fn concurrent_mixed_traffic_matches_the_direct_oracle() {
 }
 
 #[test]
+fn what_if_speculates_without_committing() {
+    let mut shadow = build_oracle();
+    let server = Server::start(build_oracle(), ServerConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // The hypothetical: drop two hub-adjacent edges, add a shortcut.
+    let edits = vec![
+        Edit::Remove(0, 1),
+        Edit::Remove(1, 2),
+        Edit::Insert(10, N - 5),
+    ];
+    let pairs = pair_stream(7, 24);
+
+    // Truth: a twin oracle that actually commits the batch.
+    let mut session = shadow.update();
+    for &e in &edits {
+        session = session.push(e);
+    }
+    session.commit().expect("shadow commit");
+    let want = shadow.query_many(&pairs);
+
+    let (version, got) = client.what_if(&edits, &pairs).expect("what_if");
+    assert_eq!(version, 0, "speculation pins the published generation");
+    assert_eq!(got, want, "hypothetical answers match a committed twin");
+
+    // Nothing was committed: the server's cursor and answers are
+    // untouched, and the deleted edge is still there.
+    assert_eq!(server.committed_seq(), 0);
+    assert_eq!(client.query(0, 1).expect("query"), Some(1));
+
+    // Weight-carrying edits are refused by the unweighted family with
+    // a typed error, exactly like commit.
+    let err = client
+        .what_if(&[Edit::SetWeight(0, 1, 5)], &[(0, 1)])
+        .expect_err("weighted edit on unweighted oracle");
+    assert_eq!(err.code(), Some("bad_request"));
+}
+
+#[test]
 fn overload_sheds_typed_and_never_hangs() {
     // One worker behind a queue of one, no coalescer: flooding the
     // server MUST produce shed responses, and every request must still
