@@ -122,6 +122,6 @@ pub use index::{Algorithm, BatchIndex, CompactionPolicy, IndexConfig, IndexSnaps
 pub use persist::{CheckpointMeta, PersistError};
 pub use reader::{DirectedReader, Reader, SharedReader, SnapshotQuery, WeightedReader};
 pub use stats::UpdateStats;
-pub use wal::{recover_wal, WalRecord, WalRecovery, WalWriter};
+pub use wal::{recover_wal, TxnId, WalRecord, WalRecovery, WalWriter};
 pub use weighted::{WeightedBatchIndex, WeightedSnapshot};
 pub use whatif::{DirectedWhatIf, SnapshotWhatIf, WeightedWhatIf, WhatIf, WhatIfQuery};

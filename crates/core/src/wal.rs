@@ -8,23 +8,28 @@
 //! # Record framing (all integers little-endian)
 //!
 //! ```text
-//! file header: magic "BWAL" | u8 version = 2 | u8 ×3 reserved (0)
+//! file header: magic "BWAL" | u8 version = 3 | u8 ×3 reserved (0)
 //! record:      u32 payload_len | u32 CRC-32(payload) | payload
 //! payload:     u8 kind | kind-specific body
-//!   kind 0 (batch): u64 seq | u32 edit_count | edit_count × edit
-//!   kind 1 (abort): u64 seq
+//!   kind 0 (batch):     u64 seq | u32 edit_count | edit_count × edit
+//!   kind 1 (abort):     u64 seq
+//!   kind 2 (txn batch): u64 seq | u64 txn_session | u64 txn_counter
+//!                       | u32 edit_count | edit_count × edit
 //! edit:        u8 tag | u32 a | u32 b [| u32 w]
 //!              tag 0 = Insert, 1 = InsertWeighted (w), 2 = Remove,
 //!              tag 3 = SetWeight (w)
 //! ```
 //!
-//! Version-1 logs (no `kind` byte; every payload is a batch body) keep
-//! decoding — recovery dispatches on the header version byte. New logs
-//! are always written as version 2, and opening a version-1 log for
-//! *append* first rewrites it as version 2 (crash-atomically, via a
-//! sibling temp file renamed into place): mixing v2 framed records
-//! into a v1 file would make every appended record unreadable, since
-//! a v1 reader consumes the kind byte as part of `seq`.
+//! Older logs keep decoding — recovery dispatches on the header
+//! version byte. Version-1 payloads carry no `kind` byte (every
+//! payload is a batch body); version-2 framing is identical to
+//! version 3 minus the `kind 2` txn-stamped batch record. New logs are
+//! always written as version 3, and opening an older log for *append*
+//! first rewrites it at the current version (crash-atomically, via a
+//! sibling temp file renamed into place): mixing framed records from a
+//! newer generation into an old file would hand a strict old reader
+//! records it either mis-decodes (v1 consumes the kind byte as part of
+//! `seq`) or refuses (v2 treats kind 2 as corruption).
 //!
 //! `seq` is the number of batches committed before this one (the
 //! checkpoint's `batch_seq` cursor): replay applies exactly the records
@@ -66,8 +71,11 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"BWAL";
-const WAL_VERSION: u8 = 2;
-/// Previous format generation (no record-kind byte, batch bodies only):
+const WAL_VERSION: u8 = 3;
+/// Middle format generation (kind bytes, no txn-stamped batches):
+/// still readable, never written.
+const V2_WAL_VERSION: u8 = 2;
+/// Oldest format generation (no record-kind byte, batch bodies only):
 /// still readable, never written.
 const LEGACY_WAL_VERSION: u8 = 1;
 const HEADER_LEN: u64 = 8;
@@ -79,10 +87,24 @@ const MAX_PAYLOAD: u32 = 64 << 20;
 
 const KIND_BATCH: u8 = 0;
 const KIND_ABORT: u8 = 1;
+const KIND_BATCH_TXN: u8 = 2;
 
 /// Route a failpoint trigger into the persistence error channel.
 fn fail(site: &str) -> Result<(), PersistError> {
     batchhl_common::failpoint::check(site).map_err(|m| PersistError::Io(std::io::Error::other(m)))
+}
+
+/// Client-chosen idempotency key for one logical commit: a random
+/// per-client `session` id plus a per-commit `counter`. A retried
+/// commit reuses the same `TxnId`, which is how the oracle's dedup
+/// table (and, durably, the WAL) distinguishes "the same commit sent
+/// again because the response was lost" from a genuinely new batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId {
+    /// Random per-client session identifier.
+    pub session: u64,
+    /// Monotonic per-session commit counter.
+    pub counter: u64,
 }
 
 /// One recovered WAL record.
@@ -91,6 +113,9 @@ pub struct WalRecord {
     /// Batches committed before this one (the replay cursor).
     pub seq: u64,
     pub edits: Vec<Edit>,
+    /// Idempotency key the committing client stamped on the batch, if
+    /// any (`kind 2` records; plain `kind 0` batches carry none).
+    pub txn: Option<TxnId>,
 }
 
 /// What recovery found in the log.
@@ -134,11 +159,12 @@ impl WalWriter {
     ///
     /// A file shorter than the 8-byte header (a crash during creation,
     /// recovered to length 0) is rewritten from scratch — appending to
-    /// a headerless file would make every later record unreadable. A
-    /// legacy version-1 log is upgraded to version 2 before the append
-    /// handle is returned: v1 payloads carry no record-kind byte, so
-    /// appending v2 framed records behind a v1 header would hand the
-    /// next recovery records it mis-decodes as bare batch bodies.
+    /// a headerless file would make every later record unreadable. An
+    /// older-generation log (version 1 or 2) is upgraded to the current
+    /// version before the append handle is returned: appending
+    /// current-generation framed records behind an old header would
+    /// hand a strict old reader records it mis-decodes (v1) or refuses
+    /// as corruption (v2 seeing a txn-stamped batch).
     pub fn open_append(path: impl AsRef<Path>) -> Result<Self, PersistError> {
         let path = path.as_ref().to_path_buf();
         match std::fs::metadata(&path) {
@@ -153,7 +179,7 @@ impl WalWriter {
                 }
                 match header[4] {
                     WAL_VERSION => {}
-                    LEGACY_WAL_VERSION => upgrade_legacy_wal(&path)?,
+                    LEGACY_WAL_VERSION | V2_WAL_VERSION => upgrade_wal(&path)?,
                     found => return Err(PersistError::UnsupportedVersion { found }),
                 }
                 let file = OpenOptions::new().append(true).open(&path)?;
@@ -176,9 +202,34 @@ impl WalWriter {
     /// included — so no torn record is left behind and the writer keeps
     /// appending at the rolled-back end of the log.
     pub fn append(&mut self, seq: u64, edits: &[Edit], sync: bool) -> Result<(), PersistError> {
+        self.append_txn(seq, edits, None, sync)
+    }
+
+    /// Append one batch record carrying an optional client idempotency
+    /// key. A `txn`-stamped batch is written as a `kind 2` record so
+    /// replay can rebuild the commit dedup table; `None` produces the
+    /// same plain `kind 0` record [`append`](Self::append) writes.
+    pub fn append_txn(
+        &mut self,
+        seq: u64,
+        edits: &[Edit],
+        txn: Option<TxnId>,
+        sync: bool,
+    ) -> Result<(), PersistError> {
         fail("wal::before_append")?;
-        let mut payload = Vec::with_capacity(13 + 13 * edits.len());
-        payload.push(KIND_BATCH);
+        let mut payload = Vec::with_capacity(29 + 13 * edits.len());
+        match txn {
+            None => payload.push(KIND_BATCH),
+            Some(t) => {
+                payload.push(KIND_BATCH_TXN);
+                payload.extend_from_slice(&seq.to_le_bytes());
+                payload.extend_from_slice(&t.session.to_le_bytes());
+                payload.extend_from_slice(&t.counter.to_le_bytes());
+                payload.extend_from_slice(&(edits.len() as u32).to_le_bytes());
+                encode_edits(&mut payload, edits);
+                return self.append_payload(&payload, sync);
+            }
+        }
         encode_batch_body(&mut payload, seq, edits);
         self.append_payload(&payload, sync)
     }
@@ -259,18 +310,20 @@ impl Drop for RewindOnDrop<'_> {
     }
 }
 
-/// Rewrite a legacy version-1 log as version 2 so framed records can
-/// be appended behind it. Crash-atomic: the v2 twin is fully written
-/// and synced beside the original, then renamed over it — a crash at
-/// any point leaves either the old readable v1 file or the new v2 one.
-/// Record semantics are preserved exactly (v1 has no abort records, so
-/// every recovered record re-encodes as a plain batch).
-fn upgrade_legacy_wal(path: &Path) -> Result<(), PersistError> {
+/// Rewrite an older-generation log at the current version so framed
+/// records can be appended behind it. Crash-atomic: the new twin is
+/// fully written and synced beside the original, then renamed over it
+/// — a crash at any point leaves either the old readable file or the
+/// new one. Record *semantics* are preserved exactly: recovery has
+/// already folded abort records into the surviving batch list, so each
+/// survivor re-encodes as a batch (keeping its txn stamp when the
+/// source version carried one).
+fn upgrade_wal(path: &Path) -> Result<(), PersistError> {
     let (records, _) = recover_wal(path)?;
     let tmp = path.with_extension("upgrade.tmp");
     let mut w = WalWriter::create(&tmp)?;
     for rec in &records {
-        w.append(rec.seq, &rec.edits, false)?;
+        w.append_txn(rec.seq, &rec.edits, rec.txn, false)?;
     }
     w.file.sync_all()?;
     drop(w);
@@ -288,6 +341,10 @@ fn upgrade_legacy_wal(path: &Path) -> Result<(), PersistError> {
 fn encode_batch_body(out: &mut Vec<u8>, seq: u64, edits: &[Edit]) {
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(edits.len() as u32).to_le_bytes());
+    encode_edits(out, edits);
+}
+
+fn encode_edits(out: &mut Vec<u8>, edits: &[Edit]) {
     for &e in edits {
         match e {
             Edit::Insert(a, b) => {
@@ -339,7 +396,8 @@ fn decode_payload(bytes: &[u8], offset: u64, version: u8) -> Result<DecodedRecor
         pos += n;
         Ok(s)
     };
-    if version >= WAL_VERSION {
+    let mut txn = None;
+    if version >= V2_WAL_VERSION {
         match take(1)?[0] {
             KIND_BATCH => {}
             KIND_ABORT => {
@@ -352,10 +410,19 @@ fn decode_payload(bytes: &[u8], offset: u64, version: u8) -> Result<DecodedRecor
                 }
                 return Ok(DecodedRecord::Abort { seq });
             }
+            KIND_BATCH_TXN if version >= WAL_VERSION => {
+                let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let session = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let counter = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                txn = Some((seq, TxnId { session, counter }));
+            }
             other => return Err(corrupt(format!("unknown record kind {other}"))),
         }
     }
-    let seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+    let (seq, txn) = match txn {
+        Some((seq, t)) => (seq, Some(t)),
+        None => (u64::from_le_bytes(take(8)?.try_into().unwrap()), None),
+    };
     let count = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
     let mut edits = Vec::with_capacity(count.min(bytes.len() / 9));
     for _ in 0..count {
@@ -382,7 +449,7 @@ fn decode_payload(bytes: &[u8], offset: u64, version: u8) -> Result<DecodedRecor
             bytes.len() - pos
         )));
     }
-    Ok(DecodedRecord::Batch(WalRecord { seq, edits }))
+    Ok(DecodedRecord::Batch(WalRecord { seq, edits, txn }))
 }
 
 /// Scan every complete record of an in-memory WAL image, stopping (not
@@ -400,7 +467,7 @@ fn scan_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, usize, u64), PersistError> 
         });
     }
     let version = bytes[4];
-    if version != WAL_VERSION && version != LEGACY_WAL_VERSION {
+    if !(LEGACY_WAL_VERSION..=WAL_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
     let mut records = Vec::new();
@@ -835,6 +902,130 @@ mod tests {
         let (records, info) = recover_wal(&path).unwrap();
         assert_eq!(records.len(), 3, "appended batch cancelled");
         assert_eq!(info.aborted_batches, 1);
+    }
+
+    #[test]
+    fn txn_stamped_batches_round_trip() {
+        let path = tmp("txn_roundtrip.wal");
+        let mut w = WalWriter::create(&path).unwrap();
+        let t0 = TxnId {
+            session: 0xDEAD_BEEF,
+            counter: 7,
+        };
+        w.append_txn(0, &[Edit::Insert(0, 5)], Some(t0), true)
+            .unwrap();
+        w.append(1, &[Edit::Remove(2, 3)], true).unwrap();
+        let t2 = TxnId {
+            session: u64::MAX,
+            counter: 0,
+        };
+        w.append_txn(2, &[Edit::InsertWeighted(1, 4, 9)], Some(t2), true)
+            .unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].txn, Some(t0));
+        assert_eq!(records[0].edits, vec![Edit::Insert(0, 5)]);
+        assert_eq!(records[1].txn, None, "plain batch carries no txn");
+        assert_eq!(records[2].txn, Some(t2));
+        // The read-only tailer surfaces txn stamps too.
+        let tail = read_wal_from(&path, 0).unwrap();
+        assert_eq!(tail.records[0].txn, Some(t0));
+        // Aborts cancel txn-stamped batches exactly like plain ones.
+        let mut w = WalWriter::open_append(&path).unwrap();
+        w.append_abort(2, true).unwrap();
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(info.aborted_batches, 1);
+    }
+
+    /// Hand-built version-2 file: kind bytes, no txn-stamped batches.
+    fn write_v2(path: &Path, with_abort: bool) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&[V2_WAL_VERSION, 0, 0, 0]);
+        let mut push = |payload: &[u8]| {
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+        };
+        for (seq, edits) in sample_batches() {
+            let mut payload = vec![KIND_BATCH];
+            encode_batch_body(&mut payload, seq, &edits);
+            push(&payload);
+        }
+        if with_abort {
+            let mut payload = vec![KIND_ABORT];
+            payload.extend_from_slice(&2u64.to_le_bytes());
+            push(&payload);
+        }
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn v2_log_still_decodes_with_aborts_honoured() {
+        let path = tmp("v2_decode.wal");
+        write_v2(&path, true);
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(records.len(), 2, "abort cancels batch 2");
+        assert_eq!(info.aborted_batches, 1);
+        for rec in &records {
+            assert_eq!(rec.txn, None);
+        }
+    }
+
+    #[test]
+    fn open_append_upgrades_a_v2_log() {
+        let path = tmp("v2_append.wal");
+        write_v2(&path, false);
+        let mut w = WalWriter::open_append(&path).unwrap();
+        let t = TxnId {
+            session: 42,
+            counter: 1,
+        };
+        w.append_txn(3, &[Edit::Insert(9, 9)], Some(t), true)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[4], WAL_VERSION, "header upgraded");
+        let (records, info) = recover_wal(&path).unwrap();
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(records.len(), 4);
+        for (rec, (seq, edits)) in records.iter().zip(sample_batches()) {
+            assert_eq!(rec.seq, seq);
+            assert_eq!(rec.edits, edits);
+            assert_eq!(rec.txn, None);
+        }
+        assert_eq!(records[3].txn, Some(t));
+    }
+
+    #[test]
+    fn txn_record_in_a_v2_file_is_typed_corruption() {
+        // A v2 header promises no kind-2 records; finding one mid-log
+        // means the file was mixed by a buggy writer, not a crash.
+        let path = tmp("v2_txn_corrupt.wal");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&[V2_WAL_VERSION, 0, 0, 0]);
+        let mut payload = vec![KIND_BATCH_TXN];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        // A good record after it so the bad one is not a droppable tail.
+        let mut good = vec![KIND_BATCH];
+        encode_batch_body(&mut good, 1, &[Edit::Insert(0, 1)]);
+        bytes.extend_from_slice(&(good.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&good).to_le_bytes());
+        bytes.extend_from_slice(&good);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            recover_wal(&path),
+            Err(PersistError::WalCorrupt { .. })
+        ));
     }
 
     #[test]

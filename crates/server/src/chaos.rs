@@ -1,0 +1,436 @@
+//! A deterministic network chaos proxy.
+//!
+//! [`FaultProxy`] is a TCP interposer for tests: it listens on its own
+//! port, and for every accepted connection dials the real upstream and
+//! relays bytes both ways — after applying one scripted [`Fault`] from
+//! a deterministic schedule. Put it between a [`crate::Client`] and a
+//! [`crate::Server`] (or between a replica and its primary) and the
+//! wire misbehaves *on a schedule you wrote down*, so a failing chaos
+//! test replays exactly.
+//!
+//! Fault model (one fault per proxied connection, drawn from the
+//! schedule in accept order):
+//!
+//! - [`Fault::None`] — relay faithfully (the control arm).
+//! - [`Fault::Delay`] — hold every client→upstream chunk for a fixed
+//!   time before forwarding (latency injection; responses flow
+//!   normally, so deadlines expire server-side).
+//! - [`Fault::DropAfter`] — forward exactly N client→upstream bytes,
+//!   then sever both directions (connection dies mid-request; with N
+//!   chosen mid-line the server sees a torn frame and drops it).
+//! - [`Fault::TruncateFrame`] — forward the client's bytes up to (and
+//!   excluding) the first newline, then sever: the canonical
+//!   half-a-request torn write.
+//! - [`Fault::Blackhole`] — accept the client but never dial upstream
+//!   and never answer for the hold period, then sever: a routing
+//!   black hole / half-open connection. The client's only defense is
+//!   its deadline.
+//! - [`Fault::Duplicate`] — deliver every client→upstream chunk twice.
+//!   A duplicated commit line is the wire-level retry storm; the txn
+//!   dedup table must make the second delivery a no-op.
+//!
+//! Schedules are either scripted ([`FaultProxy::start`] takes the
+//! exact per-connection list, repeating the last entry forever) or
+//! seeded ([`FaultProxy::start_seeded`] draws from a [`SplitMix64`]),
+//! both fully deterministic. [`FaultProxy::sever`] cuts every live
+//! relay at a moment of the test's choosing (partition injection);
+//! new connections still proxy, so "partition heals" is just the next
+//! reconnect.
+
+use batchhl::common::rng::SplitMix64;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One connection's misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Faithful relay.
+    None,
+    /// Hold each client→upstream chunk for `ms` before forwarding.
+    Delay { ms: u64 },
+    /// Forward exactly `bytes` client→upstream bytes, then sever.
+    DropAfter { bytes: u64 },
+    /// Forward up to (excluding) the first `\n`, then sever.
+    TruncateFrame,
+    /// Never dial upstream; hold the client in silence for `ms`, then
+    /// sever.
+    Blackhole { ms: u64 },
+    /// Deliver every client→upstream chunk twice.
+    Duplicate,
+}
+
+impl Fault {
+    /// Every fault kind, with small deterministic parameters — the
+    /// palette seeded schedules draw from.
+    pub const PALETTE: [Fault; 6] = [
+        Fault::None,
+        Fault::Delay { ms: 30 },
+        Fault::DropAfter { bytes: 9 },
+        Fault::TruncateFrame,
+        Fault::Blackhole { ms: 150 },
+        Fault::Duplicate,
+    ];
+}
+
+struct Shared {
+    /// Remaining scripted faults (front = next connection); when
+    /// empty, `last` repeats forever.
+    script: Mutex<ScheduleState>,
+    upstream: SocketAddr,
+    shutdown: AtomicBool,
+    /// Generation counter: bumping it (via `sever`) tells every live
+    /// relay to cut its connection.
+    generation: AtomicU64,
+    /// Connections accepted so far.
+    accepted: AtomicU64,
+    /// Faults actually injected (anything but `Fault::None`).
+    injected: AtomicU64,
+}
+
+enum ScheduleState {
+    Scripted { queue: Vec<Fault>, next: usize },
+    Seeded(SplitMix64),
+}
+
+impl Shared {
+    fn next_fault(&self) -> Fault {
+        let mut state = self.script.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *state {
+            ScheduleState::Scripted { queue, next } => {
+                let fault = queue[(*next).min(queue.len() - 1)];
+                *next += 1;
+                fault
+            }
+            ScheduleState::Seeded(rng) => {
+                Fault::PALETTE[rng.below(Fault::PALETTE.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// A running chaos proxy. Dropping it stops the acceptor and severs
+/// every live relay.
+pub struct FaultProxy {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    relays: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultProxy {
+    /// Proxy to `upstream`, applying `script` one fault per accepted
+    /// connection in order; the last entry repeats for every later
+    /// connection. `script` must be non-empty.
+    pub fn start(upstream: SocketAddr, script: Vec<Fault>) -> io::Result<FaultProxy> {
+        assert!(!script.is_empty(), "fault script must be non-empty");
+        Self::start_with(
+            upstream,
+            ScheduleState::Scripted {
+                queue: script,
+                next: 0,
+            },
+        )
+    }
+
+    /// Proxy to `upstream`, drawing each connection's fault from
+    /// [`Fault::PALETTE`] with a seeded deterministic stream.
+    pub fn start_seeded(upstream: SocketAddr, seed: u64) -> io::Result<FaultProxy> {
+        Self::start_with(upstream, ScheduleState::Seeded(SplitMix64::new(seed)))
+    }
+
+    fn start_with(upstream: SocketAddr, schedule: ScheduleState) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            script: Mutex::new(schedule),
+            upstream,
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        });
+        let relays: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let relays = Arc::clone(&relays);
+            std::thread::Builder::new()
+                .name("fault-proxy".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &relays))?
+        };
+        Ok(FaultProxy {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            relays,
+        })
+    }
+
+    /// The address clients (or replicas) should dial instead of the
+    /// upstream's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Cut every live relay *now* (both directions), without stopping
+    /// the proxy: the deterministic "partition starts here" trigger.
+    /// Connections made afterwards proxy normally.
+    pub fn sever(&self) {
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        // Relay threads poll the generation every read-timeout tick;
+        // joining finished threads here keeps the handle list bounded.
+        let mut relays = self.relays.lock().unwrap_or_else(|e| e.into_inner());
+        let done: Vec<_> = relays
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_finished())
+            .map(|(i, _)| i)
+            .rev()
+            .collect();
+        for i in done {
+            let _ = relays.swap_remove(i).join();
+        }
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Acquire)
+    }
+
+    /// Faults injected so far (accepted connections whose fault was
+    /// not [`Fault::None`]).
+    pub fn injected(&self) -> u64 {
+        self.shared.injected.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting and sever every live relay. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::AcqRel);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let relays: Vec<_> = self
+            .relays
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for handle in relays {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    relays: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut n = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _)) => {
+                shared.accepted.fetch_add(1, Ordering::AcqRel);
+                let fault = shared.next_fault();
+                if fault != Fault::None {
+                    shared.injected.fetch_add(1, Ordering::AcqRel);
+                }
+                let relay_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("fault-relay-{n}"))
+                    .spawn(move || run_relay(&relay_shared, client, fault));
+                n += 1;
+                if let Ok(handle) = handle {
+                    relays
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Relay one proxied connection under `fault` until either side
+/// closes, the proxy shuts down, or the generation is bumped
+/// ([`FaultProxy::sever`]).
+fn run_relay(shared: &Arc<Shared>, client: TcpStream, fault: Fault) {
+    let born = shared.generation.load(Ordering::Acquire);
+    if let Fault::Blackhole { ms } = fault {
+        // Hold the client in silence (no upstream at all), then sever.
+        let deadline = Instant::now() + Duration::from_millis(ms);
+        while Instant::now() < deadline && !cut(shared, born) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let upstream = match TcpStream::connect(shared.upstream) {
+        Ok(s) => s,
+        Err(_) => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    // client → upstream carries the fault; upstream → client is a
+    // faithful relay on a second thread (answers must flow so the
+    // client can *observe* commit receipts — the faults under test are
+    // request-path faults plus full severs).
+    let back = {
+        let up = match upstream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let down = match client.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || pump(&shared, born, up, down, Fault::None))
+    };
+    pump(shared, born, client, upstream, fault);
+    let _ = back.join();
+}
+
+/// Has this relay been severed (generation bump or shutdown)?
+fn cut(shared: &Shared, born: u64) -> bool {
+    shared.shutdown.load(Ordering::Acquire) || shared.generation.load(Ordering::Acquire) != born
+}
+
+/// Copy `src` → `dst` applying `fault`, until EOF, error, or sever.
+/// Severing shuts *both* streams down so the peer threads unwedge.
+fn pump(shared: &Shared, born: u64, src: TcpStream, dst: TcpStream, fault: Fault) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut src = src;
+    let mut dst = dst;
+    let mut forwarded = 0u64;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if cut(shared, born) {
+            break;
+        }
+        let n = match src.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let bytes = &chunk[..n];
+        match fault {
+            Fault::None => {
+                if dst.write_all(bytes).is_err() {
+                    break;
+                }
+            }
+            Fault::Delay { ms } => {
+                let deadline = Instant::now() + Duration::from_millis(ms);
+                while Instant::now() < deadline && !cut(shared, born) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if cut(shared, born) || dst.write_all(bytes).is_err() {
+                    break;
+                }
+            }
+            Fault::DropAfter { bytes: budget } => {
+                let left = budget.saturating_sub(forwarded) as usize;
+                let take = left.min(bytes.len());
+                if take > 0 && dst.write_all(&bytes[..take]).is_err() {
+                    break;
+                }
+                forwarded += take as u64;
+                if forwarded >= budget {
+                    break; // budget exhausted: sever below
+                }
+                continue;
+            }
+            Fault::TruncateFrame => {
+                let cut_at = bytes
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .unwrap_or(bytes.len());
+                if cut_at > 0 && dst.write_all(&bytes[..cut_at]).is_err() {
+                    break;
+                }
+                if cut_at < bytes.len() {
+                    break; // newline reached: sever mid-frame
+                }
+            }
+            Fault::Duplicate => {
+                if dst.write_all(bytes).is_err() || dst.write_all(bytes).is_err() {
+                    break;
+                }
+            }
+            Fault::Blackhole { .. } => unreachable!("blackhole never reaches the pump"),
+        }
+        forwarded += n as u64;
+    }
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        let draw = |seed: u64| -> Vec<Fault> {
+            let mut rng = SplitMix64::new(seed);
+            (0..32)
+                .map(|_| Fault::PALETTE[rng.below(Fault::PALETTE.len() as u64) as usize])
+                .collect()
+        };
+        assert_eq!(draw(99), draw(99));
+        assert_ne!(draw(99), draw(100));
+    }
+
+    #[test]
+    fn scripted_schedule_repeats_its_last_entry() {
+        let shared = Shared {
+            script: Mutex::new(ScheduleState::Scripted {
+                queue: vec![Fault::Duplicate, Fault::None],
+                next: 0,
+            }),
+            upstream: "127.0.0.1:1".parse().unwrap(),
+            shutdown: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        };
+        assert_eq!(shared.next_fault(), Fault::Duplicate);
+        assert_eq!(shared.next_fault(), Fault::None);
+        assert_eq!(shared.next_fault(), Fault::None);
+        assert_eq!(shared.next_fault(), Fault::None);
+    }
+}

@@ -26,7 +26,7 @@ use crate::protocol::{
     parse_request, resp_committed, resp_dist, resp_dists, resp_error, resp_ok, resp_top_k,
     resp_what_if, Request, TailMsg, MAX_LINE_BYTES,
 };
-use batchhl::{DistanceOracle, Edit, OracleHealth, OracleReader, Vertex};
+use batchhl::{DistanceOracle, Edit, OracleHealth, OracleReader, TxnId, Vertex};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +50,11 @@ pub struct ServerConfig {
     pub read_only: bool,
     /// Node name reported by `health`/`stats` and the demo logs.
     pub node: String,
+    /// Close a connection that produces no complete request line for
+    /// this long (slow-loris containment: a half-sent line does *not*
+    /// reset the clock). `None` disables the sweep. Tail streams are
+    /// exempt — a caught-up replica legitimately sends nothing.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +66,7 @@ impl Default for ServerConfig {
             coalesce: Some(CoalesceConfig::default()),
             read_only: false,
             node: "primary".to_string(),
+            idle_timeout: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -105,6 +111,28 @@ pub struct PendingQuery {
     pub id: Option<u64>,
     pub conn: Arc<Conn>,
     pub start: Instant,
+    /// The request's latency budget; members already past it when the
+    /// batch drains are answered `deadline_exceeded`, not queried.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Has the request's `deadline_ms` budget (measured from `start`, its
+/// arrival) run out?
+fn expired(start: Instant, deadline_ms: Option<u64>) -> bool {
+    match deadline_ms {
+        Some(ms) => start.elapsed() >= Duration::from_millis(ms),
+        None => false,
+    }
+}
+
+/// Answer a dead request with the typed `deadline_exceeded` refusal.
+fn refuse_expired(core: &Core, conn: &Conn, id: Option<u64>, deadline_ms: u64) {
+    core.metrics.deadlines.inc();
+    let _ = conn.write_line(&resp_error(
+        id,
+        "deadline_exceeded",
+        &format!("deadline of {deadline_ms}ms passed before execution"),
+    ));
 }
 
 /// Everything connection threads and jobs share.
@@ -335,6 +363,10 @@ pub(crate) enum ReadOutcome {
     Line(String),
     Closed,
     TooLong,
+    /// No complete line arrived within the caller's idle window
+    /// (partial bytes do NOT reset the clock — a slow-loris drip is
+    /// exactly what the window exists to bound).
+    Idle,
 }
 
 impl LineReader {
@@ -346,6 +378,18 @@ impl LineReader {
     }
 
     pub(crate) fn read_line(&mut self, shutdown: &AtomicBool) -> ReadOutcome {
+        self.read_line_idle(shutdown, None)
+    }
+
+    /// [`read_line`](Self::read_line), bounded by an idle window: give
+    /// up with [`ReadOutcome::Idle`] when no *complete* line has been
+    /// produced within `idle` of entering the call.
+    pub(crate) fn read_line_idle(
+        &mut self,
+        shutdown: &AtomicBool,
+        idle: Option<Duration>,
+    ) -> ReadOutcome {
+        let entered = Instant::now();
         let mut scanned = 0;
         loop {
             if let Some(nl) = self.buf[scanned..].iter().position(|&b| b == b'\n') {
@@ -362,6 +406,11 @@ impl LineReader {
             scanned = self.buf.len();
             if scanned > MAX_LINE_BYTES {
                 return ReadOutcome::TooLong;
+            }
+            if let Some(window) = idle {
+                if entered.elapsed() >= window {
+                    return ReadOutcome::Idle;
+                }
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
@@ -399,7 +448,7 @@ fn serve_connection(
         if core.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let line = match reader.read_line(&core.shutdown) {
+        let line = match reader.read_line_idle(&core.shutdown, core.config.idle_timeout) {
             ReadOutcome::Line(line) => line,
             ReadOutcome::Closed => return,
             ReadOutcome::TooLong => {
@@ -408,6 +457,15 @@ fn serve_connection(
                     None,
                     "bad_request",
                     "request line too long or not valid UTF-8",
+                ));
+                return;
+            }
+            ReadOutcome::Idle => {
+                core.metrics.idle_closed.inc();
+                let _ = conn.write_line(&resp_error(
+                    None,
+                    "idle_timeout",
+                    "no complete request within the idle window; closing",
                 ));
                 return;
             }
@@ -444,6 +502,7 @@ fn dispatch(
         }
     };
     let id = envelope.id;
+    let deadline_ms = envelope.deadline_ms;
     match envelope.request {
         Request::Query { s, t } => {
             if let Some(coalescer) = coalescer {
@@ -453,6 +512,7 @@ fn dispatch(
                     id,
                     conn: Arc::clone(conn),
                     start,
+                    deadline_ms,
                 };
                 if coalescer.submit(pending).is_err() {
                     shed(core, conn, id, "coalescer at capacity");
@@ -462,6 +522,10 @@ fn dispatch(
                     let core = Arc::clone(core);
                     let conn = Arc::clone(conn);
                     Box::new(move || {
+                        if expired(start, deadline_ms) {
+                            refuse_expired(&core, &conn, id, deadline_ms.unwrap_or(0));
+                            return;
+                        }
                         let d = core
                             .reader
                             .read()
@@ -478,6 +542,10 @@ fn dispatch(
             let core = Arc::clone(core);
             let conn = Arc::clone(conn);
             Box::new(move || {
+                if expired(start, deadline_ms) {
+                    refuse_expired(&core, &conn, id, deadline_ms.unwrap_or(0));
+                    return;
+                }
                 let ds = core
                     .reader
                     .read()
@@ -492,6 +560,10 @@ fn dispatch(
             let core = Arc::clone(core);
             let conn = Arc::clone(conn);
             Box::new(move || {
+                if expired(start, deadline_ms) {
+                    refuse_expired(&core, &conn, id, deadline_ms.unwrap_or(0));
+                    return;
+                }
                 let ds = core
                     .reader
                     .read()
@@ -506,6 +578,10 @@ fn dispatch(
             let core = Arc::clone(core);
             let conn = Arc::clone(conn);
             Box::new(move || {
+                if expired(start, deadline_ms) {
+                    refuse_expired(&core, &conn, id, deadline_ms.unwrap_or(0));
+                    return;
+                }
                 let closest = core
                     .reader
                     .read()
@@ -516,7 +592,7 @@ fn dispatch(
                 let _ = conn.write_line(&resp_top_k(id, &closest));
             })
         }),
-        Request::Commit { edits } => {
+        Request::Commit { edits, txn } => {
             if core.config.read_only {
                 let _ = conn.write_line(&resp_error(
                     id,
@@ -528,7 +604,7 @@ fn dispatch(
             submit_or_shed(core, conn, id, {
                 let core = Arc::clone(core);
                 let conn = Arc::clone(conn);
-                Box::new(move || run_commit(&core, &conn, id, &edits))
+                Box::new(move || run_commit(&core, &conn, id, &edits, txn, start, deadline_ms))
             });
         }
         Request::WhatIf { edits, pairs } => submit_or_shed(core, conn, id, {
@@ -537,6 +613,10 @@ fn dispatch(
             let core = Arc::clone(core);
             let conn = Arc::clone(conn);
             Box::new(move || {
+                if expired(start, deadline_ms) {
+                    refuse_expired(&core, &conn, id, deadline_ms.unwrap_or(0));
+                    return;
+                }
                 let session = core
                     .reader
                     .read()
@@ -648,25 +728,67 @@ fn submit_or_shed(core: &Arc<Core>, conn: &Arc<Conn>, id: Option<u64>, job: crat
     }
 }
 
-fn run_commit(core: &Core, conn: &Conn, id: Option<u64>, edits: &[Edit]) {
+fn run_commit(
+    core: &Core,
+    conn: &Conn,
+    id: Option<u64>,
+    edits: &[Edit],
+    txn: Option<TxnId>,
+    start: Instant,
+    deadline_ms: Option<u64>,
+) {
     let mut oracle = core.oracle.lock().unwrap_or_else(|e| e.into_inner());
+    // Re-check the deadline after the (possibly long) lock wait: a
+    // commit the client has given up on must not be applied — the
+    // retry it already sent carries the same txn id and will land.
+    if expired(start, deadline_ms) {
+        drop(oracle);
+        refuse_expired(core, conn, id, deadline_ms.unwrap_or(0));
+        return;
+    }
+    // Dedup BEFORE the health gate: a retry of an already-applied
+    // commit is a read of history and must answer even when writes
+    // are poisoned — the work it asks about already happened.
+    if let Some(txn) = txn {
+        if let Some(receipt) = oracle.txn_receipt(txn) {
+            drop(oracle);
+            core.metrics.dedup_commits.inc();
+            let _ = conn.write_line(&resp_committed(
+                id,
+                receipt.stats.applied,
+                receipt.seq,
+                true,
+            ));
+            return;
+        }
+    }
     if let Some(reason) = health_refusal(&oracle) {
         drop(oracle);
         let _ = conn.write_line(&resp_error(id, "unhealthy", &reason));
         return;
     }
-    let seq = oracle.batches_committed();
     let mut session = oracle.update();
     for &edit in edits {
         session = session.push(edit);
     }
-    match session.commit() {
-        Ok(stats) => {
+    if let Some(txn) = txn {
+        session = session.txn(txn);
+    }
+    match session.commit_with_receipt() {
+        Ok(receipt) => {
             let now = oracle.batches_committed();
             drop(oracle);
             core.metrics.commits.inc();
+            if receipt.deduplicated {
+                core.metrics.dedup_commits.inc();
+            }
             core.publish_committed(now);
-            let _ = conn.write_line(&resp_committed(id, stats.applied, seq));
+            let _ = conn.write_line(&resp_committed(
+                id,
+                receipt.stats.applied,
+                receipt.seq,
+                receipt.deduplicated,
+            ));
         }
         Err(e) => {
             drop(oracle);
@@ -714,15 +836,23 @@ fn run_recover(core: &Core, conn: &Conn, id: Option<u64>) {
 /// inside the oracle), one write + flush per distinct connection.
 fn execute_coalesced(core: &Core, batch: Vec<PendingQuery>) {
     core.metrics.coalesce_batch.observe_us(batch.len() as u64);
-    let pairs: Vec<(Vertex, Vertex)> = batch.iter().map(|q| (q.s, q.t)).collect();
+    // Members whose budget ran out while parked are answered
+    // `deadline_exceeded`, not queried — spending oracle time on an
+    // answer the client already abandoned is pure waste.
+    let (dead, live): (Vec<&PendingQuery>, Vec<&PendingQuery>) =
+        batch.iter().partition(|q| expired(q.start, q.deadline_ms));
+    for q in &dead {
+        refuse_expired(core, &q.conn, q.id, q.deadline_ms.unwrap_or(0));
+    }
+    let pairs: Vec<(Vertex, Vertex)> = live.iter().map(|q| (q.s, q.t)).collect();
     let dists = core
         .reader
         .read()
         .unwrap_or_else(|e| e.into_inner())
         .query_many(&pairs);
-    core.metrics.queries.add(batch.len() as u64);
+    core.metrics.queries.add(live.len() as u64);
     let mut groups: Vec<(Arc<Conn>, Vec<String>)> = Vec::new();
-    for (q, d) in batch.iter().zip(&dists) {
+    for (q, d) in live.iter().zip(&dists) {
         let line = resp_dist(q.id, *d);
         match groups.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &q.conn)) {
             Some((_, lines)) => lines.push(line),
@@ -732,7 +862,7 @@ fn execute_coalesced(core: &Core, batch: Vec<PendingQuery>) {
     for (conn, lines) in &groups {
         let _ = conn.write_lines(lines);
     }
-    for q in &batch {
+    for q in &live {
         core.metrics.request_latency.observe(q.start.elapsed());
     }
 }

@@ -22,8 +22,17 @@
 //!   committed write-ahead-log batches over TCP (`tail`); replicas
 //!   bootstrap from a checkpoint, apply the stream through the
 //!   ordinary commit path, serve snapshot-consistent reads, reconnect
-//!   with backoff, and re-sync from a fresh checkpoint when their
+//!   with jittered backoff (and a heartbeat watchdog for half-open
+//!   streams), and re-sync from a fresh checkpoint when their
 //!   position falls behind a checkpoint rotation.
+//!
+//! Wire-level fault tolerance rides on three mechanisms: commits are
+//! stamped with txn ids and deduplicated server-side, so a
+//! [`Client`] with a [`RetryPolicy`] can retry blindly without
+//! double-applying; requests carry a `deadline_ms` budget the server
+//! enforces before starting work; and the deterministic
+//! [`FaultProxy`] interposer (tests) injects delays, torn frames,
+//! black holes and duplicate delivery on a scripted schedule.
 //!
 //! ```no_run
 //! use batchhl::Oracle;
@@ -37,6 +46,7 @@
 //! # let _ = d;
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod coalescer;
 pub mod handlers;
@@ -46,7 +56,8 @@ pub mod pool;
 pub mod protocol;
 pub mod replication;
 
-pub use client::{http_get, Client, ClientError};
+pub use chaos::{Fault, FaultProxy};
+pub use client::{http_get, Client, ClientError, CommitOutcome, RetryPolicy};
 pub use coalescer::{CoalesceConfig, Coalescer};
 pub use handlers::{Conn, PendingQuery, Server, ServerConfig};
 pub use metrics::ServerMetrics;

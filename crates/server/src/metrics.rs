@@ -26,6 +26,18 @@ pub struct ServerMetrics {
     pub conns_closed: Arc<Counter>,
     /// WAL records shipped to tailing replicas.
     pub tail_records: Arc<Counter>,
+    /// Requests answered `deadline_exceeded` instead of executed (the
+    /// client's `deadline_ms` budget ran out while queued).
+    pub deadlines: Arc<Counter>,
+    /// Commits answered from the txn dedup table (idempotent retries
+    /// of an already-applied batch).
+    pub dedup_commits: Arc<Counter>,
+    /// Connections closed by the idle sweep (no complete request
+    /// within the configured idle window — slow-loris containment).
+    pub idle_closed: Arc<Counter>,
+    /// Tail-stream reconnect attempts by this node's replica tailer
+    /// (wire-level retries: dropped streams, watchdog trips, resyncs).
+    pub tail_reconnects: Arc<Counter>,
     /// End-to-end request latency (receipt to response write).
     pub request_latency: Arc<Histogram>,
     /// Occupancy of each drained coalescer batch.
@@ -44,6 +56,10 @@ impl ServerMetrics {
             conns_opened: registry.counter("batchhl_server_connections_opened_total"),
             conns_closed: registry.counter("batchhl_server_connections_closed_total"),
             tail_records: registry.counter("batchhl_server_tail_records_total"),
+            deadlines: registry.counter("batchhl_server_deadline_exceeded_total"),
+            dedup_commits: registry.counter("batchhl_server_commit_dedup_total"),
+            idle_closed: registry.counter("batchhl_server_idle_closed_total"),
+            tail_reconnects: registry.counter("batchhl_server_tail_reconnects_total"),
             request_latency: registry.histogram("batchhl_server_request_latency_us"),
             coalesce_batch: registry.histogram("batchhl_server_coalesce_batch_size"),
             registry,

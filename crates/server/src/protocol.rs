@@ -9,30 +9,44 @@
 //! ```text
 //! {"op":"query","s":3,"t":77,"id":1}
 //!   -> {"id":1,"dist":2}
-//! {"op":"commit","edits":[["insert",3,99],["remove",4,5]],"id":2}
+//! {"op":"commit","edits":[["insert",3,99],["remove",4,5]],"txn":[81,4],"id":2}
 //!   -> {"id":2,"committed":true,"applied":2,"seq":7}
 //! {"op":"tail","from_seq":0}
 //!   -> {"kind":"batch","seq":0,"edits":[...]}   (stream; see [`TailMsg`])
 //! ```
 //!
+//! Any request may carry `"deadline_ms":N` — the client's remaining
+//! latency budget. The server checks it when the request is dequeued
+//! and again before executing, answering `deadline_exceeded` instead
+//! of burning a worker on an answer the client has stopped waiting
+//! for. Commits may carry `"txn":[session,counter]`, a client
+//! idempotency key: a retried commit with the same key returns the
+//! original result (`"deduped":true`) instead of double-applying.
+//!
 //! Error codes: `bad_request` (malformed line), `shed` (admission
-//! control refused — retry later), `read_only` (writes sent to a
-//! replica), `unhealthy` (oracle health gate refused the write),
-//! `commit_failed` (batch rejected by validation or the commit path),
-//! `not_primary` (tail requested from a node without a WAL), and
-//! `internal`.
+//! control refused — retry later), `deadline_exceeded` (the request's
+//! `deadline_ms` budget ran out before execution), `read_only` (writes
+//! sent to a replica), `unhealthy` (oracle health gate refused the
+//! write), `commit_failed` (batch rejected by validation or the commit
+//! path), `not_primary` (tail requested from a node without a WAL),
+//! and `internal`.
 
 use crate::json::{parse, Json};
-use batchhl::{Edit, Vertex, WalRecord};
+use batchhl::{Edit, TxnId, Vertex, WalRecord};
 
 /// Hard cap on one request line (bytes) — hostile clients cannot make
 /// the server buffer unbounded input.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
-/// A decoded request plus its optional client-chosen correlation id.
+/// A decoded request plus its optional client-chosen correlation id
+/// and latency budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     pub id: Option<u64>,
+    /// Milliseconds (from arrival) the client will keep waiting for
+    /// the answer; past it the server sheds the request with a typed
+    /// `deadline_exceeded` instead of executing it.
+    pub deadline_ms: Option<u64>,
     pub request: Request,
 }
 
@@ -47,8 +61,12 @@ pub enum Request {
     DistancesFrom { s: Vertex, targets: Vec<Vertex> },
     /// The `k` nearest vertices to `s`.
     TopKClosest { s: Vertex, k: usize },
-    /// Apply an edit batch through an [`batchhl::UpdateSession`].
-    Commit { edits: Vec<Edit> },
+    /// Apply an edit batch through an [`batchhl::UpdateSession`],
+    /// optionally stamped with a client idempotency key.
+    Commit {
+        edits: Vec<Edit>,
+        txn: Option<TxnId>,
+    },
     /// Answer `pairs` as if `edits` had been committed, without
     /// committing them — a speculative what-if overlay on the current
     /// generation. Read-only: works on replicas, never touches the WAL.
@@ -74,6 +92,7 @@ pub enum Request {
 pub fn parse_request(line: &str) -> Result<Envelope, String> {
     let v = parse(line).map_err(|e| e.to_string())?;
     let id = v.get("id").and_then(Json::as_u64);
+    let deadline_ms = v.get("deadline_ms").and_then(Json::as_u64);
     let op = v
         .get("op")
         .and_then(Json::as_str)
@@ -136,7 +155,20 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
                 .iter()
                 .map(decode_edit)
                 .collect::<Result<Vec<_>, _>>()?;
-            Request::Commit { edits }
+            let txn = match v.get("txn") {
+                None | Some(Json::Null) => None,
+                Some(t) => {
+                    let parts = t.as_arr().filter(|p| p.len() == 2);
+                    match parts {
+                        Some([s, c]) => match (s.as_u64(), c.as_u64()) {
+                            (Some(session), Some(counter)) => Some(TxnId { session, counter }),
+                            _ => return Err("txn members must be integers".to_string()),
+                        },
+                        _ => return Err("txn must be [session, counter]".to_string()),
+                    }
+                }
+            };
+            Request::Commit { edits, txn }
         }
         "what_if" => {
             let edits = v
@@ -173,7 +205,11 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
         },
         other => return Err(format!("unknown op {other:?}")),
     };
-    Ok(Envelope { id, request })
+    Ok(Envelope {
+        id,
+        deadline_ms,
+        request,
+    })
 }
 
 fn vertex_of(v: &Json) -> Option<Vertex> {
@@ -284,16 +320,19 @@ pub fn resp_what_if(id: Option<u64>, version: u64, ds: &[Option<batchhl::Dist>])
     )
 }
 
-/// `{"id":..,"committed":true,"applied":N,"seq":S}` after a commit.
-pub fn resp_committed(id: Option<u64>, applied: usize, seq: u64) -> String {
-    with_id(
-        id,
-        vec![
-            ("committed".to_string(), Json::Bool(true)),
-            ("applied".to_string(), Json::u64(applied as u64)),
-            ("seq".to_string(), Json::u64(seq)),
-        ],
-    )
+/// `{"id":..,"committed":true,"applied":N,"seq":S}` after a commit;
+/// `"deduped":true` is appended when the commit's txn id matched an
+/// already-applied batch and the original result was returned.
+pub fn resp_committed(id: Option<u64>, applied: usize, seq: u64, deduped: bool) -> String {
+    let mut fields = vec![
+        ("committed".to_string(), Json::Bool(true)),
+        ("applied".to_string(), Json::u64(applied as u64)),
+        ("seq".to_string(), Json::u64(seq)),
+    ];
+    if deduped {
+        fields.push(("deduped".to_string(), Json::Bool(true)));
+    }
+    with_id(id, fields)
 }
 
 /// `{"id":..,"ok":true}` plus extra fields, for recover/verify/health.
@@ -430,7 +469,25 @@ mod tests {
                     Edit::InsertWeighted(3, 4, 9),
                     Edit::Remove(5, 6),
                     Edit::SetWeight(7, 8, 2),
-                ]
+                ],
+                txn: None,
+            }
+        );
+        assert_eq!(env.deadline_ms, None);
+
+        let env = parse_request(
+            r#"{"op":"commit","edits":[["insert",1,2]],"txn":[81,4],"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(env.deadline_ms, Some(250));
+        assert_eq!(
+            env.request,
+            Request::Commit {
+                edits: vec![Edit::Insert(1, 2)],
+                txn: Some(TxnId {
+                    session: 81,
+                    counter: 4
+                }),
             }
         );
 
@@ -464,6 +521,8 @@ mod tests {
             r#"{"op":"query_many","pairs":[[1]]}"#,
             r#"{"op":"what_if","edits":[["remove",1,2]]}"#,
             r#"{"op":"what_if","pairs":[[1,2]]}"#,
+            r#"{"op":"commit","edits":[],"txn":[1]}"#,
+            r#"{"op":"commit","edits":[],"txn":["a",2]}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must fail");
         }
@@ -477,6 +536,14 @@ mod tests {
         assert_eq!(
             resp_error(Some(1), "shed", "queue full"),
             r#"{"id":1,"error":"shed","message":"queue full"}"#
+        );
+        assert_eq!(
+            resp_committed(Some(2), 3, 7, false),
+            r#"{"id":2,"committed":true,"applied":3,"seq":7}"#
+        );
+        assert_eq!(
+            resp_committed(Some(2), 3, 7, true),
+            r#"{"id":2,"committed":true,"applied":3,"seq":7,"deduped":true}"#
         );
     }
 

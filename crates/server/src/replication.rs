@@ -27,7 +27,9 @@
 use crate::handlers::{LineReader, ReadOutcome, Server, ServerConfig};
 use crate::metrics::ServerMetrics;
 use crate::protocol::TailMsg;
+use batchhl::common::rng::SplitMix64;
 use batchhl::DistanceOracle;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -46,9 +48,17 @@ pub struct ReplicaConfig {
     pub checkpoint_dir: PathBuf,
     /// How the replica itself serves; `read_only` is forced on.
     pub serve: ServerConfig,
-    /// First reconnect delay; doubles per failure up to `max_backoff`.
+    /// First reconnect delay; doubles per failure up to `max_backoff`,
+    /// with each actual sleep jittered into `[delay/2, delay]` so a
+    /// fleet of replicas cut off by one primary restart does not
+    /// reconnect in lockstep.
     pub initial_backoff: Duration,
     pub max_backoff: Duration,
+    /// Watchdog: force a reconnect after this long with *nothing* on
+    /// the tail stream. A live primary heartbeats every ~250ms even
+    /// when caught up, so silence this long means the connection is
+    /// dead in a way TCP has not noticed (half-open after a partition).
+    pub heartbeat_timeout: Duration,
 }
 
 impl ReplicaConfig {
@@ -64,6 +74,7 @@ impl ReplicaConfig {
             },
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_secs(3),
         }
     }
 }
@@ -158,6 +169,10 @@ enum SessionEnd {
 
 fn tail_loop(core: &Arc<crate::handlers::Core>, stop: &AtomicBool, config: &ReplicaConfig) {
     let mut backoff = config.initial_backoff;
+    // Deterministic per-node jitter stream: the schedule is a pure
+    // function of (node name, primary address), so a test can predict
+    // it while two replicas of one primary still de-synchronize.
+    let mut rng = SplitMix64::new(jitter_seed(config));
     loop {
         if stop.load(Ordering::Acquire) {
             return;
@@ -165,6 +180,7 @@ fn tail_loop(core: &Arc<crate::handlers::Core>, stop: &AtomicBool, config: &Repl
         match tail_session(core, stop, config) {
             SessionEnd::Stop => return,
             SessionEnd::Resync => {
+                core.metrics.tail_reconnects.inc();
                 match DistanceOracle::open_detached(&config.checkpoint_dir) {
                     Ok(fresh) => {
                         core.install_oracle(fresh);
@@ -172,18 +188,38 @@ fn tail_loop(core: &Arc<crate::handlers::Core>, stop: &AtomicBool, config: &Repl
                     }
                     // Checkpoint mid-rotation or unreadable: back off
                     // and retry the whole cycle.
-                    Err(_) => sleep_with_stop(stop, &mut backoff, config.max_backoff),
+                    Err(_) => sleep_with_stop(stop, &mut backoff, config.max_backoff, &mut rng),
                 }
             }
-            SessionEnd::Reconnect => sleep_with_stop(stop, &mut backoff, config.max_backoff),
+            SessionEnd::Reconnect => {
+                core.metrics.tail_reconnects.inc();
+                sleep_with_stop(stop, &mut backoff, config.max_backoff, &mut rng);
+            }
         }
     }
 }
 
-fn sleep_with_stop(stop: &AtomicBool, backoff: &mut Duration, max: Duration) {
-    let deadline = Instant::now() + *backoff;
+fn jitter_seed(config: &ReplicaConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    config.serve.node.hash(&mut h);
+    config.primary_addr.hash(&mut h);
+    h.finish()
+}
+
+/// One reconnect delay: `backoff` jittered uniformly into
+/// `[backoff/2, backoff]`. Never zero for a non-zero backoff, never
+/// above the un-jittered schedule (so `max_backoff` stays a true cap).
+fn jittered_delay(backoff: Duration, rng: &mut SplitMix64) -> Duration {
+    let nanos = backoff.as_nanos() as u64;
+    let half = nanos / 2;
+    Duration::from_nanos(half + rng.below(nanos - half + 1))
+}
+
+fn sleep_with_stop(stop: &AtomicBool, backoff: &mut Duration, max: Duration, rng: &mut SplitMix64) {
+    let delay = jittered_delay(*backoff, rng);
+    let deadline = Instant::now() + delay;
     while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
-        std::thread::sleep(Duration::from_millis(10).min(*backoff));
+        std::thread::sleep(Duration::from_millis(10).min(delay));
     }
     *backoff = (*backoff * 2).min(max);
 }
@@ -211,7 +247,7 @@ fn tail_session(
         if stop.load(Ordering::Acquire) {
             return SessionEnd::Stop;
         }
-        let line = match reader.read_line(stop) {
+        let line = match reader.read_line_idle(stop, Some(config.heartbeat_timeout)) {
             ReadOutcome::Line(line) => line,
             // EOF, error, or stop; a partial trailing line (primary
             // killed mid-write) is dropped by the reader, leaving the
@@ -223,6 +259,10 @@ fn tail_session(
                     SessionEnd::Reconnect
                 };
             }
+            // Watchdog trip: a healthy primary heartbeats every ~250ms,
+            // so a silent heartbeat_timeout means a half-open
+            // connection. Tear it down and dial again.
+            ReadOutcome::Idle => return SessionEnd::Reconnect,
         };
         match TailMsg::parse(&line) {
             Ok(TailMsg::Batch { seq, edits }) => {
@@ -237,5 +277,57 @@ fn tail_session(
             // treat like a dropped stream.
             Err(_) => return SessionEnd::Reconnect,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jittered_delays_stay_inside_the_half_open_band() {
+        let mut rng = SplitMix64::new(42);
+        for ms in [1u64, 50, 137, 2000] {
+            let backoff = Duration::from_millis(ms);
+            for _ in 0..200 {
+                let d = jittered_delay(backoff, &mut rng);
+                assert!(
+                    d >= backoff / 2,
+                    "{d:?} under half of {backoff:?}: a jittered sleep must never \
+                     collapse below half the schedule"
+                );
+                assert!(
+                    d <= backoff,
+                    "{d:?} over {backoff:?}: jitter must never exceed the \
+                     un-jittered schedule (max_backoff is a hard cap)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_schedule_is_deterministic_per_seed() {
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut rng = SplitMix64::new(seed);
+            (0..32)
+                .map(|_| jittered_delay(Duration::from_millis(400), &mut rng))
+                .collect()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let mut rng = SplitMix64::new(1);
+        let delays: Vec<Duration> = (0..64)
+            .map(|_| jittered_delay(Duration::from_secs(1), &mut rng))
+            .collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(
+            distinct.len() > 32,
+            "jitter produced only {} distinct delays out of 64",
+            distinct.len()
+        );
     }
 }

@@ -11,7 +11,7 @@
 
 use batchhl::graph::generators::barabasi_albert;
 use batchhl::{DurabilityConfig, Edit, FsyncPolicy, LandmarkSelection, Oracle, Vertex};
-use batchhl_server::{http_get, Client, Replica, ReplicaConfig, Server, ServerConfig};
+use batchhl_server::{http_get, Client, Replica, ReplicaConfig, RetryPolicy, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 const N: u32 = 20_000;
@@ -109,6 +109,34 @@ fn main() {
         }
     });
 
+    // Wire-level fault tolerance, demonstrated: a client that crashed
+    // after sending re-sends its commit with the same txn id and gets
+    // the original receipt back; a spent deadline is refused typed.
+    let mut sender = Client::connect(primary.addr())
+        .expect("connect")
+        .with_retry(RetryPolicy::default());
+    sender.set_txn_session(42);
+    let first = sender
+        .commit_detailed(&[Edit::Insert(5, 17_000)])
+        .expect("commit");
+    let mut reborn = Client::connect(primary.addr()).expect("reconnect");
+    reborn.set_txn_session(42);
+    let replay = reborn
+        .commit_detailed(&[Edit::Insert(5, 17_000)])
+        .expect("replayed commit");
+    assert!(replay.deduped, "replay must hit the dedup table");
+    assert_eq!(replay.seq, first.seq, "replay must echo the original seq");
+    println!("replayed commit deduplicated (seq {})", replay.seq);
+    sender.set_deadline_ms(Some(0));
+    let refused = sender.query(1, 2).expect_err("zero budget must refuse");
+    assert_eq!(refused.code(), Some("deadline_exceeded"));
+    sender.set_deadline_ms(None);
+    println!("zero-budget query refused: {refused}");
+    assert!(
+        replica.wait_for_seq(primary.committed_seq(), Duration::from_secs(20)),
+        "replica did not converge after the dedup demo"
+    );
+
     // The operational surface: health + metrics over HTTP.
     let (status, health) = http_get(primary.addr(), "/health").expect("GET /health");
     println!("primary /health -> {status}: {health}");
@@ -116,6 +144,26 @@ fn main() {
     let queries = metric_line(&metrics, "batchhl_server_queries_total");
     let commits = metric_line(&metrics, "batchhl_server_commits_total");
     println!("primary /metrics: {queries}, {commits}");
+    // The fault-tolerance counters are part of the scrape contract.
+    for name in [
+        "batchhl_server_deadline_exceeded_total",
+        "batchhl_server_commit_dedup_total",
+        "batchhl_server_idle_closed_total",
+        "batchhl_server_tail_reconnects_total",
+    ] {
+        assert!(
+            metrics.contains(name),
+            "metric {name} missing from the /metrics scrape"
+        );
+    }
+    assert!(
+        metric_value(&metrics, "batchhl_server_commit_dedup_total") >= 1,
+        "the replayed commit must show in batchhl_server_commit_dedup_total"
+    );
+    assert!(
+        metric_value(&metrics, "batchhl_server_deadline_exceeded_total") >= 1,
+        "the refused query must show in batchhl_server_deadline_exceeded_total"
+    );
     let (_, metrics) = http_get(replica.addr(), "/metrics").expect("GET /metrics");
     println!(
         "replica /metrics: {}, {}",
@@ -136,4 +184,12 @@ fn metric_line<'a>(exposition: &'a str, name: &str) -> &'a str {
         .lines()
         .find(|line| line.starts_with(name))
         .unwrap_or("<missing>")
+}
+
+fn metric_value(exposition: &str, name: &str) -> u64 {
+    metric_line(exposition, name)
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }

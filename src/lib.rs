@@ -41,8 +41,8 @@
 pub mod oracle;
 
 pub use oracle::{
-    DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder, OracleHealth,
-    OracleReader, UpdateSession, WalPosition, WhatIfSession,
+    CommitReceipt, DistanceOracle, DurabilityConfig, FsyncPolicy, Oracle, OracleBuilder,
+    OracleHealth, OracleReader, UpdateSession, WalPosition, WhatIfSession,
 };
 
 // Batch admission (also run internally by every `commit`).
@@ -52,7 +52,7 @@ pub use batchhl_core::admission::validate_batch;
 // read-only tail scan WAL-shipping replication is built on.
 pub use batchhl_core::persist::{CheckpointMeta, PersistError};
 pub use batchhl_core::wal::{
-    read_wal_from, recover_wal, WalRecord, WalRecovery, WalTail, WalWriter,
+    read_wal_from, recover_wal, TxnId, WalRecord, WalRecovery, WalTail, WalWriter,
 };
 
 // The family-erased backend surface (for callers extending the oracle

@@ -52,10 +52,11 @@ use batchhl_core::backend::{
 use batchhl_core::index::{Algorithm, CompactionPolicy, IndexConfig};
 use batchhl_core::persist::{write_checkpoint, CheckpointMeta, PersistError};
 use batchhl_core::stats::UpdateStats;
-use batchhl_core::wal::{read_wal_from, recover_wal, WalRecord, WalTail, WalWriter};
+use batchhl_core::wal::{read_wal_from, recover_wal, TxnId, WalRecord, WalTail, WalWriter};
 use batchhl_core::whatif::WhatIfQuery;
 use batchhl_graph::weighted::Weight;
 use batchhl_hcl::LandmarkSelection;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -191,6 +192,73 @@ pub enum OracleHealth {
     },
 }
 
+/// How many recently applied transaction ids the oracle remembers for
+/// commit deduplication. Old entries are evicted in insertion order; a
+/// retry arriving after its id was evicted (or after a WAL rotation on
+/// a reopened oracle) is treated as a new commit, so clients should
+/// bound their retry horizon well below this many intervening commits.
+const TXN_DEDUP_CAPACITY: usize = 1024;
+
+/// Outcome of one committed batch, as returned by
+/// [`UpdateSession::commit_with_receipt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// Update statistics of the apply pass. For a deduplicated retry
+    /// these are the *original* commit's stats, replayed from the
+    /// dedup table.
+    pub stats: UpdateStats,
+    /// Sequence number the batch committed at (the WAL record's `seq`;
+    /// equal to `batches_committed` at admission time).
+    pub seq: u64,
+    /// `true` when this commit's [`TxnId`] matched a recently applied
+    /// batch: nothing was re-applied or re-logged, and `stats`/`seq`
+    /// describe the original application.
+    pub deduplicated: bool,
+}
+
+/// Bounded memory of recently applied txn-stamped commits, keyed by
+/// the client's idempotency id. Rebuilt from the WAL on reopen (replay
+/// re-derives each record's stats), so a retry that crosses a server
+/// restart still deduplicates as long as the batch is in the log.
+#[derive(Default)]
+struct TxnDedup {
+    receipts: HashMap<TxnId, CommitReceipt>,
+    /// Insertion order, for capacity eviction.
+    order: VecDeque<TxnId>,
+}
+
+impl TxnDedup {
+    fn get(&self, txn: TxnId) -> Option<&CommitReceipt> {
+        self.receipts.get(&txn)
+    }
+
+    /// Record a freshly applied commit, evicting the oldest entry past
+    /// capacity. A re-recorded id (possible only on replay of a log
+    /// that legitimately repeats an evicted id) keeps the newest
+    /// receipt.
+    fn record(&mut self, txn: TxnId, stats: UpdateStats, seq: u64) {
+        let fresh = self
+            .receipts
+            .insert(
+                txn,
+                CommitReceipt {
+                    stats,
+                    seq,
+                    deduplicated: false,
+                },
+            )
+            .is_none();
+        if fresh {
+            self.order.push_back(txn);
+        }
+        while self.order.len() > TXN_DEDUP_CAPACITY {
+            if let Some(old) = self.order.pop_front() {
+                self.receipts.remove(&old);
+            }
+        }
+    }
+}
+
 /// Write-ahead-log cursor reported by [`DistanceOracle::wal_position`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalPosition {
@@ -212,6 +280,8 @@ pub struct DistanceOracle {
     batches_committed: u64,
     durability: Option<Durability>,
     health: OracleHealth,
+    /// Recently applied txn-stamped commits (idempotent-retry memory).
+    txn_dedup: TxnDedup,
 }
 
 /// The short name the builder examples use (`Oracle::builder()`).
@@ -330,7 +400,25 @@ impl DistanceOracle {
         UpdateSession {
             oracle: self,
             edits: Vec::new(),
+            txn: None,
         }
+    }
+
+    /// The receipt of a recently applied commit stamped with `txn`, if
+    /// the oracle still remembers it (`deduplicated` forced to `true`).
+    ///
+    /// This is the idempotent-retry lookup: a serving tier consults it
+    /// before admission so a retried commit whose original response
+    /// was lost is answered from history — even while writes are
+    /// poisoned or read-only, since answering from history performs no
+    /// write. The memory is bounded ([`TxnId`]s are evicted oldest
+    /// first past ~1k commits) and is rebuilt from the WAL on reopen;
+    /// a WAL rotation (checkpoint) truncates it for reopened oracles.
+    pub fn txn_receipt(&self, txn: TxnId) -> Option<CommitReceipt> {
+        self.txn_dedup.get(txn).map(|r| CommitReceipt {
+            deduplicated: true,
+            ..r.clone()
+        })
     }
 
     /// Total batches committed over this oracle's lifetime, counted
@@ -603,7 +691,9 @@ impl DistanceOracle {
         // Records the checkpoint already covers are skipped by their
         // sequence number (a checkpoint may race ahead of WAL rotation).
         let (records, _recovery) = recover_wal(dir.join(WAL_FILE))?;
-        let (cursor, replayed) = Self::replay_records(backend.as_mut(), meta.batch_seq, &records)?;
+        let mut dedup = TxnDedup::default();
+        let (cursor, replayed) =
+            Self::replay_records(backend.as_mut(), meta.batch_seq, &records, &mut dedup)?;
         let wal = WalWriter::open_append(dir.join(WAL_FILE))?;
         Ok(DistanceOracle {
             backend,
@@ -615,6 +705,7 @@ impl DistanceOracle {
                 batches_since_checkpoint: replayed,
             }),
             health: OracleHealth::Healthy,
+            txn_dedup: dedup,
         })
     }
 
@@ -633,12 +724,15 @@ impl DistanceOracle {
         let dir = dir.as_ref();
         let (mut backend, meta) = Self::load_checkpoint(dir)?;
         let tail = read_wal_from(dir.join(WAL_FILE), meta.batch_seq)?;
-        let (cursor, _) = Self::replay_records(backend.as_mut(), meta.batch_seq, &tail.records)?;
+        let mut dedup = TxnDedup::default();
+        let (cursor, _) =
+            Self::replay_records(backend.as_mut(), meta.batch_seq, &tail.records, &mut dedup)?;
         Ok(DistanceOracle {
             backend,
             batches_committed: cursor,
             durability: None,
             health: OracleHealth::Healthy,
+            txn_dedup: dedup,
         })
     }
 
@@ -660,11 +754,14 @@ impl DistanceOracle {
     /// Replay recovered WAL records on top of a just-loaded checkpoint
     /// (records the checkpoint already covers are skipped by sequence
     /// number). Returns the resulting batch cursor and how many records
-    /// were actually replayed.
+    /// were actually replayed. Txn-stamped records repopulate `dedup`
+    /// with the stats the replayed apply produced, so a client retry
+    /// that crosses the reopen still deduplicates.
     fn replay_records(
         backend: &mut dyn Backend,
         checkpoint_seq: u64,
         records: &[WalRecord],
+        dedup: &mut TxnDedup,
     ) -> Result<(u64, u64), PersistError> {
         let mut cursor = checkpoint_seq;
         let mut replayed = 0u64;
@@ -684,7 +781,11 @@ impl DistanceOracle {
             // — never a panic — even when replaying it trips the same
             // deterministic bug that failed the original commit.
             match catch_unwind(AssertUnwindSafe(|| backend.commit_edits(&rec.edits))) {
-                Ok(Ok(_)) => {}
+                Ok(Ok(stats)) => {
+                    if let Some(txn) = rec.txn {
+                        dedup.record(txn, stats, rec.seq);
+                    }
+                }
                 Ok(Err(e)) => return Err(PersistError::Replay(e)),
                 Err(p) => {
                     return Err(PersistError::Replay(OracleError::CommitPanicked {
@@ -818,6 +919,7 @@ impl OracleBuilder {
             batches_committed: 0,
             durability: None,
             health: OracleHealth::Healthy,
+            txn_dedup: TxnDedup::default(),
         })
     }
 }
@@ -832,6 +934,7 @@ impl OracleBuilder {
 pub struct UpdateSession<'a> {
     oracle: &'a mut DistanceOracle,
     edits: Vec<Edit>,
+    txn: Option<TxnId>,
 }
 
 impl UpdateSession<'_> {
@@ -863,6 +966,22 @@ impl UpdateSession<'_> {
     /// Queue an already-constructed edit (e.g. replayed from a log).
     pub fn push(mut self, edit: Edit) -> Self {
         self.edits.push(edit);
+        self
+    }
+
+    /// Stamp this commit with a client idempotency key.
+    ///
+    /// A stamped commit is written to the WAL as a txn-carrying record
+    /// and remembered in the oracle's bounded dedup table; committing
+    /// again with the **same** id — a retry after a lost response —
+    /// returns the original [`CommitReceipt`] (marked `deduplicated`)
+    /// without re-applying or re-logging anything. The id identifies
+    /// the *logical commit*, not its payload: a reused id returns the
+    /// original result even if the queued edits differ, exactly like
+    /// an idempotency key on a payments API. Failed or aborted commits
+    /// are **not** remembered — retrying them re-attempts the batch.
+    pub fn txn(mut self, txn: TxnId) -> Self {
+        self.txn = Some(txn);
         self
     }
 
@@ -908,6 +1027,14 @@ impl UpdateSession<'_> {
     ///   [`OracleHealth::Degraded`], but the batch itself *stays*
     ///   committed and logged — a reopen replays it from the WAL.
     pub fn commit(self) -> Result<UpdateStats, OracleError> {
+        self.commit_with_receipt().map(|r| r.stats)
+    }
+
+    /// [`commit`](Self::commit), but returning the full
+    /// [`CommitReceipt`]: the stats, the sequence number the batch
+    /// landed at, and whether the commit was answered from the txn
+    /// dedup table instead of being applied.
+    pub fn commit_with_receipt(self) -> Result<CommitReceipt, OracleError> {
         let start = Instant::now();
         let result = self.commit_inner();
         // Commit outcomes and latency land in the process-wide registry
@@ -923,8 +1050,17 @@ impl UpdateSession<'_> {
         result
     }
 
-    fn commit_inner(self) -> Result<UpdateStats, OracleError> {
+    fn commit_inner(self) -> Result<CommitReceipt, OracleError> {
         let oracle = self.oracle;
+        // Idempotent-retry fast path, checked before *everything* —
+        // health included: a retry of a commit that already applied is
+        // a read of history, and must keep answering even after a later
+        // unrelated batch poisoned writes.
+        if let Some(txn) = self.txn {
+            if let Some(receipt) = oracle.txn_receipt(txn) {
+                return Ok(receipt);
+            }
+        }
         if let OracleHealth::WritesPoisoned { reason, .. } = &oracle.health {
             return Err(OracleError::WritesPoisoned {
                 reason: reason.clone(),
@@ -939,7 +1075,14 @@ impl UpdateSession<'_> {
             &self.edits,
         )?;
         if self.edits.is_empty() {
-            return Ok(UpdateStats::default());
+            // Empty batches consume no sequence number and touch no
+            // state, so they are naturally idempotent — no dedup entry
+            // is recorded for them either.
+            return Ok(CommitReceipt {
+                stats: UpdateStats::default(),
+                seq: oracle.batches_committed,
+                deduplicated: false,
+            });
         }
         // Phase 1 — write-ahead. Contained: on error or panic the WAL's
         // truncate-on-unwind guard has already rolled the file back, so
@@ -948,7 +1091,8 @@ impl UpdateSession<'_> {
             let sync = d.config.fsync == FsyncPolicy::EveryCommit;
             let seq = oracle.batches_committed;
             let edits = &self.edits;
-            match catch_unwind(AssertUnwindSafe(|| d.wal.append(seq, edits, sync))) {
+            let txn = self.txn;
+            match catch_unwind(AssertUnwindSafe(|| d.wal.append_txn(seq, edits, txn, sync))) {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => {
                     return Err(OracleError::Durability {
@@ -980,7 +1124,13 @@ impl UpdateSession<'_> {
                 return Err(OracleError::CommitPanicked { reason: full });
             }
         };
+        let seq = oracle.batches_committed;
         oracle.batches_committed += 1;
+        // The batch is applied and (when attached) durable: only now is
+        // its txn id remembered — a failed commit must stay retryable.
+        if let Some(txn) = self.txn {
+            oracle.txn_dedup.record(txn, stats.clone(), seq);
+        }
         // Phase 3 — auto-checkpoint. The batch is committed and logged;
         // a checkpoint failure degrades health but is NOT rolled back —
         // the WAL still replays the batch on reopen.
@@ -1007,7 +1157,11 @@ impl UpdateSession<'_> {
                 oracle.health = OracleHealth::Healthy;
             }
         }
-        Ok(stats)
+        Ok(CommitReceipt {
+            stats,
+            seq,
+            deduplicated: false,
+        })
     }
 
     /// Explicitly throw the queued edits away.
@@ -1155,6 +1309,170 @@ mod tests {
         // The reopened oracle keeps maintaining — and logging.
         back.update().remove(3, 4).commit().unwrap();
         assert_eq!(back.query(3, 4), Some(7), "rerouted 3-2-1-0-7-6-5-4");
+    }
+
+    #[test]
+    fn txn_retry_deduplicates_in_memory_and_across_reopen() {
+        let dir = tmp_dir("txn_dedup");
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(8))
+            .unwrap();
+        oracle
+            .persist_to(
+                &dir,
+                DurabilityConfig {
+                    checkpoint_every: None,
+                    fsync: FsyncPolicy::Never,
+                },
+            )
+            .unwrap();
+        let txn = TxnId {
+            session: 0xABCD,
+            counter: 1,
+        };
+        let first = oracle
+            .update()
+            .insert(0, 7)
+            .txn(txn)
+            .commit_with_receipt()
+            .unwrap();
+        assert!(!first.deduplicated);
+        assert_eq!(first.seq, 0);
+        let wal_after = std::fs::read(dir.join(WAL_FILE)).unwrap();
+
+        // Same txn again — a retry after a lost response: the original
+        // receipt comes back, nothing is re-applied or re-logged.
+        let retry = oracle
+            .update()
+            .insert(0, 7)
+            .txn(txn)
+            .commit_with_receipt()
+            .unwrap();
+        assert!(retry.deduplicated);
+        assert_eq!(retry.seq, first.seq);
+        assert_eq!(retry.stats, first.stats);
+        assert_eq!(oracle.batches_committed(), 1, "applied exactly once");
+        assert_eq!(
+            std::fs::read(dir.join(WAL_FILE)).unwrap(),
+            wal_after,
+            "retry leaves the WAL byte-identical"
+        );
+
+        // Crash-restart: the reopened oracle rebuilds the dedup table
+        // from the log and still refuses to re-apply the duplicate.
+        drop(oracle);
+        let mut revived = Oracle::open_with(
+            &dir,
+            DurabilityConfig {
+                checkpoint_every: None,
+                fsync: FsyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        assert_eq!(revived.batches_committed(), 1);
+        let replayed = revived
+            .update()
+            .insert(0, 7)
+            .txn(txn)
+            .commit_with_receipt()
+            .unwrap();
+        assert!(replayed.deduplicated, "dedup survives reopen via WAL");
+        assert_eq!(replayed.seq, first.seq);
+        assert_eq!(revived.batches_committed(), 1);
+        // A *new* txn still commits normally.
+        let next = revived
+            .update()
+            .insert(1, 6)
+            .txn(TxnId {
+                session: 0xABCD,
+                counter: 2,
+            })
+            .commit_with_receipt()
+            .unwrap();
+        assert!(!next.deduplicated);
+        assert_eq!(next.seq, 1);
+    }
+
+    #[test]
+    fn txn_dedup_answers_even_while_writes_are_poisoned() {
+        // Poisoning is simulated the way chaos_commit does it — but
+        // without failpoints here, we use an inadmissible-at-apply
+        // construct: a weighted edit on an unweighted oracle passes
+        // admission never (typed refusal, health untouched), so instead
+        // poison via a panic route is unavailable. Approximate by
+        // checking the dedup lookup path itself ignores health: seed a
+        // receipt, force health, and observe the retry answer.
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        let txn = TxnId {
+            session: 9,
+            counter: 9,
+        };
+        let first = oracle
+            .update()
+            .insert(0, 5)
+            .txn(txn)
+            .commit_with_receipt()
+            .unwrap();
+        oracle.health = OracleHealth::WritesPoisoned {
+            reason: "test".into(),
+            batch_still_logged: false,
+        };
+        let retry = oracle
+            .update()
+            .txn(txn)
+            .commit_with_receipt()
+            .expect("retry of an applied commit answers from history");
+        assert!(retry.deduplicated);
+        assert_eq!(retry.seq, first.seq);
+        // A fresh commit is still refused.
+        assert!(matches!(
+            oracle.update().insert(1, 4).commit(),
+            Err(OracleError::WritesPoisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn txn_dedup_table_is_bounded() {
+        let mut oracle = Oracle::builder()
+            .top_degree_landmarks(2)
+            .build(path(6))
+            .unwrap();
+        let old = TxnId {
+            session: 1,
+            counter: 0,
+        };
+        oracle.update().insert(0, 2).txn(old).commit().unwrap();
+        assert!(oracle.txn_receipt(old).is_some());
+        // Push the oldest entry out of the bounded table. Alternating
+        // an insert/remove pair keeps every batch admissible.
+        for i in 0..TXN_DEDUP_CAPACITY as u64 {
+            let txn = TxnId {
+                session: 2,
+                counter: i,
+            };
+            let (a, b) = (0u32, 5u32);
+            let s = oracle.update().txn(txn);
+            let s = if i % 2 == 0 {
+                s.insert(a, b)
+            } else {
+                s.remove(a, b)
+            };
+            s.commit().unwrap();
+        }
+        assert!(
+            oracle.txn_receipt(old).is_none(),
+            "oldest txn evicted past capacity"
+        );
+        assert!(oracle
+            .txn_receipt(TxnId {
+                session: 2,
+                counter: TXN_DEDUP_CAPACITY as u64 - 1,
+            })
+            .is_some());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! (current checkpoints embed the packed `BHL3` block). Those fixtures
 //! are frozen — never regenerated — and must keep loading and answering
 //! identically for as long as the `BHL1` decoder is kept.
+//!
+//! `golden_pre_txn.*` likewise freeze the generation whose WAL is v2
+//! (abort records, no txn-id field): v2 logs must keep decoding — and
+//! upgrading on open — for as long as the v2 decoder is kept.
 
 use batchhl::graph::DynamicGraph;
 use batchhl::{DurabilityConfig, FsyncPolicy, LandmarkSelection, Oracle};
@@ -139,6 +143,14 @@ fn golden_fixture_loads_and_answers() {
         return; // first generation run
     }
     assert_fixture_answers("golden.bhl2", "golden.wal", "load");
+}
+
+#[test]
+fn pre_txn_fixture_still_loads_and_answers() {
+    // The frozen v2-WAL generation (pre txn-stamping). Opening it
+    // upgrades the log to the current version in place (tmp + rename),
+    // and the revived oracle answers identically.
+    assert_fixture_answers("golden_pre_txn.bhl2", "golden_pre_txn.wal", "load_pre_txn");
 }
 
 #[test]

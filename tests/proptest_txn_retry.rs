@@ -1,0 +1,195 @@
+//! Property-based exactly-once semantics for txn-stamped commits.
+//!
+//! Random logical commit sets are delivered as *chaotic schedules* —
+//! each logical commit duplicated 1–3×, the deliveries shuffled, and
+//! the oracle dropped and reopened from disk (WAL replay) at a random
+//! point mid-schedule. Against a clean run that applies each logical
+//! commit exactly once (in the chaotic run's first-delivery order,
+//! with the same txn stamps), the chaotic run must:
+//!
+//! - apply each logical commit exactly once — every later delivery is
+//!   answered from the dedup table with the original receipt, across
+//!   the reopen too (the table is rebuilt from the log);
+//! - leave a **byte-identical WAL**: duplicate deliveries never touch
+//!   the log;
+//! - answer queries identically.
+
+use batchhl::common::rng::SplitMix64;
+use batchhl::graph::DynamicGraph;
+use batchhl::{
+    CommitReceipt, DistanceOracle, DurabilityConfig, Edit, FsyncPolicy, LandmarkSelection, Oracle,
+    TxnId, Vertex,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const N: usize = 30;
+const SESSION: u64 = 0xB47C;
+
+static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let id = DIR_ID.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join("batchhl_proptest_txn_retry")
+        .join(format!("case_{id}_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn no_sync() -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: None,
+        fsync: FsyncPolicy::Never,
+    }
+}
+
+/// The deterministic face of a receipt — everything except
+/// `stats.elapsed`, which is wall-clock and legitimately differs when
+/// a dedup entry was rebuilt by WAL replay.
+fn deterministic(r: &CommitReceipt) -> (usize, usize, usize, usize, &[usize], usize, u64) {
+    (
+        r.stats.applied,
+        r.stats.insertions,
+        r.stats.deletions,
+        r.stats.affected_total,
+        &r.stats.affected_per_landmark,
+        r.stats.passes,
+        r.seq,
+    )
+}
+
+fn build_persisted(edges: &[(Vertex, Vertex)], dir: &PathBuf) -> DistanceOracle {
+    let mut oracle = Oracle::builder()
+        .landmarks(LandmarkSelection::TopDegree(4))
+        .build(DynamicGraph::from_edges(N, edges))
+        .expect("build oracle");
+    oracle.persist_to(dir, no_sync()).expect("persist");
+    oracle
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(Vertex, Vertex)>> {
+    prop::collection::vec((0..N as Vertex, 0..N as Vertex), 10..50)
+}
+
+/// Per-logical-commit edit batches from raw seeds: distinct
+/// single-edge inserts, so every delivery order is admissible and the
+/// batches are independent. Never empty: `step` cannot make `a == b`,
+/// and colliding seeds collapse into one commit, not zero.
+fn derive_commits(seeds: &[(Vertex, u32)]) -> Vec<Vec<Edit>> {
+    let mut seen = std::collections::HashSet::new();
+    seeds
+        .iter()
+        .filter_map(|&(a, step)| {
+            let b = (a + step) % N as Vertex;
+            let key = (a.min(b), a.max(b));
+            seen.insert(key).then(|| vec![Edit::Insert(a, b)])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chaotic_delivery_schedules_apply_exactly_once(
+        edges in edges_strategy(),
+        seeds in prop::collection::vec((0..N as Vertex, 1..5u32), 2..7),
+        dup_seed in 0..u64::MAX / 2,
+        reopen_at in 0usize..16,
+    ) {
+        let commits = derive_commits(&seeds);
+        // Deliveries: each logical commit 1-3 times, shuffled.
+        let mut rng = SplitMix64::new(dup_seed);
+        let mut schedule: Vec<usize> = Vec::new();
+        for i in 0..commits.len() {
+            for _ in 0..(1 + rng.below(3)) {
+                schedule.push(i);
+            }
+        }
+        rng.shuffle(&mut schedule);
+        let reopen_at = reopen_at % schedule.len();
+
+        // Chaotic run: the schedule verbatim, with a drop + reopen
+        // (WAL replay) before delivery `reopen_at`.
+        let chaos_dir = fresh_dir("chaos");
+        let mut chaotic = build_persisted(&edges, &chaos_dir);
+        let mut receipts: HashMap<usize, CommitReceipt> = HashMap::new();
+        for (at, &i) in schedule.iter().enumerate() {
+            if at == reopen_at {
+                drop(chaotic);
+                chaotic = Oracle::open_with(&chaos_dir, no_sync())
+                    .expect("reopen mid-schedule");
+            }
+            let txn = TxnId { session: SESSION, counter: i as u64 + 1 };
+            let mut session = chaotic.update().txn(txn);
+            for &edit in &commits[i] {
+                session = session.push(edit);
+            }
+            let receipt = session.commit_with_receipt().expect("chaotic delivery");
+            match receipts.get(&i) {
+                None => {
+                    prop_assert!(!receipt.deduplicated,
+                        "first delivery of commit {} claims dedup", i);
+                    receipts.insert(i, receipt);
+                }
+                Some(original) => {
+                    prop_assert!(receipt.deduplicated,
+                        "redelivery of commit {} (delivery {}) re-applied", i, at);
+                    prop_assert_eq!(deterministic(&receipt), deterministic(original),
+                        "redelivery receipt diverged for commit {}", i);
+                }
+            }
+        }
+
+        // Clean run: first-delivery order, once each, same stamps.
+        let mut canonical: Vec<usize> = Vec::new();
+        for &i in &schedule {
+            if !canonical.contains(&i) {
+                canonical.push(i);
+            }
+        }
+        let clean_dir = fresh_dir("clean");
+        let mut clean = build_persisted(&edges, &clean_dir);
+        for &i in &canonical {
+            let txn = TxnId { session: SESSION, counter: i as u64 + 1 };
+            let mut session = clean.update().txn(txn);
+            for &edit in &commits[i] {
+                session = session.push(edit);
+            }
+            session.commit_with_receipt().expect("clean delivery");
+        }
+
+        prop_assert_eq!(chaotic.batches_committed(), clean.batches_committed(),
+            "duplicate deliveries consumed sequence numbers");
+        let chaos_wal = std::fs::read(chaos_dir.join("batches.wal")).expect("chaos wal");
+        let clean_wal = std::fs::read(clean_dir.join("batches.wal")).expect("clean wal");
+        prop_assert_eq!(chaos_wal, clean_wal,
+            "WAL bytes diverged: a redelivery touched the log");
+
+        let pairs: Vec<(Vertex, Vertex)> = (0..N as Vertex)
+            .flat_map(|s| (0..N as Vertex).map(move |t| (s, t)))
+            .collect();
+        prop_assert_eq!(chaotic.query_many(&pairs), clean.query_many(&pairs),
+            "chaotic and clean runs answer differently");
+
+        // One more reopen at the end: the dedup table rebuilt from the
+        // final log still refuses every logical commit's replay.
+        drop(chaotic);
+        let mut revived = Oracle::open_with(&chaos_dir, no_sync()).expect("final reopen");
+        for (&i, original) in &receipts {
+            let txn = TxnId { session: SESSION, counter: i as u64 + 1 };
+            let mut session = revived.update().txn(txn);
+            for &edit in &commits[i] {
+                session = session.push(edit);
+            }
+            let replayed = session.commit_with_receipt().expect("post-reopen replay");
+            prop_assert!(replayed.deduplicated,
+                "reopened oracle re-applied commit {}", i);
+            prop_assert_eq!(replayed.seq, original.seq);
+        }
+        prop_assert_eq!(revived.batches_committed(), clean.batches_committed());
+    }
+}

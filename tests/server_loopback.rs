@@ -298,3 +298,59 @@ fn shutdown_is_clean_while_clients_are_connected() {
     let gone = client.query(3, 4);
     assert!(gone.is_err());
 }
+
+#[test]
+fn idle_sweep_closes_slow_loris_connections() {
+    use std::io::{Read, Write};
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(250)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(build_oracle(), config).expect("start server");
+
+    // The slow loris sends half a request line and then drips nothing:
+    // the half-sent line must NOT reset the idle clock.
+    let mut loris = TcpStream::connect(server.addr()).expect("loris connects");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.write_all(b"{\"op\":\"que").expect("half a line");
+    let mut closing = String::new();
+    // The server answers with a typed idle_timeout error and closes:
+    // read_to_string returning means EOF arrived.
+    loris.read_to_string(&mut closing).expect("server closed");
+    assert!(
+        closing.contains("idle_timeout"),
+        "expected a typed idle_timeout notice, got {closing:?}"
+    );
+    assert!(
+        server.metrics().idle_closed.get() >= 1,
+        "idle sweep not visible in metrics"
+    );
+
+    // The sweep took the loris, not the server: new clients that
+    // actually send requests are served normally.
+    let mut healthy = Client::connect(server.addr()).expect("healthy client");
+    healthy.query(2, 100).expect("server still serving");
+
+    // An idle_timeout of None disables the sweep: the same drip
+    // survives well past the other server's window.
+    let lenient = ServerConfig {
+        idle_timeout: None,
+        ..ServerConfig::default()
+    };
+    let server2 = Server::start(build_oracle(), lenient).expect("start lenient server");
+    let mut patient = TcpStream::connect(server2.addr()).expect("patient connects");
+    patient.write_all(b"{\"op\":\"que").expect("half a line");
+    std::thread::sleep(Duration::from_millis(400));
+    // Completing the line now still gets an answer.
+    patient
+        .write_all(b"ry\",\"id\":9,\"s\":1,\"t\":200}\n")
+        .expect("rest of the line");
+    patient
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut byte = [0u8; 1];
+    patient.read_exact(&mut byte).expect("an answer arrived");
+    assert_eq!(server2.metrics().idle_closed.get(), 0);
+}
